@@ -1,0 +1,27 @@
+//! Raw engine throughput: simulated router-cycles per second across network
+//! sizes — the substrate's own performance figure.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use noc_experiments::runner::{run_synth, Scheme, SynthSpec};
+use noc_traffic::TrafficPattern;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    for k in [4u8, 8] {
+        let cycles = 2_000u64;
+        g.throughput(Throughput::Elements(cycles * (k as u64).pow(2)));
+        g.bench_function(format!("router_cycles/{k}x{k}"), |b| {
+            b.iter(|| {
+                run_synth(
+                    SynthSpec::new(k, 2, Scheme::Xy, TrafficPattern::UniformRandom, 0.10)
+                        .with_cycles(cycles),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Bench/regen for Fig 7: router area model evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_power::area::router_area;
+use noc_types::{NetConfig, SchemeKind};
+
+fn bench(c: &mut Criterion) {
+    // Regenerate the artifact once.
+    println!("{}", noc_experiments::figs::fig07::run());
+    let cfg = NetConfig::full_system(8, 6, 1);
+    c.bench_function("fig07/area_model_all_schemes", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for s in [
+                SchemeKind::EscapeVc,
+                SchemeKind::Spin,
+                SchemeKind::Swap,
+                SchemeKind::Drain,
+                SchemeKind::Seec,
+            ] {
+                total += router_area(s, &cfg).total();
+            }
+            std::hint::black_box(total)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

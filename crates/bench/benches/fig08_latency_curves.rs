@@ -1,0 +1,28 @@
+//! Bench/regen for Fig 8: one latency-curve point per headline scheme.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_experiments::runner::{run_synth, Scheme, SynthSpec};
+use noc_traffic::TrafficPattern;
+
+fn bench(c: &mut Criterion) {
+    println!(
+        "{}",
+        noc_experiments::figs::fig08::panel(TrafficPattern::UniformRandom, 4, true)
+    );
+    let mut g = c.benchmark_group("fig08");
+    g.sample_size(10);
+    for scheme in [Scheme::Xy, Scheme::seec(), Scheme::mseec()] {
+        g.bench_function(format!("point/{}", scheme.label()), |b| {
+            b.iter(|| {
+                run_synth(
+                    SynthSpec::new(4, 4, scheme, TrafficPattern::UniformRandom, 0.08)
+                        .with_cycles(3_000),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Bench/regen for Fig 9: saturation search kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_experiments::runner::Scheme;
+use noc_experiments::saturation::{latency_curve, saturation_from_curve};
+use noc_traffic::TrafficPattern;
+
+fn bench(c: &mut Criterion) {
+    println!(
+        "{}",
+        noc_experiments::figs::fig09::panel(TrafficPattern::Transpose, true)
+    );
+    let mut g = c.benchmark_group("fig09");
+    g.sample_size(10);
+    g.bench_function("saturation/seec_transpose_4x4", |b| {
+        b.iter(|| {
+            let curve = latency_curve(
+                4,
+                2,
+                Scheme::seec(),
+                TrafficPattern::Transpose,
+                &[0.05, 0.15],
+                3_000,
+            );
+            saturation_from_curve(&curve, 3.0)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Bench/regen for Fig 10: FF-fraction measurement kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_experiments::runner::{run_synth, Scheme, SynthSpec};
+use noc_traffic::TrafficPattern;
+
+fn bench(c: &mut Criterion) {
+    for t in noc_experiments::figs::fig10::run(true) {
+        println!("{t}");
+    }
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    g.bench_function("ff_fraction/seec_saturated", |b| {
+        b.iter(|| {
+            run_synth(
+                SynthSpec::new(4, 4, Scheme::seec(), TrafficPattern::UniformRandom, 0.30)
+                    .with_cycles(3_000),
+            )
+            .ff_fraction()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

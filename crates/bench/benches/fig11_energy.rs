@@ -1,0 +1,21 @@
+//! Bench/regen for Fig 11: energy accounting kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_experiments::runner::{run_synth, Scheme, SynthSpec};
+use noc_power::energy::link_energy;
+use noc_traffic::TrafficPattern;
+use noc_types::NetConfig;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", noc_experiments::figs::fig11::run(true));
+    let cfg = NetConfig::synth(4, 1);
+    let stats = run_synth(
+        SynthSpec::new(4, 1, Scheme::Spin, TrafficPattern::UniformRandom, 0.25).with_cycles(5_000),
+    );
+    c.bench_function("fig11/energy_report", |b| {
+        b.iter(|| link_energy(&stats, &cfg))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Bench/regen for Fig 12: routing-variant kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_experiments::runner::{run_synth, Scheme, SynthSpec};
+use noc_traffic::TrafficPattern;
+use noc_types::BaseRouting;
+
+fn bench(c: &mut Criterion) {
+    for t in noc_experiments::figs::fig12::run(true) {
+        println!("{t}");
+    }
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    for routing in [BaseRouting::ObliviousMinimal, BaseRouting::AdaptiveMinimal] {
+        g.bench_function(format!("seec_routing/{routing:?}"), |b| {
+            b.iter(|| {
+                run_synth(
+                    SynthSpec::new(
+                        4,
+                        2,
+                        Scheme::Seec { routing },
+                        TrafficPattern::Transpose,
+                        0.10,
+                    )
+                    .with_cycles(3_000),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

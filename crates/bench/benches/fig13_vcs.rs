@@ -1,0 +1,25 @@
+//! Bench/regen for Fig 13: VC-scaling kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_experiments::runner::{run_synth, Scheme, SynthSpec};
+use noc_traffic::TrafficPattern;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", noc_experiments::figs::fig13::run(true));
+    let mut g = c.benchmark_group("fig13");
+    g.sample_size(10);
+    for vcs in [2u8, 8] {
+        g.bench_function(format!("escape_vc/{vcs}vcs"), |b| {
+            b.iter(|| {
+                run_synth(
+                    SynthSpec::new(4, vcs, Scheme::escape(), TrafficPattern::UniformRandom, 0.10)
+                        .with_cycles(3_000),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Bench/regen for Fig 14: one application point per scheme.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_experiments::runner::{run_app, AppSpec, Scheme};
+use noc_traffic::apps;
+
+fn bench(c: &mut Criterion) {
+    for t in noc_experiments::figs::fig14::run(true) {
+        println!("{t}");
+    }
+    let app = *apps::by_name("blackscholes").unwrap();
+    let mut g = c.benchmark_group("fig14");
+    g.sample_size(10);
+    g.bench_function("app_point/seec", |b| {
+        b.iter(|| {
+            run_app(AppSpec {
+                k: 4,
+                vnets: 1,
+                vcs: 2,
+                scheme: Scheme::seec(),
+                app,
+                txns_per_core: 10,
+                max_cycles: 60_000,
+                seed: 3,
+            })
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Bench/regen for Fig 15: tail-latency measurement point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_experiments::runner::{run_app, AppSpec, Scheme};
+use noc_traffic::apps;
+use noc_types::BaseRouting;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", noc_experiments::figs::fig15::run(true));
+    let app = *apps::by_name("fft").unwrap();
+    let mut g = c.benchmark_group("fig15");
+    g.sample_size(10);
+    g.bench_function("tail/seec_xy", |b| {
+        b.iter(|| {
+            run_app(AppSpec {
+                k: 4,
+                vnets: 1,
+                vcs: 2,
+                scheme: Scheme::Seec {
+                    routing: BaseRouting::Xy,
+                },
+                app,
+                txns_per_core: 10,
+                max_cycles: 60_000,
+                seed: 5,
+            })
+            .stats
+            .max_total_latency
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Bench/regen for Table 3: seek-cost scaling measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_experiments::runner::{run_synth, Scheme, SynthSpec};
+use noc_traffic::TrafficPattern;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", noc_experiments::figs::table3::run(true));
+    let mut g = c.benchmark_group("table3");
+    g.sample_size(10);
+    for (label, scheme) in [("seec", Scheme::seec()), ("mseec", Scheme::mseec())] {
+        g.bench_function(format!("seek/{label}"), |b| {
+            b.iter(|| {
+                run_synth(
+                    SynthSpec::new(4, 2, scheme, TrafficPattern::UniformRandom, 0.30)
+                        .with_cycles(3_000),
+                )
+                .sideband_hops
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

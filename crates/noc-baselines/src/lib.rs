@@ -1,0 +1,30 @@
+//! Baseline deadlock-freedom and flow-control schemes the paper compares
+//! SEEC against (Table 4):
+//!
+//! * **Turn models** — XY and West-first are routing algorithms in
+//!   `noc-sim`; no mechanism object needed ([`noc_sim::NoMechanism`]).
+//! * **Escape VC** (Duato) — also built into the router
+//!   (`RoutingAlgo::EscapeVc`); [`escape::escape_vc_config`] builds the
+//!   canonical configuration.
+//! * **TFC** — token flow control, [`tfc::TfcMechanism`].
+//! * **SPIN** — reactive probe-based synchronized progress,
+//!   [`spin::SpinMechanism`].
+//! * **SWAP** — subactive pairwise packet swaps, [`swap::SwapMechanism`].
+//! * **DRAIN** — subactive network-wide ring drains,
+//!   [`drain::DrainMechanism`].
+//! * **MinBD / CHIPPER** — bufferless deflection routers, a separate
+//!   network model: [`deflect::DeflectionSim`].
+
+pub mod deflect;
+pub mod drain;
+pub mod escape;
+pub mod spin;
+pub mod swap;
+pub mod tfc;
+
+pub use deflect::{DeflectionKind, DeflectionSim};
+pub use drain::DrainMechanism;
+pub use escape::escape_vc_config;
+pub use spin::SpinMechanism;
+pub use swap::SwapMechanism;
+pub use tfc::TfcMechanism;

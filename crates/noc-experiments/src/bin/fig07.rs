@@ -1,0 +1,4 @@
+//! Regenerates Fig 7 (router area breakdown).
+fn main() {
+    println!("{}", noc_experiments::figs::fig07::run());
+}

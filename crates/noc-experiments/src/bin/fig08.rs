@@ -1,0 +1,8 @@
+//! Regenerates Fig 8 (latency vs injection rate). Pass `--quick` for a
+//! reduced sweep.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    for t in noc_experiments::figs::fig08::run(quick) {
+        println!("{t}");
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerates Fig 9 (saturation throughput). Pass `--quick` for a reduced
+//! sweep.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    for t in noc_experiments::figs::fig09::run(quick) {
+        println!("{t}");
+    }
+}

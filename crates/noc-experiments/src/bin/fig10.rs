@@ -1,0 +1,7 @@
+//! Regenerates Fig 10 (FF share and latency breakdown).
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    for t in noc_experiments::figs::fig10::run(quick) {
+        println!("{t}");
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig 12 (routing-algorithm comparison).
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    for t in noc_experiments::figs::fig12::run(quick) {
+        println!("{t}");
+    }
+}

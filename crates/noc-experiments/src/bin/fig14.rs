@@ -1,0 +1,7 @@
+//! Regenerates Fig 14 (application latency and runtime).
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    for t in noc_experiments::figs::fig14::run(quick) {
+        println!("{t}");
+    }
+}

@@ -1,0 +1,56 @@
+//! Fig 7: normalized router-area breakdown across schemes.
+
+use crate::table::{fmt_ratio, FigTable};
+use noc_power::area::{min_vcs_for_correctness, router_area};
+use noc_types::{NetConfig, SchemeKind};
+
+/// Schemes in the paper's Fig 7, left to right.
+pub const SCHEMES: [SchemeKind; 5] = [
+    SchemeKind::EscapeVc,
+    SchemeKind::Spin,
+    SchemeKind::Swap,
+    SchemeKind::Drain,
+    SchemeKind::Seec,
+];
+
+/// Regenerates Fig 7: per-scheme component areas, normalized to Escape VC's
+/// total.
+pub fn run() -> FigTable {
+    let cfg = NetConfig::full_system(8, 6, 1);
+    let esc_total = router_area(SchemeKind::EscapeVc, &cfg).total();
+    let mut t = FigTable::new(
+        "Fig 7 — router area breakdown, normalized to Escape VC",
+        &["scheme", "VCs", "buffers", "crossbar", "allocators", "extras", "total"],
+    )
+    .with_note("paper: SEEC ≈ 27% of Escape VC (73% smaller), DRAIN ≈ SEEC");
+    for s in SCHEMES {
+        let a = router_area(s, &cfg);
+        t.push_row(vec![
+            s.label().to_string(),
+            min_vcs_for_correctness(s).to_string(),
+            fmt_ratio(a.buffers / esc_total),
+            fmt_ratio(a.crossbar / esc_total),
+            fmt_ratio(a.allocators / esc_total),
+            fmt_ratio(a.extras / esc_total),
+            fmt_ratio(a.total() / esc_total),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_shape_matches_paper() {
+        let t = run();
+        assert_eq!(t.rows.len(), 5);
+        // SEEC's normalized total ≈ 0.27.
+        let seec_total: f64 = t.rows[4].last().unwrap().parse().unwrap();
+        assert!((0.2..0.35).contains(&seec_total), "SEEC total {seec_total}");
+        // Escape VC normalizes to 1.
+        let esc_total: f64 = t.rows[0].last().unwrap().parse().unwrap();
+        assert!((esc_total - 1.0).abs() < 1e-9);
+    }
+}

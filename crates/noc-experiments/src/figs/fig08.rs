@@ -1,0 +1,91 @@
+//! Fig 8: latency versus injection rate across traffic patterns and mesh
+//! sizes, all schemes.
+
+use crate::runner::Scheme;
+use crate::saturation::latency_curve;
+use crate::table::{fmt_latency, FigTable};
+use noc_traffic::TrafficPattern;
+
+/// The figure's line-up: proactive, reactive, subactive, deflection, SEEC.
+pub fn schemes() -> Vec<Scheme> {
+    vec![
+        Scheme::Xy,
+        Scheme::WestFirst,
+        Scheme::Tfc,
+        Scheme::escape(),
+        Scheme::MinBd,
+        Scheme::Spin,
+        Scheme::Swap,
+        Scheme::Drain,
+        Scheme::seec(),
+        Scheme::mseec(),
+    ]
+}
+
+/// One latency-vs-injection panel (a single pattern × mesh size, 4 VCs as in
+/// §4.3). `quick` shrinks rates/cycles for smoke tests and benches.
+pub fn panel(pattern: TrafficPattern, k: u8, quick: bool) -> FigTable {
+    let vcs = 4;
+    // Larger meshes sweep fewer points for tractable single-core runtimes;
+    // the knee sits well inside the range either way.
+    let (rates, cycles): (Vec<f64>, u64) = if quick {
+        ((1..=4).map(|i| i as f64 * 0.03).collect(), 6_000)
+    } else if k >= 16 {
+        ((1..=6).map(|i| i as f64 * 0.03).collect(), 12_000)
+    } else {
+        ((1..=8).map(|i| i as f64 * 0.03).collect(), 20_000)
+    };
+    let mut cols = vec!["inj_rate".to_string()];
+    let list = schemes();
+    cols.extend(list.iter().map(|s| s.label()));
+    let colrefs: Vec<&str> = cols.iter().map(String::as_str).collect();
+    let mut t = FigTable::new(
+        format!(
+            "Fig 8 — avg packet latency vs injection rate, {} on {k}x{k} (4 VCs)",
+            pattern.label()
+        ),
+        &colrefs,
+    )
+    .with_note("paper: SEEC ≥ all baselines; mSEEC best; minBD saturates first");
+    let curves: Vec<Vec<crate::saturation::CurvePoint>> = list
+        .iter()
+        .map(|&s| latency_curve(k, vcs, s, pattern, &rates, cycles))
+        .collect();
+    for (i, &rate) in rates.iter().enumerate() {
+        let mut row = vec![format!("{rate:.3}")];
+        for curve in &curves {
+            row.push(fmt_latency(curve[i].avg_latency));
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+/// The full figure: the paper's four patterns × {4×4, 8×8, 16×16}.
+pub fn run(quick: bool) -> Vec<FigTable> {
+    let sizes: &[u8] = if quick { &[4] } else { &[4, 8, 16] };
+    let mut out = Vec::new();
+    for &k in sizes {
+        for pattern in TrafficPattern::PAPER {
+            out.push(panel(pattern, k, quick));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_panel_has_all_schemes_and_rates() {
+        let t = panel(TrafficPattern::UniformRandom, 4, true);
+        assert_eq!(t.columns.len(), 1 + schemes().len());
+        assert_eq!(t.rows.len(), 4);
+        // All latencies parse and are positive at the lowest rate.
+        for cell in &t.rows[0][1..] {
+            let v: f64 = cell.parse().unwrap();
+            assert!(v > 0.0, "zero latency cell");
+        }
+    }
+}

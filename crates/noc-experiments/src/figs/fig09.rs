@@ -1,0 +1,79 @@
+//! Fig 9: saturation throughput for bit-rotation and transpose across mesh
+//! sizes and VC counts.
+
+use crate::runner::Scheme;
+use crate::saturation::find_saturation;
+use crate::table::{fmt_throughput, FigTable};
+use noc_traffic::TrafficPattern;
+use rayon::prelude::*;
+
+pub fn schemes() -> Vec<Scheme> {
+    vec![
+        Scheme::Xy,
+        Scheme::WestFirst,
+        Scheme::Spin,
+        Scheme::Swap,
+        Scheme::Drain,
+        Scheme::seec(),
+        Scheme::mseec(),
+    ]
+}
+
+/// One pattern's table: rows = scheme, columns = (mesh, VCs) combinations.
+pub fn panel(pattern: TrafficPattern, quick: bool) -> FigTable {
+    let (sizes, vcs_list, cycles): (&[u8], &[u8], u64) = if quick {
+        (&[4], &[2], 6_000)
+    } else {
+        (&[4, 8], &[1, 2, 4], 20_000)
+    };
+    let mut cols = vec!["scheme".to_string()];
+    for &k in sizes {
+        for &v in vcs_list {
+            cols.push(format!("{k}x{k}/{v}vc"));
+        }
+    }
+    let colrefs: Vec<&str> = cols.iter().map(String::as_str).collect();
+    let mut t = FigTable::new(
+        format!("Fig 9 — saturation throughput, {}", pattern.label()),
+        &colrefs,
+    )
+    .with_note("paper: mSEEC > SEEC > SWAP/DRAIN > SPIN > WF/XY; decreases with size");
+    let rows: Vec<Vec<String>> = schemes()
+        .par_iter()
+        .map(|&s| {
+            let mut row = vec![s.label()];
+            for &k in sizes {
+                for &v in vcs_list {
+                    row.push(fmt_throughput(find_saturation(k, v, s, pattern, cycles)));
+                }
+            }
+            row
+        })
+        .collect();
+    for r in rows {
+        t.push_row(r);
+    }
+    t
+}
+
+pub fn run(quick: bool) -> Vec<FigTable> {
+    [TrafficPattern::BitRotation, TrafficPattern::Transpose]
+        .into_iter()
+        .map(|p| panel(p, quick))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_panel_produces_positive_saturation() {
+        let t = panel(TrafficPattern::Transpose, true);
+        assert_eq!(t.rows.len(), schemes().len());
+        for row in &t.rows {
+            let v: f64 = row[1].parse().unwrap();
+            assert!(v > 0.0, "{}: zero saturation", row[0]);
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Fig 10: (a) share of packets delivered via Free Flow as load rises;
+//! (b) latency breakdown of FF vs regular packets (buffered vs bufferless).
+
+use crate::runner::{run_synth, Scheme, SynthSpec};
+use crate::table::{fmt_latency, fmt_ratio, FigTable};
+use noc_traffic::TrafficPattern;
+use rayon::prelude::*;
+
+/// Panel (a): FF fraction vs injection rate, SEEC and mSEEC, UR on 8×8.
+pub fn panel_a(quick: bool) -> FigTable {
+    let (k, rates, cycles): (u8, Vec<f64>, u64) = if quick {
+        (4, vec![0.05, 0.15, 0.30], 6_000)
+    } else {
+        (8, (1..=8).map(|i| i as f64 * 0.05).collect(), 20_000)
+    };
+    let mut t = FigTable::new(
+        format!("Fig 10a — fraction of received packets that used FF (uniform random, {k}x{k})"),
+        &["inj_rate", "SEEC", "mSEEC"],
+    )
+    .with_note("paper: → ~100% for SEEC post-saturation, ~50% for mSEEC");
+    let seec: Vec<f64> = rates
+        .par_iter()
+        .map(|&r| {
+            run_synth(SynthSpec::new(k, 4, Scheme::seec(), TrafficPattern::UniformRandom, r).with_cycles(cycles))
+                .ff_fraction()
+        })
+        .collect();
+    let mseec: Vec<f64> = rates
+        .par_iter()
+        .map(|&r| {
+            run_synth(SynthSpec::new(k, 4, Scheme::mseec(), TrafficPattern::UniformRandom, r).with_cycles(cycles))
+                .ff_fraction()
+        })
+        .collect();
+    for (i, &r) in rates.iter().enumerate() {
+        t.push_row(vec![format!("{r:.3}"), fmt_ratio(seec[i]), fmt_ratio(mseec[i])]);
+    }
+    t
+}
+
+/// Panel (b): buffered vs bufferless latency split of FF packets, and the
+/// regular packets' latency, at low and high load.
+pub fn panel_b(quick: bool) -> FigTable {
+    let (k, cycles) = if quick { (4, 6_000) } else { (8, 30_000) };
+    let loads = [("low", 0.05), ("high", 0.14)];
+    let mut t = FigTable::new(
+        format!("Fig 10b — latency breakdown, SEEC, uniform random, {k}x{k}"),
+        &[
+            "load",
+            "ff_buffered",
+            "ff_bufferless",
+            "ff_total",
+            "regular_total",
+        ],
+    )
+    .with_note("paper: FF packets are *slower* overall (they were the blocked ones); bufferless part small");
+    for (name, rate) in loads {
+        let s = run_synth(
+            SynthSpec::new(k, 4, Scheme::seec(), TrafficPattern::UniformRandom, rate)
+                .with_cycles(cycles),
+        );
+        let ffb = if s.ff_packets > 0 {
+            s.sum_ff_buffered as f64 / s.ff_packets as f64
+        } else {
+            0.0
+        };
+        let ffl = if s.ff_packets > 0 {
+            s.sum_ff_bufferless as f64 / s.ff_packets as f64
+        } else {
+            0.0
+        };
+        let reg = {
+            let n = s.ejected_packets - s.ff_packets;
+            if n > 0 {
+                s.sum_regular_latency as f64 / n as f64
+            } else {
+                0.0
+            }
+        };
+        t.push_row(vec![
+            name.into(),
+            fmt_latency(ffb),
+            fmt_latency(ffl),
+            fmt_latency(ffb + ffl),
+            fmt_latency(reg),
+        ]);
+    }
+    t
+}
+
+pub fn run(quick: bool) -> Vec<FigTable> {
+    vec![panel_a(quick), panel_b(quick)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ff_fraction_grows_with_load() {
+        let t = panel_a(true);
+        let lo: f64 = t.rows.first().unwrap()[1].parse().unwrap();
+        let hi: f64 = t.rows.last().unwrap()[1].parse().unwrap();
+        assert!(hi >= lo, "FF fraction should not shrink with load: {lo} → {hi}");
+        assert!(hi > 0.0, "no FF at high load?");
+    }
+
+    #[test]
+    fn breakdown_rows_have_consistent_totals() {
+        let t = panel_b(true);
+        for row in &t.rows {
+            let b: f64 = row[1].parse().unwrap();
+            let l: f64 = row[2].parse().unwrap();
+            let tot: f64 = row[3].parse().unwrap();
+            assert!((b + l - tot).abs() < 0.2);
+        }
+    }
+}

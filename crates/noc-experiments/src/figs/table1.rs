@@ -1,0 +1,106 @@
+//! Table 1, measured: the paper's qualitative comparison of deadlock-freedom
+//! mechanisms, with every measurable property verified by simulation.
+//!
+//! * **no misroute** — `misroute_hops == 0` under stress.
+//! * **no detection** — reactive schemes (SPIN) fire `recovery_events` with
+//!   probes; proactive/subactive ones fire none or detection-free events.
+//! * **deadlock-free** — the stress run keeps moving (watchdog).
+//! * **extra buffers** — from the area model (scheme extras + VC minimum).
+
+use crate::runner::{Scheme, SynthSpec};
+use crate::table::FigTable;
+use noc_power::area::min_vcs_for_correctness;
+use noc_traffic::TrafficPattern;
+use rayon::prelude::*;
+
+/// Stress-runs one scheme and reports (deadlock_free, misroutes, detections).
+fn probe(scheme: Scheme, quick: bool) -> (bool, u64, u64) {
+    let cycles = if quick { 8_000 } else { 30_000 };
+    // Deadlock-prone minimum-buffer configuration: 1 VC (2 for escape VC,
+    // which needs a separate escape lane) at a saturating load, so recovery
+    // behaviour is actually exercised.
+    let vcs = if matches!(scheme, Scheme::EscapeVc { .. }) { 2 } else { 1 };
+    let spec = SynthSpec::new(4, vcs, scheme, TrafficPattern::UniformRandom, 0.30)
+        .with_cycles(cycles);
+    let s = crate::runner::run_synth(spec);
+    // Deadlock-free in this harness = kept delivering through saturation.
+    // (DRAIN's single-shift drains are slow by design; the bar scales with
+    // the run length.)
+    let live = s.ejected_packets_all > if quick { 40 } else { 200 };
+    (live, s.misroute_hops, s.recovery_events)
+}
+
+pub fn run(quick: bool) -> FigTable {
+    let mut t = FigTable::new(
+        "Table 1 (measured) — qualitative properties verified by simulation",
+        &[
+            "scheme",
+            "class",
+            "min VCs",
+            "deadlock-free",
+            "misroute_hops",
+            "detection_events",
+        ],
+    )
+    .with_note("paper's claims: SEEC = subactive, no detection, no misroute, no extra buffers");
+    let rows: Vec<Vec<String>> = [
+        (Scheme::Xy, "proactive"),
+        (Scheme::WestFirst, "proactive"),
+        (Scheme::escape(), "proactive"),
+        (Scheme::MinBd, "proactive"),
+        (Scheme::Spin, "reactive"),
+        (Scheme::Swap, "subactive"),
+        (Scheme::Drain, "subactive"),
+        (Scheme::seec(), "subactive"),
+        (Scheme::mseec(), "subactive"),
+    ]
+    .par_iter()
+    .map(|&(scheme, class)| {
+        let (live, misroutes, detections) = probe(scheme, quick);
+        vec![
+            scheme.label(),
+            class.to_string(),
+            min_vcs_for_correctness(scheme.kind()).to_string(),
+            if live { "yes" } else { "NO" }.to_string(),
+            misroutes.to_string(),
+            detections.to_string(),
+        ]
+    })
+    .collect();
+    for r in rows {
+        t.push_row(r);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seec_has_no_misroutes_and_no_detection() {
+        let t = run(true);
+        let seec = t.rows.iter().find(|r| r[0] == "SEEC").unwrap();
+        assert_eq!(seec[3], "yes", "SEEC must stay live");
+        assert_eq!(seec[4], "0", "SEEC must never misroute");
+        assert_eq!(seec[5], "0", "SEEC needs no deadlock detection");
+    }
+
+    #[test]
+    fn subactive_baselines_do_misroute() {
+        let t = run(true);
+        for name in ["SWAP", "DRAIN", "minBD"] {
+            let row = t.rows.iter().find(|r| r[0] == name).unwrap();
+            let m: u64 = row[4].parse().unwrap();
+            assert!(m > 0, "{name} should misroute under stress");
+        }
+    }
+
+    #[test]
+    fn spin_detects_deadlocks() {
+        let t = run(true);
+        let spin = t.rows.iter().find(|r| r[0] == "SPIN").unwrap();
+        let d: u64 = spin[5].parse().unwrap();
+        assert!(d > 0, "SPIN must fire detection events under stress");
+    }
+}

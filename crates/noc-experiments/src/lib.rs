@@ -1,0 +1,35 @@
+//! Experiment harness reproducing every table and figure of the SEEC paper.
+//!
+//! Each `figs::figNN` module regenerates one artifact of the evaluation
+//! section and returns a [`table::FigTable`] with the same rows/series the
+//! paper plots; the `bin/` binaries print them (`cargo run --release -p
+//! noc-experiments --bin fig08`), and the `bench` crate wraps reduced
+//! versions under Criterion.
+//!
+//! Absolute numbers come from this repo's from-scratch simulator, not the
+//! authors' gem5 testbed; EXPERIMENTS.md records the shape comparison
+//! (who wins, by how much, where crossovers fall) per figure.
+
+pub mod runner;
+pub mod saturation;
+pub mod table;
+
+pub mod figs {
+    pub mod ablation;
+    pub mod fig07;
+    pub mod footnote4;
+    pub mod fig08;
+    pub mod fig09;
+    pub mod fig10;
+    pub mod fig11;
+    pub mod fig12;
+    pub mod fig13;
+    pub mod fig14;
+    pub mod fig15;
+    pub mod table1;
+    pub mod table3;
+}
+
+pub use runner::{run_app, run_synth, AppSpec, Scheme, SynthSpec};
+pub use saturation::find_saturation;
+pub use table::FigTable;

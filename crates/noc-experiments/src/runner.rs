@@ -1,0 +1,309 @@
+//! Scheme registry and single-point runners.
+
+use noc_baselines::{
+    escape_vc_config, DeflectionKind, DeflectionSim, DrainMechanism, SpinMechanism,
+    SwapMechanism, TfcMechanism,
+};
+use noc_protocol::{ProtocolConfig, ProtocolWorkload};
+use noc_sim::network::NocModel;
+use noc_sim::{Mechanism, NoMechanism, Sim, Stats};
+use noc_traffic::apps::AppProfile;
+use noc_traffic::{SyntheticWorkload, TrafficPattern};
+use noc_types::{BaseRouting, NetConfig, RoutingAlgo, SchemeKind};
+
+/// Every NoC design point the paper evaluates (Table 4's baseline column
+/// plus SEEC/mSEEC). Routing defaults follow the paper: the reactive and
+/// subactive schemes use fully-adaptive minimal random; the `routing` fields
+/// allow Fig 12/15's variants.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Scheme {
+    Xy,
+    WestFirst,
+    Tfc,
+    EscapeVc { normal: BaseRouting },
+    Spin,
+    Swap,
+    Drain,
+    Seec { routing: BaseRouting },
+    MSeec { routing: BaseRouting },
+    MinBd,
+    Chipper,
+}
+
+impl Scheme {
+    /// The paper's default variants for headline comparisons.
+    pub const HEADLINE: [Scheme; 8] = [
+        Scheme::Xy,
+        Scheme::WestFirst,
+        Scheme::Tfc,
+        Scheme::EscapeVc {
+            normal: BaseRouting::AdaptiveMinimal,
+        },
+        Scheme::Spin,
+        Scheme::Swap,
+        Scheme::Drain,
+        Scheme::Seec {
+            routing: BaseRouting::AdaptiveMinimal,
+        },
+    ];
+
+    pub fn seec() -> Scheme {
+        Scheme::Seec {
+            routing: BaseRouting::AdaptiveMinimal,
+        }
+    }
+
+    pub fn mseec() -> Scheme {
+        Scheme::MSeec {
+            routing: BaseRouting::AdaptiveMinimal,
+        }
+    }
+
+    pub fn escape() -> Scheme {
+        Scheme::EscapeVc {
+            normal: BaseRouting::AdaptiveMinimal,
+        }
+    }
+
+    pub fn kind(self) -> SchemeKind {
+        match self {
+            Scheme::Xy | Scheme::WestFirst => SchemeKind::None,
+            Scheme::Tfc => SchemeKind::Tfc,
+            Scheme::EscapeVc { .. } => SchemeKind::EscapeVc,
+            Scheme::Spin => SchemeKind::Spin,
+            Scheme::Swap => SchemeKind::Swap,
+            Scheme::Drain => SchemeKind::Drain,
+            Scheme::Seec { .. } => SchemeKind::Seec,
+            Scheme::MSeec { .. } => SchemeKind::MSeec,
+            Scheme::MinBd => SchemeKind::MinBd,
+            Scheme::Chipper => SchemeKind::Chipper,
+        }
+    }
+
+    /// Legend label, matching the paper's figures.
+    pub fn label(self) -> String {
+        match self {
+            Scheme::Xy => "XY".into(),
+            Scheme::WestFirst => "WF".into(),
+            Scheme::Tfc => "TFC".into(),
+            Scheme::EscapeVc { normal } => match normal {
+                BaseRouting::ObliviousMinimal => "EscVC-obl".into(),
+                BaseRouting::AdaptiveMinimal => "EscVC".into(),
+                _ => format!("EscVC-{normal:?}"),
+            },
+            Scheme::Spin => "SPIN".into(),
+            Scheme::Swap => "SWAP".into(),
+            Scheme::Drain => "DRAIN".into(),
+            Scheme::Seec { routing } => match routing {
+                BaseRouting::AdaptiveMinimal => "SEEC".into(),
+                BaseRouting::ObliviousMinimal => "SEEC-obl".into(),
+                BaseRouting::Xy => "SEEC-XY".into(),
+                BaseRouting::WestFirst => "SEEC-WF".into(),
+            },
+            Scheme::MSeec { routing } => match routing {
+                BaseRouting::AdaptiveMinimal => "mSEEC".into(),
+                BaseRouting::ObliviousMinimal => "mSEEC-obl".into(),
+                _ => format!("mSEEC-{routing:?}"),
+            },
+            Scheme::MinBd => "minBD".into(),
+            Scheme::Chipper => "CHIPPER".into(),
+        }
+    }
+
+    /// Network configuration for this scheme: routing algorithm and — for
+    /// escape VC — VC partitioning.
+    pub fn configure(self, mut cfg: NetConfig) -> NetConfig {
+        match self {
+            Scheme::Xy => cfg.with_routing(RoutingAlgo::Uniform(BaseRouting::Xy)),
+            Scheme::WestFirst | Scheme::Tfc => {
+                cfg.with_routing(RoutingAlgo::Uniform(BaseRouting::WestFirst))
+            }
+            Scheme::EscapeVc { normal } => escape_vc_config(cfg, normal),
+            Scheme::Spin | Scheme::Swap | Scheme::Drain => {
+                cfg.with_routing(RoutingAlgo::Uniform(BaseRouting::AdaptiveMinimal))
+            }
+            Scheme::Seec { routing } | Scheme::MSeec { routing } => {
+                cfg.with_routing(RoutingAlgo::Uniform(routing))
+            }
+            Scheme::MinBd | Scheme::Chipper => {
+                // Deflection ignores VC routing; keep the default.
+                cfg.vcs_per_vnet = 1;
+                cfg
+            }
+        }
+    }
+
+    /// Builds the mechanism object (for VC-router schemes).
+    pub fn mechanism(self, cfg: &NetConfig) -> Box<dyn Mechanism> {
+        match self {
+            Scheme::Tfc => Box::new(TfcMechanism::for_net(cfg)),
+            Scheme::Spin => Box::new(SpinMechanism::for_net(cfg)),
+            Scheme::Swap => Box::new(SwapMechanism::for_net(cfg)),
+            Scheme::Drain => Box::new(DrainMechanism::for_net(cfg)),
+            Scheme::Seec { .. } => Box::new(seec::SeecMechanism::for_net(cfg)),
+            Scheme::MSeec { .. } => Box::new(seec::MSeecMechanism::for_net(cfg)),
+            _ => Box::new(NoMechanism),
+        }
+    }
+
+    pub fn is_deflection(self) -> bool {
+        matches!(self, Scheme::MinBd | Scheme::Chipper)
+    }
+}
+
+/// One synthetic-traffic design point.
+#[derive(Clone, Copy, Debug)]
+pub struct SynthSpec {
+    pub k: u8,
+    pub vcs: u8,
+    pub scheme: Scheme,
+    pub pattern: TrafficPattern,
+    /// Packets per node per cycle.
+    pub rate: f64,
+    pub cycles: u64,
+    pub seed: u64,
+}
+
+impl SynthSpec {
+    pub fn new(k: u8, vcs: u8, scheme: Scheme, pattern: TrafficPattern, rate: f64) -> SynthSpec {
+        SynthSpec {
+            k,
+            vcs,
+            scheme,
+            pattern,
+            rate,
+            cycles: 30_000,
+            seed: 0xA11CE,
+        }
+    }
+
+    pub fn with_cycles(mut self, cycles: u64) -> Self {
+        self.cycles = cycles;
+        self
+    }
+}
+
+/// Runs one synthetic point to completion and returns its statistics.
+pub fn run_synth(spec: SynthSpec) -> Stats {
+    let cfg = spec
+        .scheme
+        .configure(NetConfig::synth(spec.k, spec.vcs))
+        .with_seed(spec.seed);
+    let wl = SyntheticWorkload::new(
+        spec.pattern,
+        spec.rate,
+        cfg.cols,
+        cfg.rows,
+        cfg.warmup,
+        spec.seed,
+    );
+    let mut model: Box<dyn NocModel> = if spec.scheme.is_deflection() {
+        let kind = if spec.scheme == Scheme::MinBd {
+            DeflectionKind::MinBd
+        } else {
+            DeflectionKind::Chipper
+        };
+        Box::new(DeflectionSim::new(cfg, kind, Box::new(wl)))
+    } else {
+        let mech = spec.scheme.mechanism(&cfg);
+        Box::new(Sim::new(cfg, Box::new(wl), mech))
+    };
+    model.run_for(spec.cycles);
+    model.finalize()
+}
+
+/// One application (closed-loop protocol) design point.
+#[derive(Clone, Copy, Debug)]
+pub struct AppSpec {
+    pub k: u8,
+    /// VNets: 6 for the proactive/reactive baselines, 1 for DRAIN/SEEC.
+    pub vnets: u8,
+    /// VCs per VNet.
+    pub vcs: u8,
+    pub scheme: Scheme,
+    pub app: AppProfile,
+    /// Transactions per core (fixed work → runtime metric).
+    pub txns_per_core: u64,
+    pub max_cycles: u64,
+    pub seed: u64,
+}
+
+/// Result of an application run: network statistics plus the runtime in
+/// cycles (the Fig 14 metric).
+#[derive(Clone, Debug)]
+pub struct AppResult {
+    pub stats: Stats,
+    pub runtime: u64,
+    pub finished: bool,
+}
+
+/// Runs one application point: fixed work per core, closed loop.
+pub fn run_app(spec: AppSpec) -> AppResult {
+    let cfg = spec
+        .scheme
+        .configure(NetConfig::full_system(spec.k, spec.vnets, spec.vcs))
+        .with_seed(spec.seed);
+    let pcfg = ProtocolConfig {
+        txns_per_core: Some(spec.txns_per_core),
+        ..ProtocolConfig::default()
+    };
+    let wl = ProtocolWorkload::new(
+        spec.app,
+        pcfg,
+        cfg.num_nodes() as u16,
+        cfg.warmup,
+        spec.seed,
+    );
+    let mech = spec.scheme.mechanism(&cfg);
+    let mut sim = Sim::new(cfg, Box::new(wl), mech);
+    let finished = sim.run_until_done(spec.max_cycles);
+    let runtime = sim.net.cycle;
+    let stats = sim.finish().clone();
+    AppResult {
+        stats,
+        runtime,
+        finished,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_headline_scheme_runs_a_small_point() {
+        for scheme in Scheme::HEADLINE {
+            let spec = SynthSpec::new(4, 2, scheme, TrafficPattern::UniformRandom, 0.05)
+                .with_cycles(5_000);
+            let s = run_synth(spec);
+            assert!(
+                s.ejected_packets > 50,
+                "{}: only {} delivered",
+                scheme.label(),
+                s.ejected_packets
+            );
+        }
+    }
+
+    #[test]
+    fn deflection_schemes_run_too() {
+        for scheme in [Scheme::MinBd, Scheme::Chipper] {
+            let spec = SynthSpec::new(4, 1, scheme, TrafficPattern::UniformRandom, 0.05)
+                .with_cycles(5_000);
+            let s = run_synth(spec);
+            assert!(s.ejected_packets > 50, "{}", scheme.label());
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<String> = Scheme::HEADLINE.iter().map(|s| s.label()).collect();
+        labels.push(Scheme::mseec().label());
+        labels.push(Scheme::MinBd.label());
+        labels.push(Scheme::Chipper.label());
+        let n = labels.len();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), n);
+    }
+}

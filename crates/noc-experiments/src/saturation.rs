@@ -1,0 +1,112 @@
+//! Saturation-throughput search (Fig 9's metric).
+//!
+//! Standard NoC methodology: sweep the offered load; the network is
+//! *saturated* once average latency exceeds a multiple of the zero-load
+//! latency (we use 3×, a common knee definition) or the network stops
+//! accepting the offered load. The saturation throughput is the accepted
+//! rate at the last unsaturated point.
+
+use crate::runner::{run_synth, Scheme, SynthSpec};
+use noc_traffic::TrafficPattern;
+use rayon::prelude::*;
+
+/// One measured point of a latency-throughput curve.
+#[derive(Clone, Copy, Debug)]
+pub struct CurvePoint {
+    pub offered: f64,
+    pub accepted: f64,
+    pub avg_latency: f64,
+}
+
+/// Sweeps `rates` in parallel and returns the measured curve.
+pub fn latency_curve(
+    k: u8,
+    vcs: u8,
+    scheme: Scheme,
+    pattern: TrafficPattern,
+    rates: &[f64],
+    cycles: u64,
+) -> Vec<CurvePoint> {
+    rates
+        .par_iter()
+        .map(|&rate| {
+            let s = run_synth(SynthSpec::new(k, vcs, scheme, pattern, rate).with_cycles(cycles));
+            CurvePoint {
+                offered: rate,
+                accepted: s.throughput(k as usize * k as usize),
+                avg_latency: s.avg_total_latency(),
+            }
+        })
+        .collect()
+}
+
+/// Finds the saturation throughput from a measured curve: the accepted rate
+/// at the last point whose latency stays below `knee` × the zero-load
+/// latency and whose acceptance tracks the offered load.
+pub fn saturation_from_curve(curve: &[CurvePoint], knee: f64) -> f64 {
+    assert!(!curve.is_empty());
+    let zero_load = curve
+        .iter()
+        .find(|p| p.avg_latency > 0.0)
+        .map(|p| p.avg_latency)
+        .unwrap_or(1.0);
+    let mut sat = 0.0_f64;
+    for p in curve {
+        let unsaturated =
+            p.avg_latency > 0.0 && p.avg_latency <= knee * zero_load && p.accepted >= 0.85 * p.offered;
+        if unsaturated {
+            sat = sat.max(p.accepted);
+        }
+    }
+    // Fully saturated from the first point: report the best accepted rate.
+    if sat == 0.0 {
+        sat = curve.iter().map(|p| p.accepted).fold(0.0, f64::max);
+    }
+    sat
+}
+
+/// Convenience: sweep a default grid and return the saturation throughput.
+pub fn find_saturation(
+    k: u8,
+    vcs: u8,
+    scheme: Scheme,
+    pattern: TrafficPattern,
+    cycles: u64,
+) -> f64 {
+    let rates: Vec<f64> = (1..=14).map(|i| i as f64 * 0.02).collect();
+    let curve = latency_curve(k, vcs, scheme, pattern, &rates, cycles);
+    saturation_from_curve(&curve, 3.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(offered: f64, accepted: f64, lat: f64) -> CurvePoint {
+        CurvePoint {
+            offered,
+            accepted,
+            avg_latency: lat,
+        }
+    }
+
+    #[test]
+    fn knee_detection_on_synthetic_curve() {
+        let curve = vec![
+            pt(0.02, 0.02, 12.0),
+            pt(0.06, 0.06, 14.0),
+            pt(0.10, 0.10, 20.0),
+            pt(0.14, 0.13, 80.0),  // past the knee: latency exploded
+            pt(0.18, 0.13, 300.0),
+        ];
+        let sat = saturation_from_curve(&curve, 3.0);
+        assert!((sat - 0.10).abs() < 1e-9, "sat {sat}");
+    }
+
+    #[test]
+    fn saturated_from_start_reports_best_accepted() {
+        let curve = vec![pt(0.3, 0.05, 900.0), pt(0.5, 0.06, 1200.0)];
+        let sat = saturation_from_curve(&curve, 3.0);
+        assert!((sat - 0.06).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,154 @@
+//! Result tables: the rows/series each figure binary prints.
+
+use std::fmt;
+
+/// A simple column-aligned result table with a title and footnote, plus CSV
+/// export. Cells are preformatted strings; numeric helpers format to
+/// sensible figure precision.
+#[derive(Clone, Debug)]
+pub struct FigTable {
+    pub title: String,
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+    pub note: String,
+}
+
+impl FigTable {
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> FigTable {
+        FigTable {
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            note: String::new(),
+        }
+    }
+
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.note = note.into();
+        self
+    }
+
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Writes the CSV rendering to `dir/<slug-of-title>.csv` and returns the
+    /// path.
+    pub fn save_csv(&self, dir: &str) -> std::io::Result<String> {
+        std::fs::create_dir_all(dir)?;
+        let slug: String = self
+            .title
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .collect::<String>()
+            .split('_')
+            .filter(|s| !s.is_empty())
+            .collect::<Vec<_>>()
+            .join("_");
+        let path = format!("{dir}/{slug}.csv");
+        std::fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+
+    /// CSV rendering (header + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.columns.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a latency in cycles.
+pub fn fmt_latency(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Formats a throughput in packets/node/cycle.
+pub fn fmt_throughput(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+/// Formats a ratio/percentage-like quantity.
+pub fn fmt_ratio(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+impl fmt::Display for FigTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.title)?;
+        // Column widths.
+        let mut w: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                w[i] = w[i].max(cell.len());
+            }
+        }
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = w[i]))
+            .collect();
+        writeln!(f, "{}", header.join("  "))?;
+        writeln!(f, "{}", "-".repeat(header.join("  ").len()))?;
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = w[i]))
+                .collect();
+            writeln!(f, "{}", line.join("  "))?;
+        }
+        if !self.note.is_empty() {
+            writeln!(f, "note: {}", self.note)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = FigTable::new("Demo", &["scheme", "latency"]);
+        t.push_row(vec!["SEEC".into(), fmt_latency(12.345)]);
+        t.push_row(vec!["mSEEC".into(), fmt_latency(9.0)]);
+        let s = t.to_string();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("12.3"));
+        assert!(s.contains("9.0"));
+    }
+
+    #[test]
+    fn save_csv_slugifies_title() {
+        let mut t = FigTable::new("Fig 9 — saturation (x/y)", &["a"]);
+        t.push_row(vec!["1".into()]);
+        let dir = std::env::temp_dir().join("seec_csv_test");
+        let path = t.save_csv(dir.to_str().unwrap()).unwrap();
+        assert!(path.ends_with(".csv"));
+        assert!(std::fs::read_to_string(&path).unwrap().contains("a
+1"));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut t = FigTable::new("Demo", &["a", "b"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_is_checked() {
+        let mut t = FigTable::new("Demo", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+}

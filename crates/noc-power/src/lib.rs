@@ -1,0 +1,14 @@
+//! Analytic router-area and link/router-energy models.
+//!
+//! The paper synthesized OpenSMART routers on FreePDK15 and reported
+//! *relative* area (Fig 7) and link energy (Fig 11). We reproduce the same
+//! relative quantities with a component-level analytic model: absolute
+//! numbers are in arbitrary units calibrated so the component *ratios* match
+//! published router breakdowns (input buffers dominate; crossbar ∝ width²;
+//! allocators grow with VC count). DESIGN.md records this substitution.
+
+pub mod area;
+pub mod energy;
+
+pub use area::{router_area, AreaBreakdown};
+pub use energy::{link_energy, EnergyReport};

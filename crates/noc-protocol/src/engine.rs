@@ -1,0 +1,506 @@
+//! The closed-loop coherence engine (a [`Workload`] implementation).
+
+use noc_sim::stats::DeliveredPacket;
+use noc_sim::workload::{PacketFactory, Workload};
+use noc_traffic::apps::AppProfile;
+use noc_types::{Cycle, MessageClass, NodeId, Packet};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// Message classes, named.
+const REQ: MessageClass = MessageClass(0);
+const FWD: MessageClass = MessageClass(1);
+const DATA: MessageClass = MessageClass(2);
+const ACK: MessageClass = MessageClass(3);
+const WB: MessageClass = MessageClass(4);
+const UNBLOCK: MessageClass = MessageClass(5);
+
+/// Protocol resource limits and workload shape.
+#[derive(Clone, Copy, Debug)]
+pub struct ProtocolConfig {
+    /// Outstanding-request capacity per core.
+    pub mshrs: usize,
+    /// Transaction-buffer entries per directory slice.
+    pub tbes: usize,
+    /// Transactions each core must complete; `None` = open-ended.
+    pub txns_per_core: Option<u64>,
+    /// Probability a completed transaction is followed by a writeback.
+    pub wb_prob: f64,
+    /// Number of "hot" home nodes the skewed fraction of requests target.
+    pub hot_homes: usize,
+}
+
+impl Default for ProtocolConfig {
+    fn default() -> Self {
+        ProtocolConfig {
+            mshrs: 16,
+            tbes: 8,
+            txns_per_core: None,
+            wb_prob: 0.2,
+            hot_homes: 4,
+        }
+    }
+}
+
+/// What a packet means to the protocol.
+#[derive(Clone, Copy, Debug)]
+enum Msg {
+    Request { txn: u64 },
+    Forward { txn: u64 },
+    Invalidate { txn: u64 },
+    Data { txn: u64 },
+    InvAck { txn: u64 },
+    TransferAck { txn: u64 },
+    Unblock { _txn: u64 },
+    WbData,
+    WbAck,
+}
+
+/// An outstanding transaction.
+#[derive(Clone, Copy, Debug)]
+struct Txn {
+    requestor: NodeId,
+    home: NodeId,
+    is_write: bool,
+    acks_needed: u32,
+    acks_got: u32,
+    got_data: bool,
+}
+
+/// Per-core state.
+#[derive(Clone, Debug)]
+struct Core {
+    mshrs_in_use: usize,
+    next_issue_at: Cycle,
+    completed: u64,
+}
+
+/// Per-directory-slice state.
+#[derive(Clone, Debug)]
+struct Dir {
+    tbes_in_use: usize,
+}
+
+/// The closed-loop coherence workload. Drives requests per the application
+/// profile, gates consumption on directory resources (the source of
+/// protocol-deadlock pressure), and reacts to deliveries with follow-up
+/// messages.
+pub struct ProtocolWorkload {
+    profile: AppProfile,
+    pcfg: ProtocolConfig,
+    nodes: u16,
+    warmup: Cycle,
+    rng: SmallRng,
+    factory: PacketFactory,
+    meta: HashMap<noc_types::PacketId, Msg>,
+    txns: HashMap<u64, Txn>,
+    next_txn: u64,
+    cores: Vec<Core>,
+    dirs: Vec<Dir>,
+    /// Messages to inject next `generate` (follow-ups and loopback).
+    outbox: VecDeque<(NodeId, NodeId, MessageClass, u8, Msg)>,
+    /// Diagnostics.
+    pub txns_completed: u64,
+    pub consumption_refusals: u64,
+}
+
+impl ProtocolWorkload {
+    pub fn new(
+        profile: AppProfile,
+        pcfg: ProtocolConfig,
+        nodes: u16,
+        warmup: Cycle,
+        seed: u64,
+    ) -> Self {
+        assert!(nodes >= 2);
+        ProtocolWorkload {
+            profile,
+            pcfg,
+            nodes,
+            warmup,
+            rng: SmallRng::seed_from_u64(seed ^ 0xC0_4E4E4C),
+            factory: PacketFactory::new(),
+            meta: HashMap::new(),
+            txns: HashMap::new(),
+            next_txn: 0,
+            cores: vec![
+                Core {
+                    mshrs_in_use: 0,
+                    next_issue_at: 0,
+                    completed: 0,
+                };
+                nodes as usize
+            ],
+            dirs: vec![Dir { tbes_in_use: 0 }; nodes as usize],
+            outbox: VecDeque::new(),
+            txns_completed: 0,
+            consumption_refusals: 0,
+        }
+    }
+
+    /// Exponential think time with the profile's mean.
+    fn think(&mut self) -> Cycle {
+        let u: f64 = self.rng.gen_range(1e-9..1.0);
+        (-self.profile.think_time * u.ln()).ceil() as Cycle
+    }
+
+    /// Picks a home directory, skewed toward the hot set; never the
+    /// requestor itself (self-homed lines are serviced without the network).
+    fn pick_home(&mut self, requestor: NodeId) -> NodeId {
+        let h = if self.rng.gen_bool(self.profile.home_skew) {
+            NodeId(self.rng.gen_range(0..self.pcfg.hot_homes.min(self.nodes as usize)) as u16)
+        } else {
+            NodeId(self.rng.gen_range(0..self.nodes))
+        };
+        if h == requestor {
+            NodeId((h.0 + 1) % self.nodes)
+        } else {
+            h
+        }
+    }
+
+    /// A random node other than `not`.
+    fn pick_other(&mut self, not: NodeId) -> NodeId {
+        let mut d = self.rng.gen_range(0..self.nodes - 1);
+        if d >= not.0 {
+            d += 1;
+        }
+        NodeId(d)
+    }
+
+    fn queue_msg(&mut self, from: NodeId, to: NodeId, class: MessageClass, len: u8, msg: Msg) {
+        self.outbox.push_back((from, to, class, len, msg));
+    }
+
+    /// Directory-side handling once a Request/WbData is *accepted* (TBE held).
+    fn dir_accept_request(&mut self, txn_id: u64) {
+        let txn = self.txns[&txn_id];
+        let home = txn.home;
+        if self.rng.gen_bool(self.profile.fwd_prob) {
+            // 3-hop: forward to the owner, who sends data + transfer ack.
+            let owner = self.pick_other(txn.requestor);
+            self.queue_msg(home, owner, FWD, 1, Msg::Forward { txn: txn_id });
+        } else {
+            // 2-hop: memory/dir responds with data, plus invalidations on
+            // shared writes.
+            let mut acks = 0;
+            if txn.is_write && self.rng.gen_bool(self.profile.inv_prob) {
+                let sharers = 1 + (self.rng.gen_range(0.0..2.0 * self.profile.sharers) as u32);
+                for _ in 0..sharers {
+                    let s = self.pick_other(txn.requestor);
+                    self.queue_msg(home, s, FWD, 1, Msg::Invalidate { txn: txn_id });
+                    acks += 1;
+                }
+            }
+            self.txns.get_mut(&txn_id).unwrap().acks_needed = acks;
+            self.queue_msg(home, txn.requestor, DATA, 5, Msg::Data { txn: txn_id });
+        }
+    }
+
+    /// Requestor-side completion check: data plus all invalidation acks.
+    fn maybe_complete(&mut self, txn_id: u64) {
+        let Some(txn) = self.txns.get(&txn_id).copied() else {
+            return;
+        };
+        if !txn.got_data || txn.acks_got < txn.acks_needed {
+            return;
+        }
+        self.txns.remove(&txn_id);
+        // Unblock frees the directory TBE on arrival.
+        self.queue_msg(
+            txn.requestor,
+            txn.home,
+            UNBLOCK,
+            1,
+            Msg::Unblock { _txn: txn_id },
+        );
+        let c = &mut self.cores[txn.requestor.idx()];
+        c.mshrs_in_use -= 1;
+        c.completed += 1;
+        self.txns_completed += 1;
+        // Occasional writeback of the displaced line.
+        if self.rng.gen_bool(self.pcfg.wb_prob) {
+            let home = self.pick_other(txn.requestor);
+            self.queue_msg(txn.requestor, home, WB, 5, Msg::WbData);
+        }
+    }
+}
+
+impl Workload for ProtocolWorkload {
+    fn generate(&mut self, cycle: Cycle, inject: &mut dyn FnMut(NodeId, Packet)) {
+        // Drain follow-up messages first (loopback-safe: same-node messages
+        // are handled synchronously below).
+        let measured = cycle >= self.warmup;
+        while let Some((from, to, class, len, msg)) = self.outbox.pop_front() {
+            if from == to {
+                // Local delivery: the protocol action happens without the
+                // network next cycle; model as an immediate self-handled
+                // message by re-dispatching through deliver-like logic.
+                // (Home selection avoids this path; owners may collide.)
+                let fake = DeliveredPacket {
+                    id: noc_types::PacketId(u64::MAX),
+                    src: from,
+                    dest: to,
+                    class,
+                    len_flits: len,
+                    birth: cycle,
+                    inject: cycle,
+                    eject: cycle,
+                    hops: 0,
+                    ff_upgrade: None,
+                    measured: false,
+                };
+                self.meta.insert(fake.id, msg);
+                if !self.deliver(cycle, &fake) {
+                    // Local back-pressure (TBEs full): retry next cycle.
+                    self.meta.remove(&fake.id);
+                    self.outbox.push_back((from, to, class, len, msg));
+                    break;
+                }
+                continue;
+            }
+            let pkt = self.factory.make(from, to, class, len, cycle, measured);
+            self.meta.insert(pkt.id, msg);
+            inject(from, pkt);
+        }
+        // Issue new requests.
+        for i in 0..self.nodes as usize {
+            let issue = {
+                let c = &self.cores[i];
+                let done = self
+                    .pcfg
+                    .txns_per_core
+                    .is_some_and(|t| c.completed + (c.mshrs_in_use as u64) >= t);
+                c.mshrs_in_use < self.pcfg.mshrs && cycle >= c.next_issue_at && !done
+            };
+            if !issue {
+                continue;
+            }
+            let requestor = NodeId(i as u16);
+            let home = self.pick_home(requestor);
+            debug_assert_ne!(home, requestor);
+            let is_write = !self.rng.gen_bool(self.profile.read_frac);
+            let txn_id = self.next_txn;
+            self.next_txn += 1;
+            self.txns.insert(
+                txn_id,
+                Txn {
+                    requestor,
+                    home,
+                    is_write,
+                    acks_needed: 0,
+                    acks_got: 0,
+                    got_data: false,
+                },
+            );
+            self.cores[i].mshrs_in_use += 1;
+            let gap = self.think();
+            self.cores[i].next_issue_at = cycle + gap;
+            let pkt = self.factory.make(requestor, home, REQ, 1, cycle, measured);
+            self.meta.insert(pkt.id, Msg::Request { txn: txn_id });
+            inject(requestor, pkt);
+        }
+    }
+
+    fn deliver(&mut self, _cycle: Cycle, p: &DeliveredPacket) -> bool {
+        let Some(&msg) = self.meta.get(&p.id) else {
+            debug_assert!(false, "unknown packet delivered");
+            return true;
+        };
+        match msg {
+            Msg::Request { txn } => {
+                // Non-terminating: needs a directory TBE.
+                let dir = &mut self.dirs[p.dest.idx()];
+                if dir.tbes_in_use >= self.pcfg.tbes {
+                    self.consumption_refusals += 1;
+                    return false;
+                }
+                dir.tbes_in_use += 1;
+                self.meta.remove(&p.id);
+                self.dir_accept_request(txn);
+                true
+            }
+            Msg::Forward { txn } => {
+                self.meta.remove(&p.id);
+                // Owner answers immediately: data to requestor, transfer
+                // notice to the directory.
+                if let Some(t) = self.txns.get(&txn).copied() {
+                    let owner = p.dest;
+                    self.queue_msg(owner, t.requestor, DATA, 5, Msg::Data { txn });
+                    self.queue_msg(owner, t.home, ACK, 1, Msg::TransferAck { txn });
+                }
+                true
+            }
+            Msg::Invalidate { txn } => {
+                self.meta.remove(&p.id);
+                if let Some(t) = self.txns.get(&txn).copied() {
+                    self.queue_msg(p.dest, t.requestor, ACK, 1, Msg::InvAck { txn });
+                }
+                true
+            }
+            Msg::Data { txn } => {
+                self.meta.remove(&p.id);
+                if let Some(t) = self.txns.get_mut(&txn) {
+                    t.got_data = true;
+                }
+                self.maybe_complete(txn);
+                true
+            }
+            Msg::InvAck { txn } => {
+                self.meta.remove(&p.id);
+                if let Some(t) = self.txns.get_mut(&txn) {
+                    t.acks_got += 1;
+                }
+                self.maybe_complete(txn);
+                true
+            }
+            Msg::TransferAck { txn } => {
+                self.meta.remove(&p.id);
+                // Ownership recorded; TBE stays until the unblock arrives.
+                let _ = txn;
+                true
+            }
+            Msg::Unblock { .. } => {
+                self.meta.remove(&p.id);
+                let dir = &mut self.dirs[p.dest.idx()];
+                debug_assert!(dir.tbes_in_use > 0);
+                dir.tbes_in_use = dir.tbes_in_use.saturating_sub(1);
+                true
+            }
+            Msg::WbData => {
+                // Non-terminating: needs a TBE, then acks immediately.
+                let dir = &mut self.dirs[p.dest.idx()];
+                if dir.tbes_in_use >= self.pcfg.tbes {
+                    self.consumption_refusals += 1;
+                    return false;
+                }
+                self.meta.remove(&p.id);
+                // WB is serviced without holding the TBE across the network
+                // round trip: ack straight back.
+                self.queue_msg(p.dest, p.src, ACK, 1, Msg::WbAck);
+                true
+            }
+            Msg::WbAck => {
+                self.meta.remove(&p.id);
+                true
+            }
+        }
+    }
+
+    fn finished(&self) -> Option<bool> {
+        let target = self.pcfg.txns_per_core?;
+        Some(self.cores.iter().all(|c| c.completed >= target))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_traffic::apps;
+
+    fn workload(think: f64) -> ProtocolWorkload {
+        let mut prof = *apps::by_name("canneal").unwrap();
+        prof.think_time = think;
+        ProtocolWorkload::new(prof, ProtocolConfig::default(), 16, 0, 7)
+    }
+
+    #[test]
+    fn requests_are_issued_with_mshr_limit() {
+        let mut w = workload(1.0);
+        let mut injected = Vec::new();
+        w.generate(0, &mut |n, p| injected.push((n, p)));
+        // Every core issues exactly one request initially (think gates the
+        // next one).
+        assert_eq!(injected.len(), 16);
+        assert!(injected.iter().all(|(_, p)| p.class == REQ && p.len_flits == 1));
+        assert!(injected.iter().all(|(n, p)| *n == p.src && p.src != p.dest));
+    }
+
+    #[test]
+    fn request_consumption_is_gated_on_tbes() {
+        let mut w = workload(1.0);
+        let mut injected = Vec::new();
+        w.generate(0, &mut |n, p| injected.push((n, p)));
+        // Fill the destination dir's TBEs.
+        let victim = injected[0].1;
+        w.dirs[victim.dest.idx()].tbes_in_use = w.pcfg.tbes;
+        let d = DeliveredPacket {
+            id: victim.id,
+            src: victim.src,
+            dest: victim.dest,
+            class: victim.class,
+            len_flits: 1,
+            birth: 0,
+            inject: 1,
+            eject: 9,
+            hops: 2,
+            ff_upgrade: None,
+            measured: true,
+        };
+        assert!(!w.deliver(9, &d), "request must be refused when TBEs full");
+        assert_eq!(w.consumption_refusals, 1);
+        w.dirs[victim.dest.idx()].tbes_in_use = 0;
+        assert!(w.deliver(9, &d));
+    }
+
+    #[test]
+    fn full_transaction_round_trip_completes() {
+        // Drive the workload through a fake zero-latency network: every
+        // injected packet is delivered next cycle.
+        let mut w = workload(1e6); // one request per core, think ~forever
+        let mut inflight: Vec<Packet> = Vec::new();
+        let mut cycle = 0;
+        for _ in 0..64 {
+            let mut newly = Vec::new();
+            w.generate(cycle, &mut |_, p| newly.push(p));
+            inflight.extend(newly);
+            let batch: Vec<Packet> = std::mem::take(&mut inflight);
+            for p in batch {
+                let d = DeliveredPacket {
+                    id: p.id,
+                    src: p.src,
+                    dest: p.dest,
+                    class: p.class,
+                    len_flits: p.len_flits,
+                    birth: p.birth,
+                    inject: p.birth,
+                    eject: cycle + 1,
+                    hops: 1,
+                    ff_upgrade: None,
+                    measured: true,
+                };
+                let ok = w.deliver(cycle + 1, &d);
+                assert!(ok, "zero-contention delivery must be consumable");
+            }
+            cycle += 1;
+        }
+        assert!(w.txns_completed >= 16, "txns completed: {}", w.txns_completed);
+        // All TBEs and MSHRs returned.
+        assert!(w.dirs.iter().all(|d| d.tbes_in_use == 0));
+        assert!(w.cores.iter().all(|c| c.mshrs_in_use <= 1));
+    }
+
+    #[test]
+    fn finished_tracks_target_transactions() {
+        let mut prof = *apps::by_name("fft").unwrap();
+        prof.think_time = 1.0;
+        let mut pcfg = ProtocolConfig::default();
+        pcfg.txns_per_core = Some(1);
+        let w = ProtocolWorkload::new(prof, pcfg, 4, 0, 1);
+        assert_eq!(w.finished(), Some(false));
+    }
+
+    #[test]
+    fn home_is_never_the_requestor() {
+        let mut w = workload(1.0);
+        for i in 0..16u16 {
+            for _ in 0..200 {
+                let h = w.pick_home(NodeId(i));
+                assert_ne!(h, NodeId(i));
+                assert!(h.0 < 16);
+            }
+        }
+    }
+}

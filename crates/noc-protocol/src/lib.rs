@@ -1,0 +1,23 @@
+//! A MOESI-flavoured directory-coherence substrate.
+//!
+//! The paper's application experiments run PARSEC/SPLASH-2 on gem5's Ruby
+//! MOESI-hammer protocol with six message classes. This crate reproduces
+//! what the *network* sees: closed-loop transactions whose messages form
+//! dependency chains across six classes, finite MSHRs/TBEs that create real
+//! back-pressure (and protocol-deadlock exposure when all classes share one
+//! VNet), mixed 1-/5-flit packets, and directory-home hotspots.
+//!
+//! Message classes (→ VNets on the 6-VNet baselines):
+//!
+//! | class | message | flits | terminating? |
+//! |-------|---------|-------|--------------|
+//! | 0 | Request (GetS/GetX)   | 1 | no — needs a free directory TBE |
+//! | 1 | Forward / Invalidate  | 1 | yes (cores answer immediately) |
+//! | 2 | Data response         | 5 | yes (MSHR reserved at request) |
+//! | 3 | Ack (InvAck / WB-Ack / transfer notice) | 1 | yes |
+//! | 4 | Writeback data        | 5 | no — needs a free directory TBE |
+//! | 5 | Unblock / completion  | 1 | yes (frees the TBE) |
+
+pub mod engine;
+
+pub use engine::{ProtocolConfig, ProtocolWorkload};

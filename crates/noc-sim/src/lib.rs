@@ -1,0 +1,34 @@
+//! # noc-sim — a cycle-accurate 2D-mesh NoC simulator
+//!
+//! The substrate of the SEEC reproduction: a Garnet2.0-class network model
+//! built from scratch. VC routers with credit flow control, virtual
+//! cut-through buffering (single packet per VC), per-VNet virtual channels,
+//! 1-cycle routers and 1-cycle links, NICs with per-message-class ejection
+//! VCs, minimal routing algorithms (XY, west-first, oblivious/adaptive random,
+//! Duato escape-VC), and a mechanism SPI through which the SEEC and baseline
+//! deadlock-freedom schemes plug into the cycle loop.
+//!
+//! Entry point: [`network::Sim`]. A simulation is
+//! `Sim::new(config, workload, mechanism)` followed by [`network::Sim::run`].
+
+pub mod mechanism;
+pub mod network;
+pub mod nic;
+pub mod reorder;
+pub mod reservation;
+pub mod router;
+pub mod routing;
+pub mod stats;
+pub mod vc;
+pub mod watchdog;
+pub mod workload;
+
+pub use mechanism::{Mechanism, NoMechanism};
+pub use network::{Network, NocModel, Sim, HOP_LATENCY, LOCAL_LATENCY};
+pub use nic::{EjReserve, EjVc, Nic};
+pub use reorder::ReorderBuffer;
+pub use reservation::ReservationTable;
+pub use router::{DownFree, Router};
+pub use stats::{DeliveredPacket, Stats};
+pub use vc::{VcRoute, VirtualChannel};
+pub use workload::{IdleWorkload, PacketFactory, Workload};

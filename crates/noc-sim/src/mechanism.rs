@@ -1,0 +1,39 @@
+//! The mechanism SPI: how deadlock-freedom / flow-control schemes plug into
+//! the simulation loop.
+//!
+//! A mechanism runs twice per cycle around the routers' compute phase. It may
+//! mutate the network freely through the public fields and the forced-move
+//! helpers on [`crate::network::Network`]: drain packets out of VCs, install
+//! them elsewhere, reserve ejection VCs and link slots, and feed statistics.
+
+use crate::network::Network;
+use noc_types::SchemeKind;
+
+/// A deadlock-freedom / flow-control scheme.
+pub trait Mechanism {
+    /// Which scheme this is (for labelling and the area/energy models).
+    fn kind(&self) -> SchemeKind;
+
+    /// Runs after flit arrivals and traffic generation, before routers
+    /// compute. Seeker movement, FF flit movement, probes and forced moves
+    /// happen here; switch allocation this cycle observes the effects.
+    fn pre_cycle(&mut self, net: &mut Network) {
+        let _ = net;
+    }
+
+    /// Runs after routers, injection and consumption.
+    fn post_cycle(&mut self, net: &mut Network) {
+        let _ = net;
+    }
+}
+
+/// The null mechanism: a plain VC router network. Deadlock-free only if the
+/// routing algorithm is.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoMechanism;
+
+impl Mechanism for NoMechanism {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::None
+    }
+}

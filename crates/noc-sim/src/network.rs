@@ -1,0 +1,888 @@
+//! The cycle-driven network engine.
+//!
+//! Each cycle proceeds in fixed phases (see [`Sim::step`]):
+//!
+//! 1. **deliver** — flits whose link traversal completes this cycle enter
+//!    input VCs / NIC ejection VCs.
+//! 2. **generate** — the workload pushes new packets into NIC queues.
+//! 3. **mechanism pre** — seekers, FF flits, probes, forced moves.
+//! 4. **credit snapshot** — every router's view of downstream VC
+//!    availability is refreshed.
+//! 5. **router compute** — combined RC/VA/SA (1-cycle router), winners move.
+//! 6. **injection** — NICs stream flits into their router's local port.
+//! 7. **consume** — complete packets in ejection VCs are offered to the
+//!    workload.
+//! 8. **mechanism post**.
+//!
+//! All inter-router communication travels through timestamped inboxes, so
+//! router evaluation order never matters and runs are bit-reproducible for a
+//! given seed.
+
+use crate::mechanism::Mechanism;
+use crate::nic::{InjProgress, Nic};
+use crate::reservation::ReservationTable;
+use crate::router::{
+    route_compute, try_alloc, try_alloc_ejection, DownFree, Move, Router,
+};
+use crate::stats::Stats;
+use crate::vc::VcRoute;
+use crate::workload::Workload;
+use noc_types::{
+    Cycle, Direction, Flit, NetConfig, NodeId, PortId, NUM_PORTS,
+};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Extra cycles a flit spends per router-to-router hop at the default
+/// 1-cycle router: 1 cycle in the pipeline plus 1 on the link. Deeper
+/// routers (`NetConfig::router_latency > 1`) add to this — see
+/// [`Network::hop_latency`].
+pub const HOP_LATENCY: Cycle = 2;
+/// Latency of the NIC↔router links (injection and ejection).
+pub const LOCAL_LATENCY: Cycle = 1;
+
+/// The simulated network: routers, NICs, in-flight flits, reservations and
+/// statistics. Fields are public — they form the SPI that mechanisms
+/// (`seec`, `noc-baselines`) program against.
+pub struct Network {
+    pub cfg: NetConfig,
+    pub cycle: Cycle,
+    pub routers: Vec<Router>,
+    pub nics: Vec<Nic>,
+    /// Per-router credit snapshot, refreshed each cycle before SA.
+    pub downfree: Vec<DownFree>,
+    /// Flits in flight toward router input ports: `(arrival, port, flit)`.
+    pub inbox_router: Vec<Vec<(Cycle, PortId, Flit)>>,
+    /// Flits in flight toward NIC ejection VCs: `(arrival, ej_vc, flit)`.
+    pub inbox_nic: Vec<Vec<(Cycle, usize, Flit)>>,
+    /// Space-time link reservations made by Free-Flow traversals.
+    pub reservations: ReservationTable,
+    pub stats: Stats,
+    pub rng: SmallRng,
+    /// Last cycle any flit moved anywhere (watchdog input).
+    pub last_progress: Cycle,
+    /// Scratch for SA winners, reused across cycles.
+    moves: Vec<Move>,
+}
+
+impl Network {
+    pub fn new(cfg: NetConfig) -> Network {
+        let n = cfg.num_nodes();
+        assert!(n >= 2, "a network needs at least two nodes");
+        let routers = (0..n).map(|i| Router::new(NodeId(i as u16), &cfg)).collect();
+        let nics = (0..n).map(|i| Nic::new(NodeId(i as u16), &cfg)).collect();
+        let mut downfree = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut d = DownFree::default();
+            for p in 0..NUM_PORTS {
+                let len = if p == Direction::Local.index() {
+                    cfg.classes as usize * cfg.ejection_vcs_per_class as usize
+                } else {
+                    cfg.vcs_per_port()
+                };
+                d.free[p] = vec![false; len];
+                d.slots[p] = vec![cfg.vc_depth; len];
+            }
+            downfree.push(d);
+        }
+        let rng = SmallRng::seed_from_u64(cfg.seed);
+        Network {
+            cycle: 0,
+            routers,
+            nics,
+            downfree,
+            inbox_router: vec![Vec::new(); n],
+            inbox_nic: vec![Vec::new(); n],
+            reservations: ReservationTable::with_nodes(n),
+            stats: Stats::default(),
+            rng,
+            last_progress: 0,
+            moves: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// The neighbour of `node` in direction `d`, if on the mesh.
+    pub fn neighbor(&self, node: NodeId, d: Direction) -> Option<NodeId> {
+        self.routers[node.idx()].outputs[d.index()].neighbor
+    }
+
+    /// Cycles between a flit winning switch allocation and becoming
+    /// SA-eligible at the next router: the link plus the downstream router's
+    /// pipeline.
+    pub fn hop_latency(&self) -> Cycle {
+        1 + self.cfg.router_latency as Cycle
+    }
+
+    /// Phase 1: deliver due flits into router VCs and NIC ejection VCs.
+    fn deliver_arrivals(&mut self) {
+        let now = self.cycle;
+        let Network {
+            routers,
+            nics,
+            inbox_router,
+            inbox_nic,
+            stats,
+            last_progress,
+            ..
+        } = self;
+        // Claims on router-to-router VCs are released only when the tail flit
+        // *arrives* (clearing at send would open a window where the VC looks
+        // free while flits are still on the link); every arrival also returns
+        // its wormhole flit credit (decrements the upstream in-flight count).
+        let mut arrivals: Vec<(usize, PortId, usize, bool)> = Vec::new();
+        for (i, inbox) in inbox_router.iter_mut().enumerate() {
+            let mut k = 0;
+            while k < inbox.len() {
+                if inbox[k].0 <= now {
+                    let (_, port, flit) = inbox.swap_remove(k);
+                    let vcid = flit_target_vc(&routers[i], port, &flit);
+                    routers[i].inputs[port].vcs[vcid].push(flit);
+                    stats.buffer_writes += 1;
+                    *last_progress = now;
+                    arrivals.push((i, port, vcid, flit.kind.is_tail()));
+                } else {
+                    k += 1;
+                }
+            }
+        }
+        for (i, port, vcid, is_tail) in arrivals {
+            if port == Direction::Local.index() {
+                // Injection link: the NIC's claim clears when the tail lands
+                // (clearing at send reopens the in-flight window once the
+                // router pipeline is deeper than one cycle).
+                if is_tail {
+                    nics[i].local_claims[vcid] = None;
+                }
+                continue;
+            }
+            // The flit arrived *from* direction `port`, so the upstream
+            // router is the neighbour in that direction, and its output port
+            // toward us is the opposite one.
+            let dir = Direction::from_index(port);
+            if let Some(up) = routers[i].outputs[dir.index()].neighbor {
+                let out = &mut routers[up.idx()].outputs[dir.opposite().index()];
+                out.inflight[vcid] = out.inflight[vcid].saturating_sub(1);
+                if is_tail {
+                    out.vc_claimed[vcid] = None;
+                }
+            }
+        }
+        for (i, inbox) in inbox_nic.iter_mut().enumerate() {
+            let mut k = 0;
+            while k < inbox.len() {
+                if inbox[k].0 <= now {
+                    let (_, ej, flit) = inbox.swap_remove(k);
+                    nics[i].receive(ej, flit);
+                    *last_progress = now;
+                } else {
+                    k += 1;
+                }
+            }
+        }
+    }
+
+    /// Phase 4: refresh every router's downstream-availability snapshot.
+    fn refresh_downfree(&mut self) {
+        let Network {
+            routers,
+            nics,
+            downfree,
+            ..
+        } = self;
+        let wormhole = self.cfg.buffer_org == noc_types::BufferOrg::Wormhole;
+        let depth = self.cfg.vc_depth;
+        for (i, d) in downfree.iter_mut().enumerate() {
+            let r = &routers[i];
+            for dir in Direction::CARDINAL {
+                let p = dir.index();
+                match r.outputs[p].neighbor {
+                    Some(nb) => {
+                        let their_in = dir.opposite().index();
+                        let down = &routers[nb.idx()].inputs[their_in];
+                        for (v, slot) in d.free[p].iter_mut().enumerate() {
+                            *slot = down.vcs[v].is_free() && r.outputs[p].vc_claimed[v].is_none();
+                        }
+                        if wormhole {
+                            for (v, slot) in d.slots[p].iter_mut().enumerate() {
+                                let used = down.vcs[v].buf.len() as u8 + r.outputs[p].inflight[v];
+                                *slot = depth.saturating_sub(used);
+                            }
+                        }
+                    }
+                    None => d.free[p].iter_mut().for_each(|s| *s = false),
+                }
+            }
+            let lp = Direction::Local.index();
+            let nic = &nics[i];
+            for (v, slot) in d.free[lp].iter_mut().enumerate() {
+                *slot = nic.ejection[v].is_free() && r.outputs[lp].vc_claimed[v].is_none();
+            }
+        }
+    }
+
+    /// Phase 5: per-router combined RC/VA/SA and switch traversal.
+    fn compute_routers(&mut self) {
+        let now = self.cycle;
+        let Network {
+            cfg,
+            routers,
+            downfree,
+            inbox_router,
+            inbox_nic,
+            reservations,
+            stats,
+            rng,
+            last_progress,
+            moves,
+            ..
+        } = self;
+
+        for i in 0..routers.len() {
+            moves.clear();
+            decide_router(i, &mut routers[i], &downfree[i], cfg, reservations, rng, now, moves);
+            let r = &mut routers[i];
+            for m in moves.iter() {
+                let vc = &mut r.inputs[m.in_port].vcs[m.in_vc];
+                if let Some((out_vc, escape)) = m.alloc {
+                    vc.route = Some(VcRoute {
+                        out_port: m.out_port,
+                        out_vc,
+                        escape,
+                    });
+                    let pkt = vc.front().expect("allocating empty VC").packet;
+                    r.outputs[m.out_port].vc_claimed[out_vc] = Some(pkt);
+                }
+                let route = vc.route.expect("moving flit without route");
+                let (mut flit, _freed) = vc.pop_front_sent();
+                flit.escape = route.escape;
+                flit.vc = route.out_vc as u8;
+                stats.buffer_reads += 1;
+                // Ejection claims clear at send (the NIC link delivers before
+                // the next credit snapshot); router-to-router claims clear at
+                // tail *delivery* in `deliver_arrivals`.
+                if flit.kind.is_tail() && m.out_port == Direction::Local.index() {
+                    r.outputs[route.out_port].vc_claimed[route.out_vc] = None;
+                }
+                if m.out_port == Direction::Local.index() {
+                    inbox_nic[i].push((now + LOCAL_LATENCY, route.out_vc, flit));
+                } else {
+                    flit.hops += 1;
+                    stats.count_link_hop_at(now, r.id, route.out_port);
+                    r.outputs[route.out_port].inflight[route.out_vc] += 1;
+                    let nb = r.outputs[route.out_port].neighbor.expect("move off-mesh");
+                    let their_in = Direction::from_index(m.out_port).opposite().index();
+                    let hop = 1 + cfg.router_latency as Cycle;
+                    inbox_router[nb.idx()].push((now + hop, their_in, flit));
+                }
+                *last_progress = now;
+            }
+            // Mark heads that did not move this cycle (SPIN / watchdog input).
+            for port in r.inputs.iter_mut() {
+                for vc in port.vcs.iter_mut() {
+                    if vc.front().is_some() && vc.head_wait_since.is_none() {
+                        vc.head_wait_since = Some(now);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Phase 6: NICs stream packet flits into their router's local port.
+    fn compute_injection(&mut self) {
+        let now = self.cycle;
+        let Network {
+            cfg,
+            routers,
+            nics,
+            inbox_router,
+            stats,
+            last_progress,
+            ..
+        } = self;
+        let lp = Direction::Local.index();
+        for (i, nic) in nics.iter_mut().enumerate() {
+            if nic.inj_active.is_none() {
+                // Pick the next packet: round-robin over classes, allocate a
+                // free local-input VC in the packet's VNet.
+                let classes = nic.inj_queues.len();
+                'pick: for k in 0..classes {
+                    let cls = (nic.inj_rr + k) % classes;
+                    let Some(&pkt) = nic.inj_queues[cls].front() else {
+                        continue;
+                    };
+                    let vnet = cfg.vnet_of(pkt.class);
+                    let range = cfg.vc_range(vnet);
+                    let esc = cfg.escape_vc(vnet).map(|e| range.start + e);
+                    // Normal VCs first, escape as fallback.
+                    let pick = range
+                        .clone()
+                        .filter(|&v| Some(v) != esc)
+                        .chain(esc)
+                        .find(|&v| {
+                            routers[i].inputs[lp].vcs[v].is_free()
+                                && nic.local_claims[v].is_none()
+                        });
+                    if let Some(v) = pick {
+                        nic.inj_queues[cls].pop_front();
+                        nic.local_claims[v] = Some(pkt.id);
+                        nic.inj_rr = (cls + 1) % classes;
+                        nic.inj_active = Some(InjProgress {
+                            packet: pkt,
+                            next_seq: 0,
+                            vc: v,
+                            inject: now,
+                        });
+                        break 'pick;
+                    }
+                }
+            }
+            if let Some(prog) = &mut nic.inj_active {
+                let mut flit = Flit::from_packet(&prog.packet, prog.next_seq, prog.inject);
+                let vnet = cfg.vnet_of(prog.packet.class);
+                let range = cfg.vc_range(vnet);
+                flit.escape = cfg.escape_vc(vnet).map(|e| range.start + e) == Some(prog.vc);
+                flit.vc = prog.vc as u8;
+                // Direct flits to the VC the NIC allocated: record it so the
+                // delivery phase can place them (head marks the VC resident;
+                // bodies follow the resident packet).
+                inbox_router[i].push((now + cfg.router_latency as Cycle, lp, flit));
+                stats.record_injected_flit(&flit);
+                *last_progress = now;
+                prog.next_seq += 1;
+                if prog.next_seq == prog.packet.len_flits {
+                    // The claim on the local input VC clears when the tail
+                    // *arrives* (see deliver_arrivals), not here.
+                    nic.inj_active = None;
+                }
+            }
+        }
+    }
+
+    /// Phase 7: offer complete ejected packets to the workload.
+    fn consume(&mut self, workload: &mut dyn Workload) {
+        let now = self.cycle;
+        for i in 0..self.nics.len() {
+            for ej in 0..self.nics[i].ejection.len() {
+                if self.nics[i].ejection[ej].complete_packet() {
+                    let d = self.nics[i].consume_peek(ej, now);
+                    if workload.deliver(now, &d) {
+                        self.nics[i].consume_commit(ej);
+                        self.stats.record_delivery(&d);
+                        self.last_progress = now;
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Forced-move helpers (SPI for SEEC, SPIN, SWAP, DRAIN).
+    // ------------------------------------------------------------------
+
+    /// True when a packet could be installed into `(node, port, vc)`: the VC
+    /// is empty and its upstream (router or NIC) holds no claim on it.
+    pub fn vc_installable(&self, node: NodeId, port: PortId, vc: usize) -> bool {
+        let r = &self.routers[node.idx()];
+        if !r.inputs[port].vcs[vc].is_free() {
+            return false;
+        }
+        self.upstream_claim(node, port, vc).is_none()
+    }
+
+    /// The upstream claim (if any) on input VC `(node, port, vc)`.
+    pub fn upstream_claim(&self, node: NodeId, port: PortId, vc: usize) -> Option<noc_types::PacketId> {
+        if port == Direction::Local.index() {
+            return self.nics[node.idx()].local_claims[vc];
+        }
+        let dir = Direction::from_index(port);
+        match self.neighbor(node, dir) {
+            Some(nb) => {
+                self.routers[nb.idx()].outputs[dir.opposite().index()].vc_claimed[vc]
+            }
+            None => None,
+        }
+    }
+
+    /// Drains the fully-buffered packet out of `(node, port, vc)`, freeing
+    /// the VC. Panics if the packet is still streaming or has begun moving.
+    pub fn drain_packet(&mut self, node: NodeId, port: PortId, vc: usize) -> Vec<Flit> {
+        let v = &mut self.routers[node.idx()].inputs[port].vcs[vc];
+        assert!(v.route.is_none(), "draining a packet that began moving");
+        v.drain_packet()
+    }
+
+    /// Installs a fully-buffered packet into a free, unclaimed VC.
+    pub fn install_packet(&mut self, node: NodeId, port: PortId, vc: usize, flits: Vec<Flit>) {
+        assert!(
+            self.vc_installable(node, port, vc),
+            "installing into unavailable VC"
+        );
+        self.routers[node.idx()].inputs[port].vcs[vc].install_packet(flits);
+        self.last_progress = self.cycle;
+    }
+
+    /// Flits currently buffered in routers plus flits in flight (watchdog /
+    /// invariants; excludes NIC queues and ejection VCs).
+    pub fn flits_in_network(&self) -> usize {
+        let buffered: usize = self.routers.iter().map(Router::buffered_flits).sum();
+        let flying: usize = self.inbox_router.iter().map(Vec::len).sum();
+        buffered + flying
+    }
+
+    /// Cycles since anything moved.
+    pub fn quiescent_for(&self) -> u64 {
+        self.cycle.saturating_sub(self.last_progress)
+    }
+}
+
+/// Which VC an arriving flit belongs to: the VC id written into the flit
+/// header by the sender (exactly what a real head flit carries on the wire).
+fn flit_target_vc(router: &Router, port: PortId, flit: &Flit) -> usize {
+    let v = flit.vc as usize;
+    debug_assert!(
+        flit.kind.is_head() || router.inputs[port].vcs[v].resident == Some(flit.packet),
+        "body flit arrived at a VC not holding its packet"
+    );
+    v
+}
+
+/// One router's combined route-compute / VC-allocation / switch-allocation
+/// decision for this cycle (1-cycle router pipeline).
+///
+/// Stage 1 nominates at most one VC per input port (round-robin over VCs):
+/// a VC is eligible when its front flit can actually move this cycle — its
+/// route is allocated, or it is a head for which a downstream VC (or ejection
+/// VC) can be allocated right now — and the target output link is not
+/// reserved for a Free-Flow traversal. Stage 2 arbitrates each output port
+/// among nominating inputs (round-robin over ports).
+#[allow(clippy::too_many_arguments)]
+fn decide_router(
+    node: usize,
+    r: &mut Router,
+    down: &DownFree,
+    cfg: &NetConfig,
+    reservations: &ReservationTable,
+    rng: &mut SmallRng,
+    now: Cycle,
+    moves: &mut Vec<Move>,
+) {
+    use noc_types::BaseRouting;
+
+    // Cheap per-port pre-filter: a head can only allocate through a port
+    // with at least one free downstream VC. In a saturated network this
+    // skips route computation for almost every blocked head — the dominant
+    // cost otherwise.
+    let mut port_has_free = [false; NUM_PORTS];
+    for (p, has) in port_has_free.iter_mut().enumerate() {
+        *has = down.free[p].iter().any(|&f| f);
+    }
+
+    // Stage 1: nominations — (in_vc, out_port, alloc).
+    let mut nominee: [Option<(usize, PortId, Option<(usize, bool)>)>; NUM_PORTS] =
+        [None; NUM_PORTS];
+    for p in 0..NUM_PORTS {
+        let nvcs = r.inputs[p].vcs.len();
+        for k in 0..nvcs {
+            let v = (r.sa_in_rr[p] + k) % nvcs;
+            if r.inputs[p].vcs[v].ff_capture {
+                continue; // flits here belong to an FF stream, not to SA
+            }
+            let Some(front) = r.inputs[p].vcs[v].front().copied() else {
+                continue;
+            };
+            if let Some(route) = r.inputs[p].vcs[v].route {
+                // Wormhole: body flits advance only when the downstream VC
+                // has a free slot (flit-granularity credits). The local port
+                // ejects into packet-deep NIC buffers.
+                let has_slot = cfg.buffer_org != noc_types::BufferOrg::Wormhole
+                    || route.out_port == Direction::Local.index()
+                    || down.slots[route.out_port][route.out_vc] > 0;
+                if has_slot && !reservations.is_reserved(r.id, route.out_port, now) {
+                    nominee[p] = Some((v, route.out_port, None));
+                    break;
+                }
+                continue;
+            }
+            if !front.kind.is_head() {
+                continue;
+            }
+            let here = r.coord;
+            let dest = front.dest.to_coord(cfg.cols);
+            if dest == here {
+                let lp = Direction::Local.index();
+                if !port_has_free[lp] {
+                    continue;
+                }
+                if let Some(ej) = try_alloc_ejection(&front, cfg, down) {
+                    if !reservations.is_reserved(r.id, lp, now) {
+                        nominee[p] = Some((v, lp, Some((ej, false))));
+                        break;
+                    }
+                }
+                continue;
+            }
+            // Pre-filter: every legal next hop (for any algorithm, escape
+            // included) is a productive direction; if none has a free VC,
+            // allocation is impossible this cycle.
+            if !crate::routing::productive(here, dest)
+                .as_slice()
+                .iter()
+                .any(|d| port_has_free[d.index()])
+            {
+                continue;
+            }
+            let in_escape = r.inputs[p].vcs[v].is_escape_resident;
+            let algo = if in_escape {
+                BaseRouting::WestFirst
+            } else {
+                cfg.routing.normal()
+            };
+            // Adaptive routing re-evaluates its port choice every cycle a
+            // head waits (it adapts to congestion); the other algorithms
+            // compute the route once per router visit and stick (Garnet).
+            let adaptive = matches!(algo, BaseRouting::AdaptiveMinimal | BaseRouting::WestFirst);
+            let pending = match r.inputs[p].vcs[v].pending_port {
+                Some(pp) if !adaptive => pp,
+                _ => {
+                    let vnet = cfg.vnet_of(front.class);
+                    let pp = route_compute(algo, here, dest, vnet, cfg, down, rng);
+                    r.inputs[p].vcs[v].pending_port = Some(pp);
+                    pp
+                }
+            };
+            if let Some((port, out_vc, esc)) = try_alloc(&front, in_escape, pending, here, cfg, down)
+            {
+                if !reservations.is_reserved(r.id, port, now) {
+                    nominee[p] = Some((v, port, Some((out_vc, esc))));
+                    break;
+                }
+            }
+        }
+    }
+
+    // Stage 2: output arbitration (round-robin over input ports).
+    for o in 0..NUM_PORTS {
+        let mut winner = None;
+        for k in 0..NUM_PORTS {
+            let p = (r.sa_out_rr[o] + k) % NUM_PORTS;
+            if let Some((_, port, _)) = nominee[p] {
+                if port == o {
+                    winner = Some(p);
+                    break;
+                }
+            }
+        }
+        if let Some(p) = winner {
+            let (v, _, alloc) = nominee[p].take().unwrap();
+            moves.push(Move {
+                node,
+                in_port: p,
+                in_vc: v,
+                out_port: o,
+                alloc,
+            });
+            r.sa_in_rr[p] = (v + 1) % r.inputs[p].vcs.len();
+            r.sa_out_rr[o] = (p + 1) % NUM_PORTS;
+        }
+    }
+}
+
+/// A complete simulation: network + workload + mechanism, driven cycle by
+/// cycle.
+pub struct Sim {
+    pub net: Network,
+    pub mech: Box<dyn Mechanism>,
+    pub workload: Box<dyn Workload>,
+}
+
+impl Sim {
+    pub fn new(cfg: NetConfig, workload: Box<dyn Workload>, mech: Box<dyn Mechanism>) -> Sim {
+        let mut net = Network::new(cfg);
+        net.stats.measure_start = net.cfg.warmup;
+        Sim {
+            net,
+            mech,
+            workload,
+        }
+    }
+
+    /// Advances the simulation by one cycle (all eight phases).
+    pub fn step(&mut self) {
+        let net = &mut self.net;
+        if net.cycle == net.cfg.warmup {
+            net.stats.measure_start = net.cycle;
+        }
+        net.deliver_arrivals();
+        {
+            let Network {
+                nics,
+                stats,
+                cycle,
+                ..
+            } = net;
+            self.workload.generate(*cycle, &mut |node, pkt| {
+                debug_assert_ne!(pkt.src, pkt.dest, "self-addressed packet");
+                if pkt.measured {
+                    stats.generated_packets += 1;
+                }
+                nics[node.idx()].enqueue(pkt);
+            });
+        }
+        self.mech.pre_cycle(net);
+        net.refresh_downfree();
+        net.compute_routers();
+        net.compute_injection();
+        net.consume(self.workload.as_mut());
+        self.mech.post_cycle(net);
+        let c = net.cycle;
+        net.reservations.prune(c);
+        net.cycle += 1;
+    }
+
+    /// Runs for `cycles` cycles.
+    pub fn run(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.step();
+        }
+    }
+
+    /// Runs until the workload reports completion or `max_cycles` elapse.
+    /// Returns `true` if the workload finished.
+    pub fn run_until_done(&mut self, max_cycles: u64) -> bool {
+        for _ in 0..max_cycles {
+            if self.workload.finished() == Some(true) {
+                return true;
+            }
+            self.step();
+        }
+        self.workload.finished() == Some(true)
+    }
+
+    /// Finalizes and returns the statistics.
+    pub fn finish(&mut self) -> &Stats {
+        let c = self.net.cycle;
+        self.net.stats.finish(c);
+        &self.net.stats
+    }
+}
+
+/// Uniform driver interface over network models (the VC-router [`Sim`] and
+/// the deflection networks in `noc-baselines`), used by the experiment
+/// harness.
+pub trait NocModel {
+    /// Advances one cycle.
+    fn tick(&mut self);
+    /// Current cycle.
+    fn now(&self) -> Cycle;
+    /// Statistics so far.
+    fn stats(&self) -> &Stats;
+    /// Finalizes and returns statistics.
+    fn finalize(&mut self) -> Stats;
+
+    /// Runs for `cycles` cycles.
+    fn run_for(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.tick();
+        }
+    }
+}
+
+impl NocModel for Sim {
+    fn tick(&mut self) {
+        self.step();
+    }
+
+    fn now(&self) -> Cycle {
+        self.net.cycle
+    }
+
+    fn stats(&self) -> &Stats {
+        &self.net.stats
+    }
+
+    fn finalize(&mut self) -> Stats {
+        self.finish().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::DeliveredPacket;
+    use crate::workload::IdleWorkload;
+    use noc_types::{MessageClass, NetConfig, Packet, PacketId};
+
+    fn packet(id: u64, src: u16, dest: u16, len: u8, birth: Cycle) -> Packet {
+        Packet {
+            id: PacketId(id),
+            src: NodeId(src),
+            dest: NodeId(dest),
+            class: MessageClass(0),
+            len_flits: len,
+            birth,
+            measured: true,
+        }
+    }
+
+    fn sim(cfg: NetConfig) -> Sim {
+        Sim::new(cfg, Box::new(IdleWorkload), Box::new(crate::NoMechanism))
+    }
+
+    /// A collecting workload that records deliveries.
+    struct Collect(std::rc::Rc<std::cell::RefCell<Vec<DeliveredPacket>>>);
+    impl Workload for Collect {
+        fn generate(&mut self, _c: Cycle, _i: &mut dyn FnMut(NodeId, Packet)) {}
+        fn deliver(&mut self, _c: Cycle, p: &DeliveredPacket) -> bool {
+            self.0.borrow_mut().push(*p);
+            true
+        }
+    }
+
+    #[test]
+    fn single_packet_timing_is_deterministic() {
+        // 4x4 XY: node 0 → node 3 is 3 hops east.
+        let mut cfg = NetConfig::synth(4, 2);
+        cfg.routing = noc_types::RoutingAlgo::Uniform(noc_types::BaseRouting::Xy);
+        cfg.warmup = 0;
+        let got = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let mut sim = Sim::new(
+            cfg,
+            Box::new(Collect(got.clone())),
+            Box::new(crate::NoMechanism),
+        );
+        sim.net.nics[0].enqueue(packet(1, 0, 3, 1, 0));
+        sim.run(40);
+        let got = got.borrow();
+        assert_eq!(got.len(), 1);
+        let d = got[0];
+        assert_eq!(d.hops, 3);
+        // Timing: inject at 0, +1 NIC link (at router 0 at cycle 1), three
+        // 2-cycle hops win SA at cycles 1/3/5, arrive at the edge router at
+        // 7, eject over the 1-cycle local link → consumed at 8.
+        assert_eq!(d.inject, 0);
+        assert_eq!(d.eject, 8, "timing model changed unexpectedly");
+    }
+
+    #[test]
+    fn five_flit_packet_streams_back_to_back() {
+        let mut cfg = NetConfig::synth(4, 2);
+        cfg.routing = noc_types::RoutingAlgo::Uniform(noc_types::BaseRouting::Xy);
+        cfg.warmup = 0;
+        let got = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let mut sim = Sim::new(
+            cfg,
+            Box::new(Collect(got.clone())),
+            Box::new(crate::NoMechanism),
+        );
+        sim.net.nics[0].enqueue(packet(1, 0, 1, 5, 0));
+        sim.run(40);
+        let got = got.borrow();
+        assert_eq!(got.len(), 1);
+        // One hop: the head is consumed at +4; the tail trails it by exactly
+        // 4 cycles (full pipelining, one flit per cycle) → +8.
+        assert_eq!(got[0].eject - got[0].inject, 8);
+    }
+
+    #[test]
+    fn claims_block_reallocation_until_tail_arrives() {
+        let mut s = sim(NetConfig::synth(4, 1));
+        s.net.nics[0].enqueue(packet(1, 0, 3, 5, 0));
+        s.net.nics[0].enqueue(packet(2, 0, 3, 5, 0));
+        // Run a few cycles: packet 1 allocates router 0's east VC; packet 2
+        // must not interleave into the same VC (single VC per port!).
+        for _ in 0..8 {
+            s.step();
+            // Invariant enforced by debug_assert in push(); additionally,
+            // every VC holds flits of at most one packet.
+            for r in &s.net.routers {
+                for p in &r.inputs {
+                    for vc in &p.vcs {
+                        let ids: std::collections::HashSet<u64> =
+                            vc.buf.iter().map(|f| f.packet.0).collect();
+                        assert!(ids.len() <= 1);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reservations_block_switch_allocation() {
+        let mut cfg = NetConfig::synth(4, 2);
+        cfg.routing = noc_types::RoutingAlgo::Uniform(noc_types::BaseRouting::Xy);
+        cfg.warmup = 0;
+        let mut s = sim(cfg);
+        s.net.nics[0].enqueue(packet(1, 0, 3, 1, 0));
+        // Reserve router 0's east output for a long window before the flit
+        // can use it; the packet must be delayed by roughly that window.
+        s.net
+            .reservations
+            .reserve(NodeId(0), Direction::East.index(), 0, 20);
+        let mut delivered_at = None;
+        for _ in 0..60 {
+            s.step();
+            if s.net.stats.ejected_packets > 0 && delivered_at.is_none() {
+                delivered_at = Some(s.net.cycle);
+            }
+        }
+        let t = delivered_at.expect("packet never delivered");
+        assert!(t > 20, "reservation did not delay SA: delivered at {t}");
+    }
+
+    #[test]
+    fn wormhole_credits_gate_body_flits() {
+        // Depth-1 wormhole: consecutive flits of one packet must be spaced
+        // by the credit round trip, not back-to-back.
+        let mut cfg = NetConfig::synth(4, 1).with_wormhole(1);
+        cfg.routing = noc_types::RoutingAlgo::Uniform(noc_types::BaseRouting::Xy);
+        cfg.warmup = 0;
+        let got = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let mut sim = Sim::new(
+            cfg,
+            Box::new(Collect(got.clone())),
+            Box::new(crate::NoMechanism),
+        );
+        sim.net.nics[0].enqueue(packet(1, 0, 2, 5, 0));
+        sim.run(120);
+        let got = got.borrow();
+        assert_eq!(got.len(), 1, "wormhole packet lost");
+        // With depth-1 VCs the worm serializes: strictly slower than the
+        // fully-pipelined VCT delivery of eject-inject = 2 hops + 4 flits.
+        assert!(
+            got[0].eject - got[0].inject > 12,
+            "depth-1 wormhole too fast: {}",
+            got[0].eject - got[0].inject
+        );
+    }
+
+    #[test]
+    fn injection_round_robins_across_classes() {
+        let mut cfg = NetConfig::full_system(4, 6, 1);
+        cfg.warmup = 0;
+        let mut s = sim(cfg);
+        for c in 0..6u8 {
+            let mut p = packet(c as u64, 0, 1, 1, 0);
+            p.class = MessageClass(c);
+            s.net.nics[0].enqueue(p);
+        }
+        // Six classes, one flit each, one injection per cycle → all gone
+        // within ~8 cycles and each class's queue drains exactly once.
+        s.run(10);
+        assert_eq!(s.net.nics[0].backlog(), 0);
+    }
+
+    #[test]
+    fn local_port_never_routes_off_mesh() {
+        // Saturate a corner node toward the opposite corner; no panics and
+        // no flit loss means edge ports are never selected.
+        let mut cfg = NetConfig::synth(4, 2);
+        cfg.warmup = 0;
+        let mut s = sim(cfg);
+        for i in 0..10 {
+            s.net.nics[0].enqueue(packet(i, 0, 15, 5, 0));
+        }
+        s.run(300);
+        assert_eq!(s.net.stats.ejected_packets, 10);
+    }
+}

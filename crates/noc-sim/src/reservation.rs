@@ -1,0 +1,175 @@
+//! Space-time reservation of output links for Free-Flow traversals.
+//!
+//! A Free-Flow packet moves one hop per cycle with absolute priority; the
+//! upgrade logic therefore knows, at upgrade time, exactly which directed
+//! link it will use at which cycle. Reserving those `(link, cycle)` slots and
+//! having switch allocation skip them models the paper's lookahead signal
+//! (§3.5): the lookahead arrives one cycle ahead and overrides the local
+//! switch-allocation grant.
+//!
+//! The same table guarantees mSEEC's "no two FF packets ever collide"
+//! invariant structurally: an upgrade first *probes* its whole path and is
+//! delayed if any slot is taken.
+//!
+//! Storage is a flat per-link vector of closed intervals — `is_reserved` is
+//! on the switch-allocation fast path (one call per nomination per cycle),
+//! so lookups must be an array index plus an almost-always-empty scan.
+
+use noc_types::{Cycle, NodeId, PortId, NUM_PORTS};
+
+/// Reservation table mapping directed links to reserved cycle intervals.
+///
+/// Intervals are closed `[from, to]`. The table is empty unless a mechanism
+/// that uses FF (or probe traffic) is active.
+#[derive(Clone, Debug)]
+#[derive(Default)]
+pub struct ReservationTable {
+    /// `links[node * NUM_PORTS + port]` → live intervals.
+    links: Vec<Vec<(Cycle, Cycle)>>,
+    /// Total live intervals (fast emptiness check).
+    live: usize,
+}
+
+
+impl ReservationTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-sizes the table for `num_nodes` routers (the engine does this).
+    pub fn with_nodes(num_nodes: usize) -> Self {
+        ReservationTable {
+            links: vec![Vec::new(); num_nodes * NUM_PORTS],
+            live: 0,
+        }
+    }
+
+    #[inline]
+    fn idx(node: NodeId, port: PortId) -> usize {
+        node.idx() * NUM_PORTS + port
+    }
+
+    fn slot_mut(&mut self, node: NodeId, port: PortId) -> &mut Vec<(Cycle, Cycle)> {
+        let i = Self::idx(node, port);
+        if i >= self.links.len() {
+            self.links.resize(i + 1, Vec::new());
+        }
+        &mut self.links[i]
+    }
+
+    /// True if `link` is reserved at `cycle` — switch allocation must not
+    /// send a flit onto it.
+    #[inline]
+    pub fn is_reserved(&self, node: NodeId, port: PortId, cycle: Cycle) -> bool {
+        if self.live == 0 {
+            return false;
+        }
+        match self.links.get(Self::idx(node, port)) {
+            None => false,
+            Some(iv) => iv.iter().any(|&(a, b)| a <= cycle && cycle <= b),
+        }
+    }
+
+    /// True if any cycle of `[from, to]` on `link` is already reserved.
+    pub fn conflicts(&self, node: NodeId, port: PortId, from: Cycle, to: Cycle) -> bool {
+        if self.live == 0 {
+            return false;
+        }
+        match self.links.get(Self::idx(node, port)) {
+            None => false,
+            Some(iv) => iv.iter().any(|&(a, b)| a <= to && from <= b),
+        }
+    }
+
+    /// Reserves `[from, to]` on `link`.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the interval overlaps an existing
+    /// reservation — callers must probe with [`Self::conflicts`] first; an
+    /// overlap would mean two FF packets collide, violating the paper's
+    /// core invariant.
+    pub fn reserve(&mut self, node: NodeId, port: PortId, from: Cycle, to: Cycle) {
+        debug_assert!(
+            !self.conflicts(node, port, from, to),
+            "FF link reservation collision on {node}:{port} [{from},{to}]"
+        );
+        self.slot_mut(node, port).push((from, to));
+        self.live += 1;
+    }
+
+    /// Drops every interval that ends before `cycle`. Called once per cycle
+    /// by the engine to keep the table tiny.
+    pub fn prune(&mut self, cycle: Cycle) {
+        if self.live == 0 {
+            return;
+        }
+        let mut live = 0;
+        for iv in &mut self.links {
+            iv.retain(|&(_, b)| b >= cycle);
+            live += iv.len();
+        }
+        self.live = live;
+    }
+
+    /// Total number of live intervals (diagnostics/tests).
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: NodeId = NodeId(3);
+
+    #[test]
+    fn reserve_and_query() {
+        let mut t = ReservationTable::new();
+        assert!(!t.is_reserved(N, 2, 10));
+        t.reserve(N, 2, 10, 14);
+        assert!(t.is_reserved(N, 2, 10));
+        assert!(t.is_reserved(N, 2, 14));
+        assert!(!t.is_reserved(N, 2, 15));
+        assert!(!t.is_reserved(N, 1, 12));
+        assert!(!t.is_reserved(NodeId(4), 2, 12));
+    }
+
+    #[test]
+    fn conflict_detection() {
+        let mut t = ReservationTable::new();
+        t.reserve(N, 0, 5, 9);
+        assert!(t.conflicts(N, 0, 9, 12));
+        assert!(t.conflicts(N, 0, 1, 5));
+        assert!(t.conflicts(N, 0, 6, 8));
+        assert!(!t.conflicts(N, 0, 10, 12));
+        assert!(!t.conflicts(N, 0, 0, 4));
+    }
+
+    #[test]
+    fn prune_drops_stale_intervals() {
+        let mut t = ReservationTable::new();
+        t.reserve(N, 0, 5, 9);
+        t.reserve(N, 0, 20, 24);
+        assert_eq!(t.len(), 2);
+        t.prune(10);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_reserved(N, 0, 7));
+        assert!(t.is_reserved(N, 0, 22));
+        t.prune(25);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "collision")]
+    fn overlapping_reservation_panics() {
+        let mut t = ReservationTable::new();
+        t.reserve(N, 0, 5, 9);
+        t.reserve(N, 0, 9, 11);
+    }
+}

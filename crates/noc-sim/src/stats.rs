@@ -1,0 +1,351 @@
+//! Simulation statistics.
+//!
+//! Only packets injected after warm-up are "measured" (the paper warms the
+//! simulator for 1000 cycles, §4.1). Event counters (link traversals, sideband
+//! activity) feed the energy model in `noc-power`.
+
+use noc_types::{Cycle, Flit, MessageClass, NodeId, PacketId};
+
+/// Everything known about a packet at the moment its tail flit is consumed at
+/// the destination NIC. Passed to [`crate::workload::Workload::deliver`] and
+/// folded into [`Stats`].
+#[derive(Clone, Copy, Debug)]
+pub struct DeliveredPacket {
+    pub id: PacketId,
+    pub src: NodeId,
+    pub dest: NodeId,
+    pub class: MessageClass,
+    pub len_flits: u8,
+    /// Cycle the packet entered the source NIC queue.
+    pub birth: Cycle,
+    /// Cycle the head flit entered the network.
+    pub inject: Cycle,
+    /// Cycle the tail flit was consumed at the destination.
+    pub eject: Cycle,
+    /// Link traversals of the head flit (counts misroutes).
+    pub hops: u8,
+    /// Cycle the packet was upgraded to Free Flow, if it was.
+    pub ff_upgrade: Option<Cycle>,
+    pub measured: bool,
+}
+
+impl DeliveredPacket {
+    /// Total latency: NIC queue entry to consumption.
+    pub fn total_latency(&self) -> u64 {
+        self.eject - self.birth
+    }
+
+    /// Network latency: injection to consumption.
+    pub fn network_latency(&self) -> u64 {
+        self.eject - self.inject
+    }
+
+    /// Time spent in the source NIC queue.
+    pub fn queue_latency(&self) -> u64 {
+        self.inject - self.birth
+    }
+}
+
+/// Fixed window length (cycles) for peak-activity tracking (Fig 11's "peak"
+/// link energy is the busiest window).
+pub const ACTIVITY_WINDOW: u64 = 1000;
+
+/// Aggregate statistics for one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct Stats {
+    /// Measured packets that entered NIC injection queues.
+    pub generated_packets: u64,
+    /// Measured packets fully injected into the network.
+    pub injected_packets: u64,
+    /// Measured flits injected.
+    pub injected_flits: u64,
+    /// Measured packets consumed at their destination.
+    pub ejected_packets: u64,
+    /// Measured flits consumed.
+    pub ejected_flits: u64,
+    /// *All* packets consumed after warm-up, measured or not. Past
+    /// saturation, source queues grow without bound and packets born after
+    /// warm-up may never inject; accepted throughput must therefore count
+    /// every post-warm-up delivery (as Garnet does), while latency statistics
+    /// stay restricted to measured packets.
+    pub ejected_packets_all: u64,
+    /// All flits consumed after warm-up.
+    pub ejected_flits_all: u64,
+
+    /// Sum over ejected measured packets of total latency.
+    pub sum_total_latency: u64,
+    /// Sum of network (inject→eject) latency.
+    pub sum_network_latency: u64,
+    /// Sum of NIC queueing latency.
+    pub sum_queue_latency: u64,
+    /// Largest total latency seen (Fig 15's tail metric).
+    pub max_total_latency: u64,
+    /// Sum of head-flit hop counts.
+    pub sum_hops: u64,
+
+    /// Measured packets that were upgraded to Free Flow at some point.
+    pub ff_packets: u64,
+    /// All post-warm-up deliveries that used Free Flow (basis for Fig 10a's
+    /// fraction — measured packets starve past saturation).
+    pub ff_packets_all: u64,
+    /// Of FF packets: cycles spent before the upgrade (buffered traversal).
+    pub sum_ff_buffered: u64,
+    /// Of FF packets: cycles spent after the upgrade (bufferless traversal).
+    pub sum_ff_bufferless: u64,
+    /// Of never-upgraded packets: total network latency.
+    pub sum_regular_latency: u64,
+
+    /// Data-link flit traversals (all flits, measured or not, incl. FF and
+    /// misroutes). Feeds the energy model.
+    pub link_flit_hops: u64,
+    /// Buffer writes (flit enqueued into a router VC).
+    pub buffer_writes: u64,
+    /// Buffer reads (flit dequeued from a router VC).
+    pub buffer_reads: u64,
+    /// Seeker side-band hops (16-bit link activity).
+    pub sideband_hops: u64,
+    /// Lookahead side-band hops (10-bit link activity).
+    pub lookahead_hops: u64,
+    /// SPIN probe hops on the data links.
+    pub probe_hops: u64,
+    /// Flits that traversed a token-held hop under TFC (buffer bypasses;
+    /// credited by the energy model).
+    pub tfc_bypasses: u64,
+    /// Hops that moved a packet away from (or not toward) its destination:
+    /// deflections, swaps, drains.
+    pub misroute_hops: u64,
+    /// Packets forcibly relocated by a subactive/reactive event (swap, drain,
+    /// spin) — event counter for diagnostics.
+    pub forced_moves: u64,
+    /// Deadlock-recovery events triggered (SPIN spins, timeouts fired).
+    pub recovery_events: u64,
+
+    /// Per-directed-link traversal counts, indexed `node * NUM_PORTS + port`
+    /// (filled lazily; see [`Stats::count_link_hop_at`]). Feeds utilization
+    /// heat maps and per-link hotspot analysis.
+    pub link_use: Vec<u64>,
+    /// Peak link activity in any [`ACTIVITY_WINDOW`]: data + probe hops.
+    pub peak_window_link_hops: u64,
+    window_start: Cycle,
+    window_hops: u64,
+
+    /// Cycle measurement began (end of warm-up).
+    pub measure_start: Cycle,
+    /// Cycle the run finished.
+    pub end_cycle: Cycle,
+}
+
+impl Stats {
+    /// Records a data-link flit traversal at `cycle` (also drives the peak
+    /// window tracker).
+    pub fn count_link_hop(&mut self, cycle: Cycle) {
+        self.link_flit_hops += 1;
+        self.bump_window(cycle, 1);
+    }
+
+    /// Like [`Self::count_link_hop`], additionally attributing the traversal
+    /// to a specific directed link for utilization maps.
+    pub fn count_link_hop_at(&mut self, cycle: Cycle, node: NodeId, port: usize) {
+        self.count_link_hop(cycle);
+        let i = node.idx() * noc_types::NUM_PORTS + port;
+        if i >= self.link_use.len() {
+            self.link_use.resize(i + 1, 0);
+        }
+        self.link_use[i] += 1;
+    }
+
+    /// Traversal count of the directed link leaving `node` through `port`.
+    pub fn link_use_at(&self, node: NodeId, port: usize) -> u64 {
+        self.link_use
+            .get(node.idx() * noc_types::NUM_PORTS + port)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Records a SPIN probe hop (probes ride the data links).
+    pub fn count_probe_hop(&mut self, cycle: Cycle) {
+        self.probe_hops += 1;
+        self.bump_window(cycle, 1);
+    }
+
+    fn bump_window(&mut self, cycle: Cycle, n: u64) {
+        if cycle >= self.window_start + ACTIVITY_WINDOW {
+            self.peak_window_link_hops = self.peak_window_link_hops.max(self.window_hops);
+            // Skip forward to the window containing `cycle`.
+            let w = (cycle - self.window_start) / ACTIVITY_WINDOW;
+            self.window_start += w * ACTIVITY_WINDOW;
+            self.window_hops = 0;
+        }
+        self.window_hops += n;
+    }
+
+    /// Folds a delivered packet into the aggregates.
+    pub fn record_delivery(&mut self, p: &DeliveredPacket) {
+        if p.eject >= self.measure_start {
+            self.ejected_packets_all += 1;
+            self.ejected_flits_all += p.len_flits as u64;
+            if p.ff_upgrade.is_some() {
+                self.ff_packets_all += 1;
+            }
+        }
+        if !p.measured {
+            return;
+        }
+        self.ejected_packets += 1;
+        self.ejected_flits += p.len_flits as u64;
+        let total = p.total_latency();
+        self.sum_total_latency += total;
+        self.sum_network_latency += p.network_latency();
+        self.sum_queue_latency += p.queue_latency();
+        self.max_total_latency = self.max_total_latency.max(total);
+        self.sum_hops += p.hops as u64;
+        if let Some(up) = p.ff_upgrade {
+            self.ff_packets += 1;
+            self.sum_ff_buffered += up.saturating_sub(p.inject);
+            self.sum_ff_bufferless += p.eject.saturating_sub(up);
+        } else {
+            self.sum_regular_latency += p.network_latency();
+        }
+    }
+
+    /// Records injection of a measured flit.
+    pub fn record_injected_flit(&mut self, f: &Flit) {
+        if f.measured {
+            self.injected_flits += 1;
+            if f.kind.is_tail() {
+                self.injected_packets += 1;
+            }
+        }
+    }
+
+    /// Mean total packet latency (queue + network), the paper's
+    /// "average packet latency".
+    pub fn avg_total_latency(&self) -> f64 {
+        ratio(self.sum_total_latency, self.ejected_packets)
+    }
+
+    /// Mean network latency (inject → eject).
+    pub fn avg_network_latency(&self) -> f64 {
+        ratio(self.sum_network_latency, self.ejected_packets)
+    }
+
+    /// Mean hops per packet.
+    pub fn avg_hops(&self) -> f64 {
+        ratio(self.sum_hops, self.ejected_packets)
+    }
+
+    /// Accepted throughput in packets/node/cycle over the measurement phase
+    /// (counts every post-warm-up delivery; see [`Self::ejected_packets_all`]).
+    pub fn throughput(&self, nodes: usize) -> f64 {
+        let cycles = self.end_cycle.saturating_sub(self.measure_start);
+        if cycles == 0 || nodes == 0 {
+            return 0.0;
+        }
+        self.ejected_packets_all as f64 / (nodes as f64 * cycles as f64)
+    }
+
+    /// Fraction of received packets that used Free Flow (Fig 10a), over all
+    /// post-warm-up deliveries.
+    pub fn ff_fraction(&self) -> f64 {
+        ratio(self.ff_packets_all, self.ejected_packets_all)
+    }
+
+    /// Mean reception rate of *flits* per node per cycle.
+    pub fn flit_throughput(&self, nodes: usize) -> f64 {
+        let cycles = self.end_cycle.saturating_sub(self.measure_start);
+        if cycles == 0 || nodes == 0 {
+            return 0.0;
+        }
+        self.ejected_flits_all as f64 / (nodes as f64 * cycles as f64)
+    }
+
+    /// Finalizes the peak window tracker at the end of a run.
+    pub fn finish(&mut self, end: Cycle) {
+        self.end_cycle = end;
+        self.peak_window_link_hops = self.peak_window_link_hops.max(self.window_hops);
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_types::MessageClass;
+
+    fn pkt(birth: Cycle, inject: Cycle, eject: Cycle, ff: Option<Cycle>) -> DeliveredPacket {
+        DeliveredPacket {
+            id: PacketId(0),
+            src: NodeId(0),
+            dest: NodeId(1),
+            class: MessageClass(0),
+            len_flits: 5,
+            birth,
+            inject,
+            eject,
+            hops: 3,
+            ff_upgrade: ff,
+            measured: true,
+        }
+    }
+
+    #[test]
+    fn latency_decomposition() {
+        let p = pkt(10, 14, 30, None);
+        assert_eq!(p.total_latency(), 20);
+        assert_eq!(p.queue_latency(), 4);
+        assert_eq!(p.network_latency(), 16);
+    }
+
+    #[test]
+    fn delivery_aggregation() {
+        let mut s = Stats::default();
+        s.record_delivery(&pkt(0, 2, 12, None));
+        s.record_delivery(&pkt(0, 2, 22, Some(10)));
+        assert_eq!(s.ejected_packets, 2);
+        assert_eq!(s.avg_total_latency(), 17.0);
+        assert_eq!(s.max_total_latency, 22);
+        assert_eq!(s.ff_packets, 1);
+        assert_eq!(s.sum_ff_buffered, 8); // inject 2 → upgrade 10
+        assert_eq!(s.sum_ff_bufferless, 12); // upgrade 10 → eject 22
+        assert_eq!(s.sum_regular_latency, 10);
+    }
+
+    #[test]
+    fn unmeasured_packets_are_ignored() {
+        let mut s = Stats::default();
+        let mut p = pkt(0, 1, 5, None);
+        p.measured = false;
+        s.record_delivery(&p);
+        assert_eq!(s.ejected_packets, 0);
+    }
+
+    #[test]
+    fn peak_window_tracks_busiest_window() {
+        let mut s = Stats::default();
+        for c in 0..10 {
+            s.count_link_hop(c);
+        }
+        for c in ACTIVITY_WINDOW..ACTIVITY_WINDOW + 500 {
+            s.count_link_hop(c);
+        }
+        s.finish(2 * ACTIVITY_WINDOW);
+        assert_eq!(s.peak_window_link_hops, 500);
+        assert_eq!(s.link_flit_hops, 510);
+    }
+
+    #[test]
+    fn throughput_normalizes_by_nodes_and_cycles() {
+        let mut s = Stats::default();
+        s.measure_start = 1000;
+        s.ejected_packets_all = 640;
+        s.finish(2000);
+        assert!((s.throughput(64) - 0.01).abs() < 1e-12);
+    }
+}

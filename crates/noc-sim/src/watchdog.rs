@@ -1,0 +1,169 @@
+//! Deadlock detection for tests and experiments.
+//!
+//! Two views:
+//! * a cheap *progress watchdog* — the network is stuck when flits are
+//!   buffered but nothing has moved for a threshold number of cycles;
+//! * an exact *wait-for graph* cycle check over blocked head packets, used
+//!   by correctness tests to distinguish a true routing deadlock from mere
+//!   congestion.
+
+use crate::network::Network;
+use noc_types::{Direction, NodeId, PortId, NUM_PORTS};
+
+/// Conservative default threshold: with fully adaptive routing and 5-flit
+/// packets nothing legitimately waits this long on the meshes we simulate
+/// unless it is deadlocked (or starved behind one).
+pub const DEFAULT_STUCK_THRESHOLD: u64 = 2_000;
+
+/// Progress watchdog: flits are in the network but nothing has moved for
+/// `threshold` cycles.
+pub fn looks_stuck(net: &Network, threshold: u64) -> bool {
+    net.flits_in_network() > 0 && net.quiescent_for() >= threshold
+}
+
+/// A blocked-VC node in the wait-for graph.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct WaitNode {
+    pub node: NodeId,
+    pub port: PortId,
+    pub vc: usize,
+}
+
+/// Builds the wait-for graph over *allocated-or-blocked* packet heads and
+/// reports whether it contains a cycle (a true routing deadlock).
+///
+/// Edges: a VC whose head wants output `d` waits on every VC of the
+/// downstream input port that currently holds a packet (it needs one of them
+/// to free). A cycle in this relation in which every involved VC is full
+/// means no packet can ever move — deadlock.
+pub fn find_deadlock_cycle(net: &Network) -> Option<Vec<WaitNode>> {
+    // Enumerate blocked VCs and their wanted outputs.
+    let mut nodes: Vec<WaitNode> = Vec::new();
+    let mut wanted: Vec<(usize, Direction)> = Vec::new(); // per node index
+    for (i, r) in net.routers.iter().enumerate() {
+        for p in 0..NUM_PORTS {
+            for (v, vc) in r.inputs[p].vcs.iter().enumerate() {
+                let Some(front) = vc.front() else { continue };
+                if !front.kind.is_head() || vc.route.is_some() {
+                    // Moving or mid-stream packets are not deadlock suspects.
+                    continue;
+                }
+                let dest = front.dest.to_coord(net.cfg.cols);
+                if dest == r.coord {
+                    continue; // waits only on ejection, which always drains
+                }
+                // The packet waits on whichever port it would pick; for the
+                // wait-for graph we conservatively use every productive
+                // direction it is allowed to take — a deadlock requires all
+                // of them blocked, so we add edges for each and require the
+                // cycle to pass through full VCs only.
+                let algo = if vc.is_escape_resident {
+                    noc_types::BaseRouting::WestFirst
+                } else {
+                    net.cfg.routing.normal()
+                };
+                for &d in crate::routing::candidates(algo, r.coord, dest).as_slice() {
+                    nodes.push(WaitNode {
+                        node: NodeId(i as u16),
+                        port: p,
+                        vc: v,
+                    });
+                    wanted.push((i, d));
+                }
+            }
+        }
+    }
+    if nodes.is_empty() {
+        return None;
+    }
+
+    // Adjacency: blocked VC -> occupied VCs at the downstream input port.
+    let index_of = |w: &WaitNode| -> Vec<usize> {
+        nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| **n == *w)
+            .map(|(k, _)| k)
+            .collect()
+    };
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    for (k, &(i, d)) in wanted.iter().enumerate() {
+        let Some(nb) = net.neighbor(NodeId(i as u16), d) else {
+            continue;
+        };
+        let their_in = d.opposite().index();
+        let down = &net.routers[nb.idx()].inputs[their_in];
+        for (v, vc) in down.vcs.iter().enumerate() {
+            if vc.front().is_some() {
+                let w = WaitNode {
+                    node: nb,
+                    port: their_in,
+                    vc: v,
+                };
+                for t in index_of(&w) {
+                    adj[k].push(t);
+                }
+            }
+        }
+    }
+
+    // DFS cycle detection.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let mut mark = vec![Mark::White; nodes.len()];
+    let mut stack: Vec<usize> = Vec::new();
+
+    fn dfs(
+        u: usize,
+        adj: &[Vec<usize>],
+        mark: &mut [Mark],
+        stack: &mut Vec<usize>,
+    ) -> Option<Vec<usize>> {
+        mark[u] = Mark::Grey;
+        stack.push(u);
+        for &w in &adj[u] {
+            match mark[w] {
+                Mark::Grey => {
+                    let pos = stack.iter().position(|&x| x == w).unwrap();
+                    return Some(stack[pos..].to_vec());
+                }
+                Mark::White => {
+                    if let Some(c) = dfs(w, adj, mark, stack) {
+                        return Some(c);
+                    }
+                }
+                Mark::Black => {}
+            }
+        }
+        stack.pop();
+        mark[u] = Mark::Black;
+        None
+    }
+
+    for u in 0..nodes.len() {
+        if mark[u] == Mark::White {
+            if let Some(cycle) = dfs(u, &adj, &mut mark, &mut stack) {
+                return Some(cycle.into_iter().map(|k| nodes[k]).collect());
+            }
+            stack.clear();
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_types::NetConfig;
+
+    #[test]
+    fn empty_network_is_not_stuck() {
+        let net = Network::new(NetConfig::synth(4, 2));
+        assert!(!looks_stuck(&net, 10));
+        assert!(find_deadlock_cycle(&net).is_none());
+    }
+}

@@ -1,0 +1,191 @@
+//! Application workload profiles standing in for PARSEC-3.0 / SPLASH-2.
+//!
+//! The paper runs full-system gem5 (x86, MOESI hammer) — unavailable here.
+//! What the network experiments (Figs 14–15) actually exercise is the
+//! *traffic* those applications impose: closed-loop request→response chains
+//! over six message classes, mixed 1-/5-flit packets, directory-home
+//! hotspots, and benchmark-to-benchmark load variation. Each profile
+//! parameterizes the `noc-protocol` engine to produce exactly that; the
+//! intensity numbers are chosen to span the light-to-heavy range reported
+//! for these suites (misses per kilo-instruction × IPC at a 1 GHz NoC).
+
+/// A statistical application profile for the closed-loop protocol engine.
+#[derive(Clone, Copy, Debug)]
+pub struct AppProfile {
+    pub name: &'static str,
+    /// Benchmark suite, for grouping in result tables.
+    pub suite: Suite,
+    /// Mean think time between a core's memory requests (cycles) once an
+    /// MSHR is available: lower = heavier network load.
+    pub think_time: f64,
+    /// Fraction of requests that are reads (GetS) vs writes (GetX).
+    pub read_frac: f64,
+    /// Probability a request is owned by another core (directory forwards,
+    /// 3-hop transaction) rather than answered from memory (2-hop).
+    pub fwd_prob: f64,
+    /// Probability a write hits shared data and triggers invalidations.
+    pub inv_prob: f64,
+    /// Mean sharers invalidated when `inv_prob` fires.
+    pub sharers: f64,
+    /// Zipf-like skew of home-directory popularity (0 = uniform). Models
+    /// hot shared structures (locks, task queues).
+    pub home_skew: f64,
+}
+
+/// Benchmark suite tag.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Suite {
+    Parsec,
+    Splash2,
+}
+
+/// The application set evaluated in the paper's Figs 14–15 (PARSEC-3.0 and
+/// SPLASH-2 members commonly reported for 16-core runs).
+pub const APPS: &[AppProfile] = &[
+    AppProfile {
+        name: "blackscholes",
+        suite: Suite::Parsec,
+        think_time: 220.0,
+        read_frac: 0.80,
+        fwd_prob: 0.05,
+        inv_prob: 0.05,
+        sharers: 1.2,
+        home_skew: 0.1,
+    },
+    AppProfile {
+        name: "bodytrack",
+        suite: Suite::Parsec,
+        think_time: 140.0,
+        read_frac: 0.72,
+        fwd_prob: 0.15,
+        inv_prob: 0.12,
+        sharers: 2.0,
+        home_skew: 0.4,
+    },
+    AppProfile {
+        name: "canneal",
+        suite: Suite::Parsec,
+        think_time: 45.0,
+        read_frac: 0.65,
+        fwd_prob: 0.25,
+        inv_prob: 0.20,
+        sharers: 1.6,
+        home_skew: 0.2,
+    },
+    AppProfile {
+        name: "dedup",
+        suite: Suite::Parsec,
+        think_time: 80.0,
+        read_frac: 0.70,
+        fwd_prob: 0.18,
+        inv_prob: 0.15,
+        sharers: 1.8,
+        home_skew: 0.5,
+    },
+    AppProfile {
+        name: "fluidanimate",
+        suite: Suite::Parsec,
+        think_time: 110.0,
+        read_frac: 0.68,
+        fwd_prob: 0.22,
+        inv_prob: 0.18,
+        sharers: 1.5,
+        home_skew: 0.3,
+    },
+    AppProfile {
+        name: "swaptions",
+        suite: Suite::Parsec,
+        think_time: 190.0,
+        read_frac: 0.78,
+        fwd_prob: 0.08,
+        inv_prob: 0.06,
+        sharers: 1.3,
+        home_skew: 0.1,
+    },
+    AppProfile {
+        name: "barnes",
+        suite: Suite::Splash2,
+        think_time: 90.0,
+        read_frac: 0.70,
+        fwd_prob: 0.30,
+        inv_prob: 0.22,
+        sharers: 2.4,
+        home_skew: 0.5,
+    },
+    AppProfile {
+        name: "fft",
+        suite: Suite::Splash2,
+        think_time: 60.0,
+        read_frac: 0.66,
+        fwd_prob: 0.12,
+        inv_prob: 0.10,
+        sharers: 1.4,
+        home_skew: 0.2,
+    },
+    AppProfile {
+        name: "lu",
+        suite: Suite::Splash2,
+        think_time: 100.0,
+        read_frac: 0.74,
+        fwd_prob: 0.16,
+        inv_prob: 0.12,
+        sharers: 1.7,
+        home_skew: 0.3,
+    },
+    AppProfile {
+        name: "radix",
+        suite: Suite::Splash2,
+        think_time: 55.0,
+        read_frac: 0.60,
+        fwd_prob: 0.10,
+        inv_prob: 0.14,
+        sharers: 1.5,
+        home_skew: 0.2,
+    },
+    AppProfile {
+        name: "water",
+        suite: Suite::Splash2,
+        think_time: 160.0,
+        read_frac: 0.76,
+        fwd_prob: 0.20,
+        inv_prob: 0.14,
+        sharers: 1.9,
+        home_skew: 0.4,
+    },
+];
+
+/// Looks up a profile by name.
+pub fn by_name(name: &str) -> Option<&'static AppProfile> {
+    APPS.iter().find(|a| a.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_well_formed() {
+        for a in APPS {
+            assert!(a.think_time > 0.0, "{}", a.name);
+            assert!((0.0..=1.0).contains(&a.read_frac), "{}", a.name);
+            assert!((0.0..=1.0).contains(&a.fwd_prob), "{}", a.name);
+            assert!((0.0..=1.0).contains(&a.inv_prob), "{}", a.name);
+            assert!(a.sharers >= 1.0, "{}", a.name);
+            assert!((0.0..=1.0).contains(&a.home_skew), "{}", a.name);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(by_name("canneal").unwrap().suite, Suite::Parsec);
+        assert_eq!(by_name("barnes").unwrap().suite, Suite::Splash2);
+        assert!(by_name("doom").is_none());
+    }
+
+    #[test]
+    fn suites_both_present() {
+        assert!(APPS.iter().any(|a| a.suite == Suite::Parsec));
+        assert!(APPS.iter().any(|a| a.suite == Suite::Splash2));
+        assert!(APPS.len() >= 10);
+    }
+}

@@ -1,0 +1,161 @@
+//! Open-loop synthetic workload: Bernoulli injection of mixed-size packets.
+
+use crate::pattern::TrafficPattern;
+use noc_sim::{PacketFactory, Workload};
+use noc_types::{Cycle, MessageClass, NodeId, Packet};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The 1-flit / 5-flit packet mix of Table 4.
+#[derive(Clone, Copy, Debug)]
+pub struct PacketMix {
+    pub short_len: u8,
+    pub long_len: u8,
+    /// Probability a packet is long.
+    pub long_prob: f64,
+}
+
+impl Default for PacketMix {
+    fn default() -> Self {
+        // Requests/acks are 1 flit, responses 5; roughly half of synthetic
+        // packets are data-carrying.
+        PacketMix {
+            short_len: 1,
+            long_len: 5,
+            long_prob: 0.5,
+        }
+    }
+}
+
+/// Open-loop synthetic traffic: every node flips a Bernoulli coin each cycle
+/// (`rate` packets/node/cycle) and sends to the pattern's destination.
+/// All packets travel in message class 0 (the paper's `--inj-vnet=0`).
+pub struct SyntheticWorkload {
+    pattern: TrafficPattern,
+    rate: f64,
+    mix: PacketMix,
+    cols: u8,
+    rows: u8,
+    warmup: Cycle,
+    rng: SmallRng,
+    factory: PacketFactory,
+}
+
+impl SyntheticWorkload {
+    /// `rate` is in packets per node per cycle, as in Garnet's
+    /// `--injectionrate`.
+    pub fn new(
+        pattern: TrafficPattern,
+        rate: f64,
+        cols: u8,
+        rows: u8,
+        warmup: Cycle,
+        seed: u64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0,1]");
+        SyntheticWorkload {
+            pattern,
+            rate,
+            mix: PacketMix::default(),
+            cols,
+            rows,
+            warmup,
+            // Decorrelate from the network's internal RNG.
+            rng: SmallRng::seed_from_u64(seed ^ 0x5EEC_7AFF_1C00_0001),
+            factory: PacketFactory::new(),
+        }
+    }
+
+    /// Overrides the packet-size mix.
+    pub fn with_mix(mut self, mix: PacketMix) -> Self {
+        self.mix = mix;
+        self
+    }
+
+    /// Packets generated so far (measured or not).
+    pub fn generated(&self) -> u64 {
+        self.factory.created()
+    }
+}
+
+impl Workload for SyntheticWorkload {
+    fn generate(&mut self, cycle: Cycle, inject: &mut dyn FnMut(NodeId, Packet)) {
+        let n = self.cols as u16 * self.rows as u16;
+        for s in 0..n {
+            if !self.rng.gen_bool(self.rate) {
+                continue;
+            }
+            let src = NodeId(s);
+            let Some(dest) = self.pattern.dest(src, self.cols, self.rows, &mut self.rng) else {
+                continue;
+            };
+            let len = if self.rng.gen_bool(self.mix.long_prob) {
+                self.mix.long_len
+            } else {
+                self.mix.short_len
+            };
+            let pkt = self.factory.make(
+                src,
+                dest,
+                MessageClass::SYNTH,
+                len,
+                cycle,
+                cycle >= self.warmup,
+            );
+            inject(src, pkt);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injection_rate_is_respected() {
+        let mut w = SyntheticWorkload::new(TrafficPattern::UniformRandom, 0.1, 8, 8, 0, 3);
+        let mut count = 0u64;
+        for c in 0..1000 {
+            w.generate(c, &mut |_, _| count += 1);
+        }
+        // 64 nodes * 1000 cycles * 0.1 = 6400 expected.
+        assert!((5800..7000).contains(&count), "got {count}");
+    }
+
+    #[test]
+    fn warmup_packets_are_unmeasured() {
+        let mut w = SyntheticWorkload::new(TrafficPattern::UniformRandom, 1.0, 4, 4, 100, 3);
+        let mut pre = Vec::new();
+        w.generate(99, &mut |_, p| pre.push(p));
+        assert!(pre.iter().all(|p| !p.measured));
+        let mut post = Vec::new();
+        w.generate(100, &mut |_, p| post.push(p));
+        assert!(post.iter().all(|p| p.measured));
+    }
+
+    #[test]
+    fn packet_mix_produces_both_sizes() {
+        let mut w = SyntheticWorkload::new(TrafficPattern::UniformRandom, 1.0, 4, 4, 0, 3);
+        let mut lens = std::collections::HashSet::new();
+        for c in 0..50 {
+            w.generate(c, &mut |_, p| {
+                lens.insert(p.len_flits);
+            });
+        }
+        assert!(lens.contains(&1) && lens.contains(&5));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let collect = |seed| {
+            let mut w = SyntheticWorkload::new(TrafficPattern::UniformRandom, 0.3, 4, 4, 0, seed);
+            let mut v = Vec::new();
+            for c in 0..100 {
+                w.generate(c, &mut |n, p| v.push((n, p.dest, p.len_flits)));
+            }
+            v
+        };
+        assert_eq!(collect(9), collect(9));
+        assert_ne!(collect(9), collect(10));
+    }
+}

@@ -1,0 +1,180 @@
+//! End-to-end smoke tests of the network engine under synthetic traffic.
+
+use noc_sim::{NoMechanism, Sim};
+use noc_traffic::{SyntheticWorkload, TrafficPattern};
+use noc_types::{BaseRouting, NetConfig, RoutingAlgo};
+
+fn run(
+    k: u8,
+    vcs: u8,
+    routing: RoutingAlgo,
+    pattern: TrafficPattern,
+    rate: f64,
+    cycles: u64,
+    seed: u64,
+) -> noc_sim::Stats {
+    let cfg = NetConfig::synth(k, vcs).with_routing(routing).with_seed(seed);
+    let wl = SyntheticWorkload::new(pattern, rate, k, k, cfg.warmup, seed);
+    let mut sim = Sim::new(cfg, Box::new(wl), Box::new(NoMechanism));
+    sim.run(cycles);
+    sim.finish().clone()
+}
+
+#[test]
+fn xy_uniform_low_load_delivers_everything() {
+    let s = run(
+        4,
+        2,
+        RoutingAlgo::Uniform(BaseRouting::Xy),
+        TrafficPattern::UniformRandom,
+        0.02,
+        20_000,
+        7,
+    );
+    assert!(s.ejected_packets > 0, "nothing delivered");
+    // At 2% load nearly everything injected must come out.
+    assert!(
+        s.ejected_packets as f64 >= 0.98 * s.injected_packets as f64,
+        "ejected {} of {}",
+        s.ejected_packets,
+        s.injected_packets
+    );
+    // Zero-load-ish latency sanity: avg hops on 4x4 UR ≈ 2.67, hop = 2
+    // cycles, plus inj/ej links and queueing.
+    let lat = s.avg_total_latency();
+    assert!((4.0..30.0).contains(&lat), "implausible latency {lat}");
+}
+
+#[test]
+fn west_first_transpose_delivers() {
+    let s = run(
+        4,
+        2,
+        RoutingAlgo::Uniform(BaseRouting::WestFirst),
+        TrafficPattern::Transpose,
+        0.05,
+        20_000,
+        11,
+    );
+    assert!(s.ejected_packets as f64 >= 0.95 * s.injected_packets as f64);
+}
+
+#[test]
+fn escape_vc_adaptive_uniform_survives_medium_load() {
+    let s = run(
+        4,
+        2,
+        RoutingAlgo::EscapeVc {
+            normal: BaseRouting::AdaptiveMinimal,
+        },
+        TrafficPattern::UniformRandom,
+        0.10,
+        20_000,
+        13,
+    );
+    assert!(s.ejected_packets as f64 >= 0.90 * s.injected_packets as f64);
+}
+
+#[test]
+fn hop_counts_match_minimal_routing() {
+    let s = run(
+        8,
+        2,
+        RoutingAlgo::Uniform(BaseRouting::Xy),
+        TrafficPattern::Transpose,
+        0.02,
+        20_000,
+        5,
+    );
+    // Transpose on 8x8: every src (x,y), x≠y, travels |x-y|*2 hops plus 1
+    // ejection-side hop is not counted; average over off-diagonal nodes is 6.
+    let hops = s.avg_hops();
+    assert!((5.0..7.0).contains(&hops), "avg hops {hops}");
+}
+
+#[test]
+fn runs_are_reproducible_for_a_seed() {
+    let a = run(
+        4,
+        2,
+        RoutingAlgo::Uniform(BaseRouting::AdaptiveMinimal),
+        TrafficPattern::UniformRandom,
+        0.08,
+        10_000,
+        99,
+    );
+    let b = run(
+        4,
+        2,
+        RoutingAlgo::Uniform(BaseRouting::AdaptiveMinimal),
+        TrafficPattern::UniformRandom,
+        0.08,
+        10_000,
+        99,
+    );
+    assert_eq!(a.ejected_packets, b.ejected_packets);
+    assert_eq!(a.sum_total_latency, b.sum_total_latency);
+    assert_eq!(a.link_flit_hops, b.link_flit_hops);
+}
+
+#[test]
+fn throughput_saturates_but_network_keeps_moving_with_xy() {
+    // XY is deadlock-free: even far past saturation the network must keep
+    // delivering packets.
+    let s = run(
+        4,
+        2,
+        RoutingAlgo::Uniform(BaseRouting::Xy),
+        TrafficPattern::UniformRandom,
+        0.5,
+        20_000,
+        3,
+    );
+    assert!(s.throughput(16) > 0.05, "throughput {}", s.throughput(16));
+}
+
+#[test]
+fn extra_patterns_flow_end_to_end() {
+    // Tornado, neighbor and hotspot are not in the paper's headline sweeps
+    // but ship with the generator; all must deliver cleanly at low load.
+    for (pattern, rate) in [
+        (TrafficPattern::Tornado, 0.04),
+        (TrafficPattern::Neighbor, 0.08),
+        (TrafficPattern::Hotspot, 0.02),
+        (TrafficPattern::BitComplement, 0.03),
+    ] {
+        let s = run(
+            8,
+            2,
+            RoutingAlgo::Uniform(BaseRouting::Xy),
+            pattern,
+            rate,
+            15_000,
+            17,
+        );
+        assert!(
+            s.ejected_packets as f64 >= 0.95 * s.injected_packets as f64,
+            "{pattern:?}: {} of {}",
+            s.ejected_packets,
+            s.injected_packets
+        );
+    }
+}
+
+#[test]
+fn hotspot_concentrates_traffic_at_node_zero() {
+    let s = run(
+        8,
+        2,
+        RoutingAlgo::Uniform(BaseRouting::Xy),
+        TrafficPattern::Hotspot,
+        0.02,
+        15_000,
+        23,
+    );
+    // ~10% of hotspot traffic targets node 0: its ejection-side activity is
+    // far above a uniform share (1/63). We can't see per-node ejections in
+    // Stats directly, but hop counts skew toward the corner: average hops
+    // must exceed the uniform-random mean.
+    assert!(s.avg_hops() > 4.0, "avg hops {}", s.avg_hops());
+}

@@ -1,0 +1,166 @@
+//! Mesh router port directions.
+
+use crate::geometry::Coord;
+use std::fmt;
+
+/// Number of ports on a mesh router: four cardinal neighbours plus the local
+/// NIC port.
+pub const NUM_PORTS: usize = 5;
+
+/// Index of a router port. `0..=3` are the cardinal directions in the order of
+/// [`Direction::ALL`], `4` is the local port.
+pub type PortId = usize;
+
+/// One of the five router ports of a 2D mesh router.
+///
+/// Directions are named from the router's point of view: a flit leaving
+/// through the `East` output port arrives on the `West` input port of the
+/// eastern neighbour. `North` decreases `y` (rows are numbered from the top,
+/// matching the paper's figures).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Direction {
+    North,
+    South,
+    East,
+    West,
+    /// The port that connects the router to its network interface (NIC).
+    Local,
+}
+
+impl Direction {
+    /// All ports, cardinal directions first, `Local` last. The order defines
+    /// the [`PortId`] mapping.
+    pub const ALL: [Direction; NUM_PORTS] = [
+        Direction::North,
+        Direction::South,
+        Direction::East,
+        Direction::West,
+        Direction::Local,
+    ];
+
+    /// The four inter-router directions (everything except `Local`).
+    pub const CARDINAL: [Direction; 4] = [
+        Direction::North,
+        Direction::South,
+        Direction::East,
+        Direction::West,
+    ];
+
+    /// Stable port index; inverse of [`Direction::from_index`].
+    #[inline]
+    pub const fn index(self) -> PortId {
+        match self {
+            Direction::North => 0,
+            Direction::South => 1,
+            Direction::East => 2,
+            Direction::West => 3,
+            Direction::Local => 4,
+        }
+    }
+
+    /// Recovers a direction from its port index.
+    ///
+    /// # Panics
+    /// Panics if `idx >= NUM_PORTS`.
+    #[inline]
+    pub const fn from_index(idx: PortId) -> Direction {
+        match idx {
+            0 => Direction::North,
+            1 => Direction::South,
+            2 => Direction::East,
+            3 => Direction::West,
+            4 => Direction::Local,
+            _ => panic!("port index out of range"),
+        }
+    }
+
+    /// The direction a flit sent this way arrives *from* at the neighbour.
+    #[inline]
+    pub const fn opposite(self) -> Direction {
+        match self {
+            Direction::North => Direction::South,
+            Direction::South => Direction::North,
+            Direction::East => Direction::West,
+            Direction::West => Direction::East,
+            Direction::Local => Direction::Local,
+        }
+    }
+
+    /// The neighbour coordinate reached by leaving `from` through this port,
+    /// or `None` when that would leave a `cols`×`rows` mesh (or for `Local`).
+    pub fn step(self, from: Coord, cols: u8, rows: u8) -> Option<Coord> {
+        match self {
+            Direction::North if from.y > 0 => Some(Coord::new(from.x, from.y - 1)),
+            Direction::South if from.y + 1 < rows => Some(Coord::new(from.x, from.y + 1)),
+            Direction::East if from.x + 1 < cols => Some(Coord::new(from.x + 1, from.y)),
+            Direction::West if from.x > 0 => Some(Coord::new(from.x - 1, from.y)),
+            _ => None,
+        }
+    }
+
+    /// True for the four inter-router directions.
+    #[inline]
+    pub const fn is_cardinal(self) -> bool {
+        !matches!(self, Direction::Local)
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Direction::North => "N",
+            Direction::South => "S",
+            Direction::East => "E",
+            Direction::West => "W",
+            Direction::Local => "L",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for d in Direction::ALL {
+            assert_eq!(Direction::from_index(d.index()), d);
+        }
+    }
+
+    #[test]
+    fn opposite_is_involution() {
+        for d in Direction::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+        }
+    }
+
+    #[test]
+    fn step_respects_mesh_edges() {
+        let corner = Coord::new(0, 0);
+        assert_eq!(Direction::North.step(corner, 4, 4), None);
+        assert_eq!(Direction::West.step(corner, 4, 4), None);
+        assert_eq!(Direction::South.step(corner, 4, 4), Some(Coord::new(0, 1)));
+        assert_eq!(Direction::East.step(corner, 4, 4), Some(Coord::new(1, 0)));
+        let far = Coord::new(3, 3);
+        assert_eq!(Direction::South.step(far, 4, 4), None);
+        assert_eq!(Direction::East.step(far, 4, 4), None);
+    }
+
+    #[test]
+    fn step_and_opposite_agree() {
+        // Walking one hop and then stepping back in the opposite direction
+        // returns to the origin, wherever both hops stay on the mesh.
+        for y in 0..4u8 {
+            for x in 0..4u8 {
+                let c = Coord::new(x, y);
+                for d in Direction::CARDINAL {
+                    if let Some(n) = d.step(c, 4, 4) {
+                        assert_eq!(d.opposite().step(n, 4, 4), Some(c));
+                    }
+                }
+            }
+        }
+    }
+}

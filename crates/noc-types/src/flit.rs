@@ -1,0 +1,168 @@
+//! Packets and flits.
+//!
+//! Packets are broken into one or more flits to match the 128-bit link
+//! bandwidth (Table 4 of the paper): requests and acks are 1 flit, data
+//! responses are 5 flits.
+
+use crate::geometry::NodeId;
+use crate::message::{MessageClass, PacketId};
+use crate::Cycle;
+
+/// Position of a flit within its packet.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FlitKind {
+    /// First flit of a multi-flit packet; carries the routable header.
+    Head,
+    /// Interior flit.
+    Body,
+    /// Last flit; releases the upstream VC when it departs.
+    Tail,
+    /// The only flit of a single-flit packet (head and tail at once).
+    HeadTail,
+}
+
+impl FlitKind {
+    /// True for `Head` and `HeadTail` — the flits that carry a header and may
+    /// be selected by route computation or a seeker.
+    #[inline]
+    pub const fn is_head(self) -> bool {
+        matches!(self, FlitKind::Head | FlitKind::HeadTail)
+    }
+
+    /// True for `Tail` and `HeadTail` — the flits whose departure frees a VC.
+    #[inline]
+    pub const fn is_tail(self) -> bool {
+        matches!(self, FlitKind::Tail | FlitKind::HeadTail)
+    }
+
+    /// The kind of flit number `seq` inside a packet of `len` flits.
+    pub const fn for_seq(seq: u8, len: u8) -> FlitKind {
+        if len == 1 {
+            FlitKind::HeadTail
+        } else if seq == 0 {
+            FlitKind::Head
+        } else if seq + 1 == len {
+            FlitKind::Tail
+        } else {
+            FlitKind::Body
+        }
+    }
+}
+
+/// A packet descriptor, as produced by a traffic generator and queued at the
+/// source NIC. The NIC expands it into `len_flits` flits at injection.
+#[derive(Clone, Copy, Debug)]
+pub struct Packet {
+    pub id: PacketId,
+    pub src: NodeId,
+    pub dest: NodeId,
+    pub class: MessageClass,
+    pub len_flits: u8,
+    /// Cycle the packet entered the source NIC's injection queue.
+    pub birth: Cycle,
+    /// Whether the packet counts toward statistics (injected after warm-up).
+    pub measured: bool,
+}
+
+/// A flit in flight. Each flit carries a copy of the header fields it needs so
+/// the simulator never chases a pointer to a packet table in the hot loop.
+#[derive(Clone, Copy, Debug)]
+pub struct Flit {
+    pub packet: PacketId,
+    pub kind: FlitKind,
+    /// Flit index within the packet, `0..len`.
+    pub seq: u8,
+    /// Total flits in the packet.
+    pub len: u8,
+    pub src: NodeId,
+    pub dest: NodeId,
+    pub class: MessageClass,
+    /// Cycle the packet entered the source NIC's injection queue.
+    pub birth: Cycle,
+    /// Cycle this flit left the NIC and entered the network, filled at
+    /// injection.
+    pub inject: Cycle,
+    /// Hops traversed so far (router-to-router link traversals).
+    pub hops: u8,
+    /// VC identifier carried in the flit header: the VC at the *next* input
+    /// port this flit is destined for, written by the sender at switch
+    /// traversal (real head flits carry exactly this field).
+    pub vc: u8,
+    /// True while the flit is part of a Free-Flow (FF) traversal.
+    pub ff: bool,
+    /// True while the packet travels in escape VCs (Duato baseline): set when
+    /// the head is allocated an escape VC, so the downstream router applies
+    /// west-first routing to it.
+    pub escape: bool,
+    /// Cycle the packet was upgraded to FF by a seeker, if it ever was.
+    pub ff_upgrade: Option<Cycle>,
+    /// Whether the packet counts toward statistics.
+    pub measured: bool,
+}
+
+impl Flit {
+    /// Expands flit `seq` of `packet`, stamped with injection cycle `inject`.
+    pub fn from_packet(packet: &Packet, seq: u8, inject: Cycle) -> Flit {
+        debug_assert!(seq < packet.len_flits);
+        Flit {
+            packet: packet.id,
+            kind: FlitKind::for_seq(seq, packet.len_flits),
+            seq,
+            len: packet.len_flits,
+            src: packet.src,
+            dest: packet.dest,
+            class: packet.class,
+            birth: packet.birth,
+            inject,
+            hops: 0,
+            vc: 0,
+            ff: false,
+            escape: false,
+            ff_upgrade: None,
+            measured: packet.measured,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flit_kinds_for_single_flit_packet() {
+        assert_eq!(FlitKind::for_seq(0, 1), FlitKind::HeadTail);
+        assert!(FlitKind::HeadTail.is_head());
+        assert!(FlitKind::HeadTail.is_tail());
+    }
+
+    #[test]
+    fn flit_kinds_for_five_flit_packet() {
+        let kinds: Vec<_> = (0..5).map(|s| FlitKind::for_seq(s, 5)).collect();
+        assert_eq!(kinds[0], FlitKind::Head);
+        assert_eq!(kinds[1], FlitKind::Body);
+        assert_eq!(kinds[3], FlitKind::Body);
+        assert_eq!(kinds[4], FlitKind::Tail);
+        assert!(kinds[0].is_head() && !kinds[0].is_tail());
+        assert!(kinds[4].is_tail() && !kinds[4].is_head());
+    }
+
+    #[test]
+    fn packet_expansion_copies_header() {
+        let p = Packet {
+            id: PacketId(7),
+            src: NodeId(1),
+            dest: NodeId(14),
+            class: MessageClass(2),
+            len_flits: 5,
+            birth: 100,
+            measured: true,
+        };
+        let f = Flit::from_packet(&p, 4, 123);
+        assert_eq!(f.kind, FlitKind::Tail);
+        assert_eq!(f.dest, NodeId(14));
+        assert_eq!(f.inject, 123);
+        assert_eq!(f.birth, 100);
+        assert!(f.measured);
+        assert!(!f.ff);
+    }
+}

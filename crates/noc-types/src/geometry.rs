@@ -1,0 +1,102 @@
+//! Mesh coordinates and node identifiers.
+
+use std::fmt;
+
+/// A position on the 2D mesh. `x` is the column (0 = west edge), `y` is the
+/// row (0 = north edge). Matches the orientation used in the paper's figures:
+/// router 1 is the top-left corner, numbering proceeds row-major.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Coord {
+    /// Column index, 0-based from the west edge.
+    pub x: u8,
+    /// Row index, 0-based from the north edge.
+    pub y: u8,
+}
+
+impl Coord {
+    /// Builds a coordinate from column `x` and row `y`.
+    pub const fn new(x: u8, y: u8) -> Self {
+        Coord { x, y }
+    }
+
+    /// Converts to a linear node id on a mesh with `cols` columns (row-major).
+    pub fn to_node(self, cols: u8) -> NodeId {
+        NodeId(self.y as u16 * cols as u16 + self.x as u16)
+    }
+
+    /// Manhattan distance between two coordinates — the minimal hop count on
+    /// a mesh.
+    pub fn manhattan(self, other: Coord) -> u32 {
+        (self.x.abs_diff(other.x) as u32) + (self.y.abs_diff(other.y) as u32)
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.x, self.y)
+    }
+}
+
+/// Linear identifier of a router/NIC pair on the mesh, row-major.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// Recovers the mesh coordinate on a mesh with `cols` columns.
+    pub fn to_coord(self, cols: u8) -> Coord {
+        Coord {
+            x: (self.0 % cols as u16) as u8,
+            y: (self.0 / cols as u16) as u8,
+        }
+    }
+
+    /// The raw index as `usize`, for table lookups.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u16> for NodeId {
+    fn from(v: u16) -> Self {
+        NodeId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coord_node_roundtrip() {
+        for cols in [1u8, 3, 4, 8, 16] {
+            for y in 0..cols {
+                for x in 0..cols {
+                    let c = Coord::new(x, y);
+                    assert_eq!(c.to_node(cols).to_coord(cols), c);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn node_ids_are_row_major() {
+        assert_eq!(Coord::new(0, 0).to_node(4), NodeId(0));
+        assert_eq!(Coord::new(3, 0).to_node(4), NodeId(3));
+        assert_eq!(Coord::new(0, 1).to_node(4), NodeId(4));
+        assert_eq!(Coord::new(3, 3).to_node(4), NodeId(15));
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        assert_eq!(Coord::new(0, 0).manhattan(Coord::new(3, 3)), 6);
+        assert_eq!(Coord::new(2, 1).manhattan(Coord::new(2, 1)), 0);
+        assert_eq!(Coord::new(5, 0).manhattan(Coord::new(0, 7)), 12);
+    }
+}

@@ -1,0 +1,24 @@
+//! # seec — Stochastic Escape Express Channel
+//!
+//! The paper's contribution: destination NICs take turns sending *seekers*
+//! over a side-band path; a seeker that finds a packet destined for its
+//! (pre-reserved) ejection VC upgrades it to *Free Flow* — a bufferless,
+//! minimal, lookahead-driven traversal with absolute priority that is
+//! guaranteed to eject. One FF packet at a time in base SEEC
+//! ([`SeecMechanism`]); one per column partition in mSEEC
+//! ([`MSeecMechanism`]).
+//!
+//! Integration with the simulator is through `noc_sim::Mechanism`:
+//! everything SEEC does happens in `pre_cycle`, and the switch allocator
+//! honours the space-time link reservations FF traversals make (the model of
+//! the paper's lookahead signal, §3.5).
+
+pub mod flight;
+pub mod mseec;
+pub mod ring;
+pub mod seec;
+
+pub use flight::FfFlight;
+pub use mseec::MSeecMechanism;
+pub use ring::SeekerRing;
+pub use seec::{SeecConfig, SeecMechanism};

@@ -1,0 +1,60 @@
+//! Application traffic demo: a PARSEC-style coherence workload on a 4×4
+//! mesh, comparing the 6-VNet XY baseline against SEEC running on a single
+//! VNet at one sixth of the buffer budget.
+//!
+//! ```sh
+//! cargo run --release --example coherent_app [app-name]
+//! ```
+
+use seec_repro::protocol::{ProtocolConfig, ProtocolWorkload};
+use seec_repro::seec::SeecMechanism;
+use seec_repro::sim::{Mechanism, NoMechanism, Sim};
+use seec_repro::traffic::apps;
+use seec_repro::types::{BaseRouting, NetConfig, RoutingAlgo};
+
+fn run(label: &str, cfg: NetConfig, mech: Box<dyn Mechanism>, app: &apps::AppProfile) {
+    let pcfg = ProtocolConfig {
+        txns_per_core: Some(200),
+        ..ProtocolConfig::default()
+    };
+    let wl = ProtocolWorkload::new(*app, pcfg, cfg.num_nodes() as u16, cfg.warmup, 99);
+    let mut sim = Sim::new(cfg, Box::new(wl), mech);
+    let done = sim.run_until_done(2_000_000);
+    let runtime = sim.net.cycle;
+    let s = sim.finish();
+    println!(
+        "{label:<28} runtime {:>8} cycles{}  avg pkt latency {:>6.1}  max {:>6}",
+        runtime,
+        if done { "" } else { " (unfinished)" },
+        s.avg_total_latency(),
+        s.max_total_latency
+    );
+}
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "canneal".into());
+    let app = apps::by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown app '{name}', using canneal");
+        apps::by_name("canneal").unwrap()
+    });
+    println!(
+        "app: {} (think {} cycles, {}% reads, fwd {}%)",
+        app.name,
+        app.think_time,
+        (app.read_frac * 100.0) as u32,
+        (app.fwd_prob * 100.0) as u32
+    );
+
+    // Baseline: 6 virtual networks, 2 VCs each — 12 VCs per port.
+    let base = NetConfig::full_system(4, 6, 2)
+        .with_routing(RoutingAlgo::Uniform(BaseRouting::Xy))
+        .with_seed(99);
+    run("XY, 6 VNets (12 VCs/port)", base, Box::new(NoMechanism), app);
+
+    // SEEC: one VNet, 2 VCs — one sixth the buffers, same protocol.
+    let seec_cfg = NetConfig::full_system(4, 1, 2)
+        .with_routing(RoutingAlgo::Uniform(BaseRouting::AdaptiveMinimal))
+        .with_seed(99);
+    let mech = SeecMechanism::for_net(&seec_cfg);
+    run("SEEC, 1 VNet (2 VCs/port)", seec_cfg, Box::new(mech), app);
+}

@@ -1,0 +1,63 @@
+//! Scheme shoot-out: a miniature Fig 8 panel from the public harness API —
+//! every deadlock-freedom scheme on one pattern, latency and throughput per
+//! injection rate.
+//!
+//! ```sh
+//! cargo run --release --example compare_schemes [pattern] [k]
+//! # pattern ∈ uniform_random | transpose | bit_rotation | shuffle
+//! ```
+
+use seec_repro::experiments::runner::{run_synth, Scheme, SynthSpec};
+use seec_repro::traffic::TrafficPattern;
+
+fn parse_pattern(s: &str) -> TrafficPattern {
+    match s {
+        "transpose" => TrafficPattern::Transpose,
+        "bit_rotation" => TrafficPattern::BitRotation,
+        "shuffle" => TrafficPattern::Shuffle,
+        _ => TrafficPattern::UniformRandom,
+    }
+}
+
+fn main() {
+    let pattern = parse_pattern(&std::env::args().nth(1).unwrap_or_default());
+    let k: u8 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let schemes = [
+        Scheme::Xy,
+        Scheme::WestFirst,
+        Scheme::escape(),
+        Scheme::MinBd,
+        Scheme::Spin,
+        Scheme::Swap,
+        Scheme::Drain,
+        Scheme::seec(),
+        Scheme::mseec(),
+    ];
+    println!(
+        "{} on {k}x{k}, 4 VCs — avg latency (throughput) per injection rate",
+        pattern.label()
+    );
+    print!("{:>10}", "rate");
+    for s in schemes {
+        print!("{:>18}", s.label());
+    }
+    println!();
+    for rate in [0.02, 0.06, 0.10, 0.14, 0.18] {
+        print!("{rate:>10.2}");
+        for scheme in schemes {
+            let st = run_synth(SynthSpec::new(k, 4, scheme, pattern, rate).with_cycles(20_000));
+            print!(
+                "{:>18}",
+                format!(
+                    "{:>6.1} ({:.3})",
+                    st.avg_total_latency(),
+                    st.throughput((k as usize).pow(2))
+                )
+            );
+        }
+        println!();
+    }
+}

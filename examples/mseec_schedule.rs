@@ -1,0 +1,61 @@
+//! Visualize mSEEC's partition schedule (the paper's Fig 5) and watch the
+//! concurrent engines at work.
+//!
+//! Columns are partitions, rows are groups: in phase `p`, the NICs of row
+//! `p` are active; in step `s`, the NIC in column `j` seeks within column
+//! `(j + s) mod k`. This example prints the schedule for a k×k mesh and then
+//! runs mSEEC under load to show several simultaneous Free-Flow rescues.
+//!
+//! ```sh
+//! cargo run --release --example mseec_schedule [k]
+//! ```
+
+use seec_repro::seec::MSeecMechanism;
+use seec_repro::sim::Sim;
+use seec_repro::traffic::{SyntheticWorkload, TrafficPattern};
+use seec_repro::types::{BaseRouting, Coord, NetConfig, RoutingAlgo};
+
+fn main() {
+    let k: u8 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+
+    println!("mSEEC schedule on a {k}x{k} mesh ({k} partitions = columns, {k} groups = rows)");
+    for phase in 0..k {
+        println!("\nPhase {phase} — active group: row {phase}");
+        for step in 0..k {
+            let assignments: Vec<String> = (0..k)
+                .map(|j| {
+                    let c = (j + step) % k;
+                    let nic = Coord::new(j, phase).to_node(k);
+                    format!("NIC {nic} (col {j}) => column {c}")
+                })
+                .collect();
+            println!("  step {step}: {}", assignments.join(" | "));
+        }
+    }
+
+    // Now run it: transpose traffic at a saturating load makes every engine
+    // find work.
+    println!("\nRunning mSEEC under transpose @ 0.20 on {k0}x{k0}...", k0 = k.max(4));
+    let k = k.max(4);
+    let cfg = NetConfig::synth(k, 2)
+        .with_routing(RoutingAlgo::Uniform(BaseRouting::AdaptiveMinimal))
+        .with_seed(1);
+    let wl = SyntheticWorkload::new(TrafficPattern::Transpose, 0.20, k, k, cfg.warmup, 1);
+    let mech = MSeecMechanism::for_net(&cfg);
+    let mut sim = Sim::new(cfg, Box::new(wl), Box::new(mech));
+    sim.run(30_000);
+    let s = sim.finish();
+    println!(
+        "  delivered {} packets, {} via Free Flow ({:.1}%), avg latency {:.1} cycles",
+        s.ejected_packets,
+        s.ff_packets,
+        100.0 * s.ff_fraction(),
+        s.avg_total_latency()
+    );
+    println!(
+        "  no two FF packets ever shared a link-cycle (enforced by the reservation table)"
+    );
+}

@@ -1,0 +1,35 @@
+#!/usr/bin/env python3
+"""Replaces stale Fig 10 / Fig 11 blocks in results/full_figs.txt with the
+re-measured versions (results/fig10_fixed.txt, fig11_fixed.txt), which use
+the corrected metrics (per-flit energy, all-deliveries FF fraction)."""
+
+import re
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent / "results"
+
+
+def blocks(text):
+    return [b for b in re.split(r"\n(?=== )", text) if b.strip()]
+
+
+def main():
+    full = ROOT / "full_figs.txt"
+    parts = blocks(full.read_text())
+    fixed = []
+    for name in ["fig11_fixed.txt", "fig10_fixed.txt"]:
+        f = ROOT / name
+        if f.exists():
+            fixed.extend(blocks(f.read_text()))
+    fixed_by_key = {b.splitlines()[0][:12]: b for b in fixed}
+    out = []
+    for b in parts:
+        key = b.splitlines()[0][:12]
+        out.append(fixed_by_key.pop(key, b))
+    out.extend(fixed_by_key.values())
+    full.write_text("\n".join(x.rstrip("\n") + "\n\n" for x in out))
+    print(f"spliced {len(fixed)} fixed blocks")
+
+
+if __name__ == "__main__":
+    main()

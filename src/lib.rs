@@ -1,0 +1,16 @@
+//! Facade crate for the SEEC reproduction workspace.
+//!
+//! Re-exports every member crate so the workspace-level examples and
+//! integration tests (and downstream users who want a single dependency) can
+//! reach the whole system through one import.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+pub use noc_baselines as baselines;
+pub use noc_experiments as experiments;
+pub use noc_power as power;
+pub use noc_protocol as protocol;
+pub use noc_sim as sim;
+pub use noc_traffic as traffic;
+pub use noc_types as types;
+pub use seec;
