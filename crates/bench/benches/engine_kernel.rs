@@ -17,7 +17,7 @@ fn bench(c: &mut Criterion) {
                     SynthSpec::new(k, 2, Scheme::Xy, TrafficPattern::UniformRandom, 0.10)
                         .with_cycles(cycles),
                 )
-            })
+            });
         });
     }
     g.finish();

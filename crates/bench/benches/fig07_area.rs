@@ -21,7 +21,7 @@ fn bench(c: &mut Criterion) {
                 total += router_area(s, &cfg).total();
             }
             std::hint::black_box(total)
-        })
+        });
     });
 }
 

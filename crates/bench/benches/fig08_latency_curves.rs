@@ -18,7 +18,7 @@ fn bench(c: &mut Criterion) {
                     SynthSpec::new(4, 4, scheme, TrafficPattern::UniformRandom, 0.08)
                         .with_cycles(3_000),
                 )
-            })
+            });
         });
     }
     g.finish();

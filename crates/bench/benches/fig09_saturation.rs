@@ -23,7 +23,7 @@ fn bench(c: &mut Criterion) {
                 3_000,
             );
             saturation_from_curve(&curve, 3.0)
-        })
+        });
     });
     g.finish();
 }

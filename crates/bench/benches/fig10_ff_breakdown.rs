@@ -17,7 +17,7 @@ fn bench(c: &mut Criterion) {
                     .with_cycles(3_000),
             )
             .ff_fraction()
-        })
+        });
     });
     g.finish();
 }

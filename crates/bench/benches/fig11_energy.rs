@@ -13,7 +13,7 @@ fn bench(c: &mut Criterion) {
         SynthSpec::new(4, 1, Scheme::Spin, TrafficPattern::UniformRandom, 0.25).with_cycles(5_000),
     );
     c.bench_function("fig11/energy_report", |b| {
-        b.iter(|| link_energy(&stats, &cfg))
+        b.iter(|| link_energy(&stats, &cfg));
     });
 }
 

@@ -24,7 +24,7 @@ fn bench(c: &mut Criterion) {
                     )
                     .with_cycles(3_000),
                 )
-            })
+            });
         });
     }
     g.finish();

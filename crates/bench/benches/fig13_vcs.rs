@@ -12,10 +12,16 @@ fn bench(c: &mut Criterion) {
         g.bench_function(format!("escape_vc/{vcs}vcs"), |b| {
             b.iter(|| {
                 run_synth(
-                    SynthSpec::new(4, vcs, Scheme::escape(), TrafficPattern::UniformRandom, 0.10)
-                        .with_cycles(3_000),
+                    SynthSpec::new(
+                        4,
+                        vcs,
+                        Scheme::escape(),
+                        TrafficPattern::UniformRandom,
+                        0.10,
+                    )
+                    .with_cycles(3_000),
                 )
-            })
+            });
         });
     }
     g.finish();

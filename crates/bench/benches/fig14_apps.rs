@@ -22,8 +22,9 @@ fn bench(c: &mut Criterion) {
                 txns_per_core: 10,
                 max_cycles: 60_000,
                 seed: 3,
+                allow_unverified: false,
             })
-        })
+        });
     });
     g.finish();
 }

@@ -23,10 +23,11 @@ fn bench(c: &mut Criterion) {
                 txns_per_core: 10,
                 max_cycles: 60_000,
                 seed: 5,
+                allow_unverified: false,
             })
             .stats
             .max_total_latency
-        })
+        });
     });
     g.finish();
 }

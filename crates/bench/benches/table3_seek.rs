@@ -16,7 +16,7 @@ fn bench(c: &mut Criterion) {
                         .with_cycles(3_000),
                 )
                 .sideband_hops
-            })
+            });
         });
     }
     g.finish();

@@ -1,3 +1,5 @@
 //! Bench support crate: see `benches/` for one Criterion bench per paper
 //! table/figure. Each bench regenerates the (reduced) artifact once and
 //! times the representative simulation kernel behind it.
+
+#![forbid(unsafe_code)]

@@ -1,0 +1,109 @@
+//! Hermetic stand-in for `criterion`.
+//!
+//! Each `bench_function` executes its body once and prints the wall time —
+//! enough to smoke-test the bench targets (and regenerate the figure
+//! artifacts their setup code prints) in an offline environment without the
+//! statistical machinery of real criterion.
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+/// Re-export of `std::hint::black_box`, mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation (accepted and ignored).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timer handle passed to bench bodies.
+pub struct Bencher;
+
+impl Bencher {
+    /// Runs the routine once, timing it.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        black_box(routine());
+        let dt = start.elapsed();
+        println!("      once in {dt:?}");
+    }
+}
+
+/// Top-level bench context, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Runs a single named benchmark once.
+    pub fn bench_function<S, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        S: std::fmt::Display,
+        F: FnMut(&mut Bencher),
+    {
+        println!("bench {id}");
+        f(&mut Bencher);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group<S: std::fmt::Display>(&mut self, name: S) -> BenchmarkGroup {
+        println!("group {name}");
+        BenchmarkGroup
+    }
+}
+
+/// Group handle, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup;
+
+impl BenchmarkGroup {
+    /// Accepted and ignored (single-run stand-in).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted and ignored (single-run stand-in).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs a single named benchmark once.
+    pub fn bench_function<S, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        S: std::fmt::Display,
+        F: FnMut(&mut Bencher),
+    {
+        println!("  bench {id}");
+        f(&mut Bencher);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a bench group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

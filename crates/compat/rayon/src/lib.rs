@@ -1,0 +1,69 @@
+//! Hermetic stand-in for `rayon`.
+//!
+//! `par_iter()` / `into_par_iter()` are provided as extension methods that
+//! return the ordinary sequential `std` iterators, so every adapter chain
+//! (`map`, `flat_map`, `enumerate`, `collect`, ...) compiles and runs
+//! unchanged — just single-threaded. Results are therefore deterministic and
+//! identical to what real rayon would produce for the order-preserving
+//! adapters this workspace uses.
+#![forbid(unsafe_code)]
+
+pub mod prelude {
+    /// Sequential stand-in for `rayon::iter::IntoParallelIterator`.
+    pub trait IntoParallelIterator {
+        /// The (sequential) iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// The element type.
+        type Item;
+        /// Returns a sequential iterator in place of a parallel one.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Iter = I::IntoIter;
+        type Item = I::Item;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Sequential stand-in for `rayon::iter::IntoParallelRefIterator`.
+    pub trait IntoParallelRefIterator<'a> {
+        /// The (sequential) borrowing iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// The element type (a reference).
+        type Item;
+        /// Returns a sequential borrowing iterator in place of a parallel one.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
+    where
+        &'a C: IntoIterator,
+    {
+        type Iter = <&'a C as IntoIterator>::IntoIter;
+        type Item = <&'a C as IntoIterator>::Item;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_sequential() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let flat: Vec<(usize, i32)> = v
+            .par_iter()
+            .enumerate()
+            .flat_map(|(i, &x)| [(i, x)].into_par_iter())
+            .collect();
+        assert_eq!(flat.len(), 4);
+        assert_eq!(flat[3], (3, 4));
+    }
+}

@@ -1,0 +1,15 @@
+//! Hermetic stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` trait names and re-exports the
+//! no-op derives from the vendored `serde_derive`. The workspace annotates
+//! types with these derives as forward-looking metadata; no code path
+//! performs actual (de)serialization, so marker traits suffice.
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,22 @@
+//! Hermetic stand-in for `serde_derive`.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as metadata on
+//! config/report types (nothing actually serializes — `serde_json` is not
+//! used), so these derives accept the `#[serde(...)]` helper attribute and
+//! expand to nothing. That keeps the derive annotations in place for a future
+//! swap back to the real crates.
+#![forbid(unsafe_code)]
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive; accepts `#[serde(...)]` helper attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive; accepts `#[serde(...)]` helper attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,9 +1,9 @@
 //! Bufferless deflection networks: CHIPPER (Fallin et al., HPCA '11) and
-//! MinBD (Fallin et al., NOCS '12).
+//! `MinBD` (Fallin et al., NOCS '12).
 //!
 //! A different router microarchitecture from the VC design: flits never wait
 //! for credits. Each cycle, all flits present at a router are permuted onto
-//! output ports — productive if possible, *deflected* otherwise. MinBD adds
+//! output ports — productive if possible, *deflected* otherwise. `MinBD` adds
 //! a small side buffer that absorbs one would-be-deflected flit per cycle
 //! and re-injects it when the router has a spare slot, cutting the
 //! deflection rate. Livelock freedom comes from oldest-first priority (a
@@ -47,7 +47,7 @@ pub struct DeflectionSim {
     rng: SmallRng,
     /// Flits in flight toward each router: `(arrival, flit)`.
     inflight: Vec<Vec<(Cycle, Flit)>>,
-    /// MinBD side buffers.
+    /// `MinBD` side buffers.
     side: Vec<Vec<Flit>>,
     /// Per-node flit injection queues (packets are flitized on entry).
     inj: Vec<Vec<Flit>>,
@@ -55,7 +55,7 @@ pub struct DeflectionSim {
     reasm: Vec<HashMap<PacketId, Reassembly>>,
     /// Ejected flits per node per cycle.
     eject_bw: usize,
-    /// MinBD side-buffer capacity.
+    /// `MinBD` side-buffer capacity.
     side_cap: usize,
 }
 
@@ -95,8 +95,7 @@ impl DeflectionSim {
     }
 
     fn deliver_flit(&mut self, node: usize, flit: Flit, now: Cycle) {
-        let entry = self
-            .reasm[node]
+        let entry = self.reasm[node]
             .entry(flit.packet)
             .or_insert_with(|| Reassembly {
                 received: 0,
@@ -204,10 +203,7 @@ impl DeflectionSim {
             {
                 // Buffer the *youngest* flit (oldest keep moving — age
                 // priority preserves livelock freedom).
-                let will_deflect = contenders
-                    .iter()
-                    .filter(|f| f.dest.idx() != i)
-                    .count()
+                let will_deflect = contenders.iter().filter(|f| f.dest.idx() != i).count()
                     > degree.saturating_sub(1);
                 if will_deflect {
                     let f = contenders.pop().unwrap();
@@ -224,9 +220,7 @@ impl DeflectionSim {
                 let productive = noc_sim::routing::productive(c, dest);
                 let mut pick: Option<Direction> = None;
                 for &d in productive.as_slice() {
-                    if d.step(c, self.cfg.cols, self.cfg.rows).is_some()
-                        && !port_taken[d.index()]
-                    {
+                    if d.step(c, self.cfg.cols, self.cfg.rows).is_some() && !port_taken[d.index()] {
                         pick = Some(d);
                         break;
                     }
@@ -292,7 +286,8 @@ mod tests {
 
     fn sim(kind: DeflectionKind, rate: f64, seed: u64) -> DeflectionSim {
         let cfg = NetConfig::synth(4, 1).with_seed(seed);
-        let wl = SyntheticWorkload::new(TrafficPattern::UniformRandom, rate, 4, 4, cfg.warmup, seed);
+        let wl =
+            SyntheticWorkload::new(TrafficPattern::UniformRandom, rate, 4, 4, cfg.warmup, seed);
         DeflectionSim::new(cfg, kind, Box::new(wl))
     }
 
@@ -330,7 +325,11 @@ mod tests {
         s.run_for(30_000);
         // Everything injected is either delivered or still in the network.
         let inflight = s.flits_in_network() as u64;
-        let reasm: u64 = s.reasm.iter().map(|m| m.values().map(|r| r.received as u64).sum::<u64>()).sum();
+        let reasm: u64 = s
+            .reasm
+            .iter()
+            .map(|m| m.values().map(|r| r.received as u64).sum::<u64>())
+            .sum();
         let st = s.finalize();
         // Measured flits still travelling are a subset of everything inside.
         assert!(

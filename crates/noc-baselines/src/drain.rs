@@ -134,7 +134,7 @@ impl DrainMechanism {
     }
 }
 
-/// Tries every input port/VC of `node` within the packet's VNet; installs
+/// Tries every input port/VC of `node` within the packet's `VNet`; installs
 /// and returns the flit count, or hands the flits back on failure.
 fn install_anywhere_at(
     net: &mut Network,

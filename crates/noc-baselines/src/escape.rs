@@ -1,7 +1,7 @@
 //! The Escape-VC (Duato) baseline.
 //!
 //! The router support lives in `noc-sim` (`RoutingAlgo::EscapeVc`): the last
-//! VC of every VNet routes west-first and packets that enter it stay in
+//! VC of every `VNet` routes west-first and packets that enter it stay in
 //! escape VCs until ejection; all other VCs use fully-adaptive (or oblivious)
 //! minimal random routing — exactly the paper's `Escape VC (P, Fully
 //! adaptive random in regular VC, West-first in Esc VC)` configuration.
@@ -13,10 +13,10 @@ use noc_types::{BaseRouting, NetConfig, RoutingAlgo};
 /// Builds the paper's Escape-VC configuration on top of `base`: `normal`
 /// routing in the regular VCs, west-first in the per-VNet escape VC.
 ///
-/// Note the paper's area comparison gives Escape VC 7 VCs (1 per VNet + 1
+/// Note the paper's area comparison gives Escape VC 7 VCs (1 per `VNet` + 1
 /// shared adaptive): here the escape VC is carved out of the configured
 /// per-VNet VC count, so callers wanting "n adaptive VCs + 1 escape" should
-/// configure `n + 1` VCs per VNet.
+/// configure `n + 1` VCs per `VNet`.
 pub fn escape_vc_config(mut base: NetConfig, normal: BaseRouting) -> NetConfig {
     assert!(
         base.vcs_per_vnet >= 2,

@@ -12,8 +12,10 @@
 //! * **SWAP** — subactive pairwise packet swaps, [`swap::SwapMechanism`].
 //! * **DRAIN** — subactive network-wide ring drains,
 //!   [`drain::DrainMechanism`].
-//! * **MinBD / CHIPPER** — bufferless deflection routers, a separate
+//! * **`MinBD` / CHIPPER** — bufferless deflection routers, a separate
 //!   network model: [`deflect::DeflectionSim`].
+
+#![forbid(unsafe_code)]
 
 pub mod deflect;
 pub mod drain;

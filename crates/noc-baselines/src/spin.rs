@@ -24,9 +24,15 @@ type Slot = (NodeId, PortId, usize);
 enum ProbeState {
     Idle,
     /// Walking the chain; `path` holds visited slots, front is the origin.
-    Walking { path: Vec<Slot>, started: Cycle },
+    Walking {
+        path: Vec<Slot>,
+        started: Cycle,
+    },
     /// Cycle found: synchronize for `ready_at`, then rotate the loop.
-    Spinning { cycle_slots: Vec<Slot>, ready_at: Cycle },
+    Spinning {
+        cycle_slots: Vec<Slot>,
+        ready_at: Cycle,
+    },
 }
 
 /// The SPIN baseline mechanism.
@@ -215,7 +221,7 @@ impl Mechanism for SpinMechanism {
                 // priority (reserve the slot so SA yields — the probe's
                 // bandwidth theft).
                 net.stats.count_probe_hop(now);
-                if let Some(&(n, _, _)) = path.last().map(|s| s).map(|s| s) {
+                if let Some(&(n, _, _)) = path.last() {
                     // Reserve an arbitrary cardinal output of the current
                     // router for this cycle to model the stolen slot.
                     let port = Direction::East.index();

@@ -101,8 +101,12 @@ impl Mechanism for SwapMechanism {
                 let mut b = net.drain_packet(nb, p2, v2);
                 let fwd_productive = {
                     let f = &a[0];
-                    let before = node.to_coord(net.cfg.cols).manhattan(f.dest.to_coord(net.cfg.cols));
-                    let after = nb.to_coord(net.cfg.cols).manhattan(f.dest.to_coord(net.cfg.cols));
+                    let before = node
+                        .to_coord(net.cfg.cols)
+                        .manhattan(f.dest.to_coord(net.cfg.cols));
+                    let after = nb
+                        .to_coord(net.cfg.cols)
+                        .manhattan(f.dest.to_coord(net.cfg.cols));
                     after < before
                 };
                 for f in &mut a {

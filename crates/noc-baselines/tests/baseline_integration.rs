@@ -1,19 +1,12 @@
 //! Integration tests: every baseline keeps its claimed configuration
 //! deadlock-free under sustained traffic.
 
-use noc_baselines::{
-    escape_vc_config, DrainMechanism, SpinMechanism, SwapMechanism, TfcMechanism,
-};
+use noc_baselines::{escape_vc_config, DrainMechanism, SpinMechanism, SwapMechanism, TfcMechanism};
 use noc_sim::{watchdog, Mechanism, Sim};
 use noc_traffic::{SyntheticWorkload, TrafficPattern};
 use noc_types::{BaseRouting, NetConfig, RoutingAlgo};
 
-fn run_live(
-    cfg: NetConfig,
-    rate: f64,
-    mech: Box<dyn Mechanism>,
-    blocks: u64,
-) -> noc_sim::Stats {
+fn run_live(cfg: NetConfig, rate: f64, mech: Box<dyn Mechanism>, blocks: u64) -> noc_sim::Stats {
     let seed = cfg.seed;
     let (c, r, w) = (cfg.cols, cfg.rows, cfg.warmup);
     let wl = SyntheticWorkload::new(TrafficPattern::UniformRandom, rate, c, r, w, seed);
@@ -58,7 +51,10 @@ fn swap_recovers_deadlocks() {
     );
     assert!(s.ejected_packets > 500);
     assert!(s.forced_moves > 0, "SWAP never swapped");
-    assert!(s.misroute_hops > 0, "swaps must misroute the displaced packet");
+    assert!(
+        s.misroute_hops > 0,
+        "swaps must misroute the displaced packet"
+    );
 }
 
 #[test]
@@ -68,7 +64,11 @@ fn drain_recovers_deadlocks() {
     let cfg = deadlock_prone(1, 103);
     let mech = DrainMechanism::new(cfg.cols, cfg.rows, 256, 1);
     let s = run_live(cfg, 0.30, Box::new(mech), 50);
-    assert!(s.ejected_packets_all > 500, "only {}", s.ejected_packets_all);
+    assert!(
+        s.ejected_packets_all > 500,
+        "only {}",
+        s.ejected_packets_all
+    );
     assert!(s.forced_moves > 0, "DRAIN never drained anything");
 }
 

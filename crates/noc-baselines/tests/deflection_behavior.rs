@@ -50,7 +50,7 @@ fn reassembly_delivers_every_packet_exactly_once() {
     assert!(st.ejected_flits <= st.injected_flits);
 }
 
-/// MinBD's side buffer pays off where it was designed to: accepted
+/// `MinBD`'s side buffer pays off where it was designed to: accepted
 /// throughput under heavy load (fewer deflections waste less bandwidth).
 /// At light load the buffer can *add* latency — that is expected.
 #[test]

@@ -2,6 +2,9 @@
 //! `--quick` for reduced sweeps and `--csv <dir>` to also dump each table
 //! as CSV. Cheap artifacts print first; each fig-8 panel prints as soon as
 //! it is computed; progress marks go to stderr.
+//!
+//! `--allow-unverified` disables the `noc-verify` deadlock-freedom gate
+//! (otherwise statically-routed schemes refuse uncertified configurations).
 
 use noc_experiments::figs;
 use noc_experiments::FigTable;
@@ -13,6 +16,11 @@ fn main() {
     let t0 = Instant::now();
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    if args.iter().any(|a| a == "--allow-unverified") {
+        // The figure modules build their specs internally; the env override
+        // reaches every run_synth/run_app call.
+        std::env::set_var("NOC_ALLOW_UNVERIFIED", "1");
+    }
     let csv_dir = args
         .iter()
         .position(|a| a == "--csv")

@@ -20,7 +20,15 @@ pub fn run() -> FigTable {
     let esc_total = router_area(SchemeKind::EscapeVc, &cfg).total();
     let mut t = FigTable::new(
         "Fig 7 — router area breakdown, normalized to Escape VC",
-        &["scheme", "VCs", "buffers", "crossbar", "allocators", "extras", "total"],
+        &[
+            "scheme",
+            "VCs",
+            "buffers",
+            "crossbar",
+            "allocators",
+            "extras",
+            "total",
+        ],
     )
     .with_note("paper: SEEC ≈ 27% of Escape VC (73% smaller), DRAIN ≈ SEEC");
     for s in SCHEMES {

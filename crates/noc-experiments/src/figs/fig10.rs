@@ -21,19 +21,29 @@ pub fn panel_a(quick: bool) -> FigTable {
     let seec: Vec<f64> = rates
         .par_iter()
         .map(|&r| {
-            run_synth(SynthSpec::new(k, 4, Scheme::seec(), TrafficPattern::UniformRandom, r).with_cycles(cycles))
-                .ff_fraction()
+            run_synth(
+                SynthSpec::new(k, 4, Scheme::seec(), TrafficPattern::UniformRandom, r)
+                    .with_cycles(cycles),
+            )
+            .ff_fraction()
         })
         .collect();
     let mseec: Vec<f64> = rates
         .par_iter()
         .map(|&r| {
-            run_synth(SynthSpec::new(k, 4, Scheme::mseec(), TrafficPattern::UniformRandom, r).with_cycles(cycles))
-                .ff_fraction()
+            run_synth(
+                SynthSpec::new(k, 4, Scheme::mseec(), TrafficPattern::UniformRandom, r)
+                    .with_cycles(cycles),
+            )
+            .ff_fraction()
         })
         .collect();
     for (i, &r) in rates.iter().enumerate() {
-        t.push_row(vec![format!("{r:.3}"), fmt_ratio(seec[i]), fmt_ratio(mseec[i])]);
+        t.push_row(vec![
+            format!("{r:.3}"),
+            fmt_ratio(seec[i]),
+            fmt_ratio(mseec[i]),
+        ]);
     }
     t
 }
@@ -101,7 +111,10 @@ mod tests {
         let t = panel_a(true);
         let lo: f64 = t.rows.first().unwrap()[1].parse().unwrap();
         let hi: f64 = t.rows.last().unwrap()[1].parse().unwrap();
-        assert!(hi >= lo, "FF fraction should not shrink with load: {lo} → {hi}");
+        assert!(
+            hi >= lo,
+            "FF fraction should not shrink with load: {lo} → {hi}"
+        );
         assert!(hi > 0.0, "no FF at high load?");
     }
 

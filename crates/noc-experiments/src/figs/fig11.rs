@@ -59,7 +59,11 @@ pub fn run(quick: bool) -> FigTable {
     )
     .with_note("paper: SPIN 3.7x avg / up to 9.7x peak; deflection +25-74%; SWAP/DRAIN +5-14%; SEEC <1% over WF");
     for (label, avg, peak) in results {
-        t.push_row(vec![label, fmt_ratio(avg / wf_avg), fmt_ratio(peak / wf_peak)]);
+        t.push_row(vec![
+            label,
+            fmt_ratio(avg / wf_avg),
+            fmt_ratio(peak / wf_peak),
+        ]);
     }
     t
 }

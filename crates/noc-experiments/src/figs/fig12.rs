@@ -49,7 +49,9 @@ pub fn panel(pattern: TrafficPattern, quick: bool) -> FigTable {
         ),
         &colrefs,
     )
-    .with_note("paper: XY wins UR except vs mSEEC; adaptive > oblivious; mSEEC best on both patterns");
+    .with_note(
+        "paper: XY wins UR except vs mSEEC; adaptive > oblivious; mSEEC best on both patterns",
+    );
     let curves: Vec<_> = list
         .iter()
         .map(|&s| latency_curve(k, 2, s, pattern, &rates, cycles))

@@ -19,7 +19,14 @@ fn low_load_latency(router_latency: u8, tfc: bool, quick: bool) -> f64 {
         .with_routing(RoutingAlgo::Uniform(BaseRouting::WestFirst))
         .with_router_latency(router_latency)
         .with_seed(0xF004);
-    let wl = SyntheticWorkload::new(TrafficPattern::UniformRandom, 0.03, 4, 4, cfg.warmup, 0xF004);
+    let wl = SyntheticWorkload::new(
+        TrafficPattern::UniformRandom,
+        0.03,
+        4,
+        4,
+        cfg.warmup,
+        0xF004,
+    );
     let mech: Box<dyn noc_sim::Mechanism> = if tfc {
         Box::new(TfcMechanism::for_net(&cfg))
     } else {
@@ -75,6 +82,9 @@ mod tests {
         let t = run(true);
         let wf1: f64 = t.rows[0][1].parse().unwrap();
         let wf4: f64 = t.rows[2][1].parse().unwrap();
-        assert!(wf4 > wf1 + 3.0, "4-cycle router should be slower: {wf1} vs {wf4}");
+        assert!(
+            wf4 > wf1 + 3.0,
+            "4-cycle router should be slower: {wf1} vs {wf4}"
+        );
     }
 }

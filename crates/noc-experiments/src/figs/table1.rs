@@ -13,15 +13,19 @@ use noc_power::area::min_vcs_for_correctness;
 use noc_traffic::TrafficPattern;
 use rayon::prelude::*;
 
-/// Stress-runs one scheme and reports (deadlock_free, misroutes, detections).
+/// Stress-runs one scheme and reports (`deadlock_free`, misroutes, detections).
 fn probe(scheme: Scheme, quick: bool) -> (bool, u64, u64) {
     let cycles = if quick { 8_000 } else { 30_000 };
     // Deadlock-prone minimum-buffer configuration: 1 VC (2 for escape VC,
     // which needs a separate escape lane) at a saturating load, so recovery
     // behaviour is actually exercised.
-    let vcs = if matches!(scheme, Scheme::EscapeVc { .. }) { 2 } else { 1 };
-    let spec = SynthSpec::new(4, vcs, scheme, TrafficPattern::UniformRandom, 0.30)
-        .with_cycles(cycles);
+    let vcs = if matches!(scheme, Scheme::EscapeVc { .. }) {
+        2
+    } else {
+        1
+    };
+    let spec =
+        SynthSpec::new(4, vcs, scheme, TrafficPattern::UniformRandom, 0.30).with_cycles(cycles);
     let s = crate::runner::run_synth(spec);
     // Deadlock-free in this harness = kept delivering through saturation.
     // (DRAIN's single-shift drains are slow by design; the bar scales with

@@ -10,6 +10,8 @@
 //! authors' gem5 testbed; EXPERIMENTS.md records the shape comparison
 //! (who wins, by how much, where crossovers fall) per figure.
 
+#![forbid(unsafe_code)]
+
 pub mod runner;
 pub mod saturation;
 pub mod table;
@@ -17,7 +19,6 @@ pub mod table;
 pub mod figs {
     pub mod ablation;
     pub mod fig07;
-    pub mod footnote4;
     pub mod fig08;
     pub mod fig09;
     pub mod fig10;
@@ -26,6 +27,7 @@ pub mod figs {
     pub mod fig13;
     pub mod fig14;
     pub mod fig15;
+    pub mod footnote4;
     pub mod table1;
     pub mod table3;
 }

@@ -1,8 +1,8 @@
 //! Scheme registry and single-point runners.
 
 use noc_baselines::{
-    escape_vc_config, DeflectionKind, DeflectionSim, DrainMechanism, SpinMechanism,
-    SwapMechanism, TfcMechanism,
+    escape_vc_config, DeflectionKind, DeflectionSim, DrainMechanism, SpinMechanism, SwapMechanism,
+    TfcMechanism,
 };
 use noc_protocol::{ProtocolConfig, ProtocolWorkload};
 use noc_sim::network::NocModel;
@@ -11,7 +11,7 @@ use noc_traffic::apps::AppProfile;
 use noc_traffic::{SyntheticWorkload, TrafficPattern};
 use noc_types::{BaseRouting, NetConfig, RoutingAlgo, SchemeKind};
 
-/// Every NoC design point the paper evaluates (Table 4's baseline column
+/// Every `NoC` design point the paper evaluates (Table 4's baseline column
 /// plus SEEC/mSEEC). Routing defaults follow the paper: the reactive and
 /// subactive schemes use fully-adaptive minimal random; the `routing` fields
 /// allow Fig 12/15's variants.
@@ -162,6 +162,8 @@ pub struct SynthSpec {
     pub rate: f64,
     pub cycles: u64,
     pub seed: u64,
+    /// Skip the `noc-verify` deadlock-freedom gate (see [`verify_gate`]).
+    pub allow_unverified: bool,
 }
 
 impl SynthSpec {
@@ -174,6 +176,7 @@ impl SynthSpec {
             rate,
             cycles: 30_000,
             seed: 0xA11CE,
+            allow_unverified: false,
         }
     }
 
@@ -183,12 +186,43 @@ impl SynthSpec {
     }
 }
 
+/// Refuses to run configurations whose deadlock freedom rests entirely on
+/// the static routing relation unless `noc-verify` certifies them.
+///
+/// Schemes with a runtime escape or recovery mechanism (SEEC, mSEEC, SPIN,
+/// SWAP, DRAIN, deflection) are exempt: their correctness argument is
+/// dynamic, which is exactly why the paper evaluates them on routing
+/// relations the static certifier rejects. `XY`/`WF` (plain turn-model),
+/// `EscapeVc` (Duato) and `TFC` (west-first) must hold a certificate.
+///
+/// Override with `allow_unverified` on the spec or the
+/// `NOC_ALLOW_UNVERIFIED` environment variable (the `--allow-unverified`
+/// flag of `all_figs`).
+fn verify_gate(scheme: Scheme, cfg: &NetConfig, allow_unverified: bool) {
+    match scheme.kind() {
+        SchemeKind::None | SchemeKind::EscapeVc | SchemeKind::Tfc => {}
+        _ => return,
+    }
+    if allow_unverified || std::env::var_os("NOC_ALLOW_UNVERIFIED").is_some() {
+        return;
+    }
+    let report = noc_verify::certify(cfg);
+    assert!(
+        report.certified(),
+        "refusing to run uncertified configuration for scheme {}:\n{}\
+         (set allow_unverified on the spec or NOC_ALLOW_UNVERIFIED=1 to override)",
+        scheme.label(),
+        report.render()
+    );
+}
+
 /// Runs one synthetic point to completion and returns its statistics.
 pub fn run_synth(spec: SynthSpec) -> Stats {
     let cfg = spec
         .scheme
         .configure(NetConfig::synth(spec.k, spec.vcs))
         .with_seed(spec.seed);
+    verify_gate(spec.scheme, &cfg, spec.allow_unverified);
     let wl = SyntheticWorkload::new(
         spec.pattern,
         spec.rate,
@@ -216,9 +250,9 @@ pub fn run_synth(spec: SynthSpec) -> Stats {
 #[derive(Clone, Copy, Debug)]
 pub struct AppSpec {
     pub k: u8,
-    /// VNets: 6 for the proactive/reactive baselines, 1 for DRAIN/SEEC.
+    /// `VNets`: 6 for the proactive/reactive baselines, 1 for DRAIN/SEEC.
     pub vnets: u8,
-    /// VCs per VNet.
+    /// VCs per `VNet`.
     pub vcs: u8,
     pub scheme: Scheme,
     pub app: AppProfile,
@@ -226,6 +260,8 @@ pub struct AppSpec {
     pub txns_per_core: u64,
     pub max_cycles: u64,
     pub seed: u64,
+    /// Skip the `noc-verify` deadlock-freedom gate (see [`verify_gate`]).
+    pub allow_unverified: bool,
 }
 
 /// Result of an application run: network statistics plus the runtime in
@@ -243,6 +279,7 @@ pub fn run_app(spec: AppSpec) -> AppResult {
         .scheme
         .configure(NetConfig::full_system(spec.k, spec.vnets, spec.vcs))
         .with_seed(spec.seed);
+    verify_gate(spec.scheme, &cfg, spec.allow_unverified);
     let pcfg = ProtocolConfig {
         txns_per_core: Some(spec.txns_per_core),
         ..ProtocolConfig::default()
@@ -293,6 +330,41 @@ mod tests {
             let s = run_synth(spec);
             assert!(s.ejected_packets > 50, "{}", scheme.label());
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "refusing to run uncertified configuration")]
+    fn gate_refuses_protocol_cyclic_vnet_mapping() {
+        // XY on one shared VNet: routing certifies but the protocol layer
+        // self-loops, so the gate must refuse before the simulation starts.
+        let spec = AppSpec {
+            k: 4,
+            vnets: 1,
+            vcs: 2,
+            scheme: Scheme::Xy,
+            app: noc_traffic::apps::APPS[0],
+            txns_per_core: 1,
+            max_cycles: 100,
+            seed: 1,
+            allow_unverified: false,
+        };
+        let _ = run_app(spec);
+    }
+
+    #[test]
+    fn gate_override_lets_uncertified_configs_run() {
+        let spec = AppSpec {
+            k: 4,
+            vnets: 1,
+            vcs: 2,
+            scheme: Scheme::Xy,
+            app: noc_traffic::apps::APPS[0],
+            txns_per_core: 1,
+            max_cycles: 2_000,
+            seed: 1,
+            allow_unverified: true,
+        };
+        let _ = run_app(spec); // must not panic
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Saturation-throughput search (Fig 9's metric).
 //!
-//! Standard NoC methodology: sweep the offered load; the network is
+//! Standard `NoC` methodology: sweep the offered load; the network is
 //! *saturated* once average latency exceeds a multiple of the zero-load
 //! latency (we use 3×, a common knee definition) or the network stops
 //! accepting the offered load. The saturation throughput is the accepted
@@ -52,8 +52,9 @@ pub fn saturation_from_curve(curve: &[CurvePoint], knee: f64) -> f64 {
         .unwrap_or(1.0);
     let mut sat = 0.0_f64;
     for p in curve {
-        let unsaturated =
-            p.avg_latency > 0.0 && p.avg_latency <= knee * zero_load && p.accepted >= 0.85 * p.offered;
+        let unsaturated = p.avg_latency > 0.0
+            && p.avg_latency <= knee * zero_load
+            && p.accepted >= 0.85 * p.offered;
         if unsaturated {
             sat = sat.max(p.accepted);
         }
@@ -96,7 +97,7 @@ mod tests {
             pt(0.02, 0.02, 12.0),
             pt(0.06, 0.06, 14.0),
             pt(0.10, 0.10, 20.0),
-            pt(0.14, 0.13, 80.0),  // past the knee: latency exploded
+            pt(0.14, 0.13, 80.0), // past the knee: latency exploded
             pt(0.18, 0.13, 300.0),
         ];
         let sat = saturation_from_curve(&curve, 3.0);

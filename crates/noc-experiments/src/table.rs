@@ -17,7 +17,10 @@ impl FigTable {
     pub fn new(title: impl Into<String>, columns: &[&str]) -> FigTable {
         FigTable {
             title: title.into(),
-            columns: columns.iter().map(|s| s.to_string()).collect(),
+            columns: columns
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect(),
             rows: Vec::new(),
             note: String::new(),
         }
@@ -40,7 +43,13 @@ impl FigTable {
         let slug: String = self
             .title
             .chars()
-            .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '_'
+                }
+            })
             .collect::<String>()
             .split('_')
             .filter(|s| !s.is_empty())
@@ -83,7 +92,7 @@ impl fmt::Display for FigTable {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "== {} ==", self.title)?;
         // Column widths.
-        let mut w: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        let mut w: Vec<usize> = self.columns.iter().map(std::string::String::len).collect();
         for row in &self.rows {
             for (i, cell) in row.iter().enumerate() {
                 w[i] = w[i].max(cell.len());
@@ -134,8 +143,10 @@ mod tests {
         let dir = std::env::temp_dir().join("seec_csv_test");
         let path = t.save_csv(dir.to_str().unwrap()).unwrap();
         assert!(path.ends_with(".csv"));
-        assert!(std::fs::read_to_string(&path).unwrap().contains("a
-1"));
+        assert!(std::fs::read_to_string(&path).unwrap().contains(
+            "a
+1"
+        ));
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Router area model (Fig 7).
 //!
 //! Per-scheme router configurations follow §4.2: the *minimum* buffering
-//! each scheme needs for correctness — Escape VC 7 VCs (one per VNet plus a
-//! shared adaptive VC), West-first/TFC/SPIN/SWAP 6 VCs (one per VNet), DRAIN
+//! each scheme needs for correctness — Escape VC 7 VCs (one per `VNet` plus a
+//! shared adaptive VC), West-first/TFC/SPIN/SWAP 6 VCs (one per `VNet`), DRAIN
 //! and SEEC 1 VC. mSEEC adds no router complexity over SEEC (footnote 3).
 
 use noc_types::{NetConfig, SchemeKind, NUM_PORTS};
@@ -30,7 +30,7 @@ const SWAP_EXTRA_FIXED: f64 = 300.0;
 const DRAIN_EXTRA_FIXED: f64 = 280.0;
 /// TFC extras: token tracking and bypass latches.
 const TFC_EXTRA_FIXED: f64 = 350.0;
-/// MinBD: 4-flit side buffer + permutation/golden logic, no VC buffers.
+/// `MinBD`: 4-flit side buffer + permutation/golden logic, no VC buffers.
 const MINBD_SIDE_FLITS: f64 = 4.0;
 const DEFLECT_LOGIC: f64 = 900.0;
 
@@ -109,7 +109,11 @@ pub fn router_area_with(scheme: SchemeKind, vcs_per_port: usize, vc_depth: usize
 /// Router area at the scheme's minimum correct configuration, depth from
 /// `cfg` (5-flit VCT).
 pub fn router_area(scheme: SchemeKind, cfg: &NetConfig) -> AreaBreakdown {
-    router_area_with(scheme, min_vcs_for_correctness(scheme), cfg.vc_depth as usize)
+    router_area_with(
+        scheme,
+        min_vcs_for_correctness(scheme),
+        cfg.vc_depth as usize,
+    )
 }
 
 #[cfg(test)]

@@ -59,8 +59,8 @@ pub fn link_energy(stats: &Stats, cfg: &NetConfig) -> EnergyReport {
     let w = cfg.link_width_bits as f64;
     let link_total =
         stats.link_flit_hops as f64 * w * E_BIT_LINK + stats.probe_hops as f64 * PROBE_BITS;
-    let sideband_total = stats.sideband_hops as f64 * SEEKER_BITS
-        + stats.lookahead_hops as f64 * LOOKAHEAD_BITS;
+    let sideband_total =
+        stats.sideband_hops as f64 * SEEKER_BITS + stats.lookahead_hops as f64 * LOOKAHEAD_BITS;
     let reads_writes = (stats.buffer_reads + stats.buffer_writes) as f64;
     let bypassed = 2.0 * stats.tfc_bypasses as f64;
     let buffer_total = (reads_writes - bypassed).max(0.0) * w * E_BIT_BUFFER;

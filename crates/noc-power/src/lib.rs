@@ -1,11 +1,13 @@
 //! Analytic router-area and link/router-energy models.
 //!
-//! The paper synthesized OpenSMART routers on FreePDK15 and reported
+//! The paper synthesized `OpenSMART` routers on `FreePDK15` and reported
 //! *relative* area (Fig 7) and link energy (Fig 11). We reproduce the same
 //! relative quantities with a component-level analytic model: absolute
 //! numbers are in arbitrary units calibrated so the component *ratios* match
 //! published router breakdowns (input buffers dominate; crossbar ∝ width²;
 //! allocators grow with VC count). DESIGN.md records this substitution.
+
+#![forbid(unsafe_code)]
 
 pub mod area;
 pub mod energy;

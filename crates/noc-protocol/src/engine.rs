@@ -9,13 +9,30 @@ use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use std::collections::VecDeque;
 
-/// Message classes, named.
-const REQ: MessageClass = MessageClass(0);
-const FWD: MessageClass = MessageClass(1);
-const DATA: MessageClass = MessageClass(2);
-const ACK: MessageClass = MessageClass(3);
-const WB: MessageClass = MessageClass(4);
-const UNBLOCK: MessageClass = MessageClass(5);
+/// Request (GetS/GetX): consumption gated on a free directory TBE.
+pub const REQ: MessageClass = MessageClass(0);
+/// Forward / invalidate: cores answer immediately.
+pub const FWD: MessageClass = MessageClass(1);
+/// Data response: MSHR reserved at request time, always consumable.
+pub const DATA: MessageClass = MessageClass(2);
+/// Ack (`InvAck` / WB-Ack / transfer notice): always consumable.
+pub const ACK: MessageClass = MessageClass(3);
+/// Writeback data: consumption gated on a free directory TBE.
+pub const WB: MessageClass = MessageClass(4);
+/// Unblock / completion: always consumable; frees the TBE.
+pub const UNBLOCK: MessageClass = MessageClass(5);
+
+/// Resource-induced message-class dependencies: `(gated, gating)` means the
+/// *consumption* of a `gated`-class message can stall until some
+/// `gating`-class message is delivered. These mirror exactly the two refusal
+/// paths in [`ProtocolWorkload::deliver`]: `Request` and `WbData` bounce off
+/// a full TBE pool, and only `Unblock` delivery frees a TBE. They are the
+/// protocol-level half of the extended channel dependency graph the
+/// `noc-verify` certifier builds: if `gated` and `gating` share a virtual
+/// network, the dependency becomes a cycle through the network's buffers
+/// (protocol-level deadlock exposure — the paper's motivation for running
+/// the proactive baselines with one `VNet` per class).
+pub const CLASS_RESOURCE_DEPS: &[(MessageClass, MessageClass)] = &[(REQ, UNBLOCK), (WB, UNBLOCK)];
 
 /// Protocol resource limits and workload shape.
 #[derive(Clone, Copy, Debug)]
@@ -150,7 +167,11 @@ impl ProtocolWorkload {
     /// requestor itself (self-homed lines are serviced without the network).
     fn pick_home(&mut self, requestor: NodeId) -> NodeId {
         let h = if self.rng.gen_bool(self.profile.home_skew) {
-            NodeId(self.rng.gen_range(0..self.pcfg.hot_homes.min(self.nodes as usize)) as u16)
+            NodeId(
+                self.rng
+                    .gen_range(0..self.pcfg.hot_homes.min(self.nodes as usize))
+                    as u16,
+            )
         } else {
             NodeId(self.rng.gen_range(0..self.nodes))
         };
@@ -414,7 +435,9 @@ mod tests {
         // Every core issues exactly one request initially (think gates the
         // next one).
         assert_eq!(injected.len(), 16);
-        assert!(injected.iter().all(|(_, p)| p.class == REQ && p.len_flits == 1));
+        assert!(injected
+            .iter()
+            .all(|(_, p)| p.class == REQ && p.len_flits == 1));
         assert!(injected.iter().all(|(n, p)| *n == p.src && p.src != p.dest));
     }
 
@@ -451,8 +474,7 @@ mod tests {
         // injected packet is delivered next cycle.
         let mut w = workload(1e6); // one request per core, think ~forever
         let mut inflight: Vec<Packet> = Vec::new();
-        let mut cycle = 0;
-        for _ in 0..64 {
+        for cycle in 0..64 {
             let mut newly = Vec::new();
             w.generate(cycle, &mut |_, p| newly.push(p));
             inflight.extend(newly);
@@ -474,9 +496,12 @@ mod tests {
                 let ok = w.deliver(cycle + 1, &d);
                 assert!(ok, "zero-contention delivery must be consumable");
             }
-            cycle += 1;
         }
-        assert!(w.txns_completed >= 16, "txns completed: {}", w.txns_completed);
+        assert!(
+            w.txns_completed >= 16,
+            "txns completed: {}",
+            w.txns_completed
+        );
         // All TBEs and MSHRs returned.
         assert!(w.dirs.iter().all(|d| d.tbes_in_use == 0));
         assert!(w.cores.iter().all(|c| c.mshrs_in_use <= 1));
@@ -486,8 +511,10 @@ mod tests {
     fn finished_tracks_target_transactions() {
         let mut prof = *apps::by_name("fft").unwrap();
         prof.think_time = 1.0;
-        let mut pcfg = ProtocolConfig::default();
-        pcfg.txns_per_core = Some(1);
+        let pcfg = ProtocolConfig {
+            txns_per_core: Some(1),
+            ..ProtocolConfig::default()
+        };
         let w = ProtocolWorkload::new(prof, pcfg, 4, 0, 1);
         assert_eq!(w.finished(), Some(false));
     }

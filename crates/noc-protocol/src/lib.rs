@@ -5,9 +5,9 @@
 //! what the *network* sees: closed-loop transactions whose messages form
 //! dependency chains across six classes, finite MSHRs/TBEs that create real
 //! back-pressure (and protocol-deadlock exposure when all classes share one
-//! VNet), mixed 1-/5-flit packets, and directory-home hotspots.
+//! `VNet`), mixed 1-/5-flit packets, and directory-home hotspots.
 //!
-//! Message classes (→ VNets on the 6-VNet baselines):
+//! Message classes (→ `VNets` on the 6-VNet baselines):
 //!
 //! | class | message | flits | terminating? |
 //! |-------|---------|-------|--------------|
@@ -18,6 +18,10 @@
 //! | 4 | Writeback data        | 5 | no — needs a free directory TBE |
 //! | 5 | Unblock / completion  | 1 | yes (frees the TBE) |
 
+#![forbid(unsafe_code)]
+
 pub mod engine;
 
-pub use engine::{ProtocolConfig, ProtocolWorkload};
+pub use engine::{
+    ProtocolConfig, ProtocolWorkload, ACK, CLASS_RESOURCE_DEPS, DATA, FWD, REQ, UNBLOCK, WB,
+};

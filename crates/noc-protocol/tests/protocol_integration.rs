@@ -38,7 +38,7 @@ fn six_vnet_baseline_completes_transactions() {
     );
 }
 
-/// With a single VNet all six message classes share the same VCs; finite
+/// With a single `VNet` all six message classes share the same VCs; finite
 /// directory TBEs then let requests block responses — protocol deadlock.
 /// SEEC must keep exactly this configuration live (Lemmas 1–3).
 #[test]
@@ -60,7 +60,11 @@ fn seec_breaks_protocol_deadlock_on_one_vnet() {
     let s = sim.finish();
     // Deeply saturated on purpose (2 TBEs, one VNet): judge liveness on all
     // post-warm-up deliveries plus FF activity.
-    assert!(s.ejected_packets_all > 300, "only {}", s.ejected_packets_all);
+    assert!(
+        s.ejected_packets_all > 300,
+        "only {}",
+        s.ejected_packets_all
+    );
     assert!(s.ff_packets > 0, "expected some FF rescues under pressure");
 }
 
@@ -111,7 +115,7 @@ fn closed_loop_runtime_is_measurable() {
 }
 
 /// Regression: a six-VNet escape-VC router must run protocol traffic without
-/// panicking (the escape index used to overflow the VC array for VNets > 0).
+/// panicking (the escape index used to overflow the VC array for `VNets` > 0).
 #[test]
 fn six_vnet_escape_vc_runs_protocol_traffic() {
     let cfg = NetConfig::full_system(4, 6, 2)

@@ -1,4 +1,4 @@
-//! # noc-sim — a cycle-accurate 2D-mesh NoC simulator
+//! # noc-sim — a cycle-accurate 2D-mesh `NoC` simulator
 //!
 //! The substrate of the SEEC reproduction: a Garnet2.0-class network model
 //! built from scratch. VC routers with credit flow control, virtual
@@ -11,6 +11,13 @@
 //! Entry point: [`network::Sim`]. A simulation is
 //! `Sim::new(config, workload, mechanism)` followed by [`network::Sim::run`].
 
+#![forbid(unsafe_code)]
+// The simulator proper never unwraps; invariant-backed Options use
+// `expect` with the invariant spelled out. Unit tests are exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+#[cfg(feature = "check-invariants")]
+pub mod invariants;
 pub mod mechanism;
 pub mod network;
 pub mod nic;

@@ -21,15 +21,11 @@
 use crate::mechanism::Mechanism;
 use crate::nic::{InjProgress, Nic};
 use crate::reservation::ReservationTable;
-use crate::router::{
-    route_compute, try_alloc, try_alloc_ejection, DownFree, Move, Router,
-};
+use crate::router::{route_compute, try_alloc, try_alloc_ejection, DownFree, Move, Router};
 use crate::stats::Stats;
 use crate::vc::VcRoute;
 use crate::workload::Workload;
-use noc_types::{
-    Cycle, Direction, Flit, NetConfig, NodeId, PortId, NUM_PORTS,
-};
+use noc_types::{Cycle, Direction, Flit, NetConfig, NodeId, PortId, NUM_PORTS};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -61,6 +57,9 @@ pub struct Network {
     pub rng: SmallRng,
     /// Last cycle any flit moved anywhere (watchdog input).
     pub last_progress: Cycle,
+    /// Invariant-layer counters and findings (`check-invariants` feature).
+    #[cfg(feature = "check-invariants")]
+    pub inv: crate::invariants::InvariantState,
     /// Scratch for SA winners, reused across cycles.
     moves: Vec<Move>,
 }
@@ -69,7 +68,9 @@ impl Network {
     pub fn new(cfg: NetConfig) -> Network {
         let n = cfg.num_nodes();
         assert!(n >= 2, "a network needs at least two nodes");
-        let routers = (0..n).map(|i| Router::new(NodeId(i as u16), &cfg)).collect();
+        let routers = (0..n)
+            .map(|i| Router::new(NodeId(i as u16), &cfg))
+            .collect();
         let nics = (0..n).map(|i| Nic::new(NodeId(i as u16), &cfg)).collect();
         let mut downfree = Vec::with_capacity(n);
         for _ in 0..n {
@@ -97,6 +98,8 @@ impl Network {
             stats: Stats::default(),
             rng,
             last_progress: 0,
+            #[cfg(feature = "check-invariants")]
+            inv: crate::invariants::InvariantState::default(),
             moves: Vec::new(),
             cfg,
         }
@@ -240,7 +243,16 @@ impl Network {
 
         for i in 0..routers.len() {
             moves.clear();
-            decide_router(i, &mut routers[i], &downfree[i], cfg, reservations, rng, now, moves);
+            decide_router(
+                i,
+                &mut routers[i],
+                &downfree[i],
+                cfg,
+                reservations,
+                rng,
+                now,
+                moves,
+            );
             let r = &mut routers[i];
             for m in moves.iter() {
                 let vc = &mut r.inputs[m.in_port].vcs[m.in_vc];
@@ -278,8 +290,8 @@ impl Network {
                 *last_progress = now;
             }
             // Mark heads that did not move this cycle (SPIN / watchdog input).
-            for port in r.inputs.iter_mut() {
-                for vc in port.vcs.iter_mut() {
+            for port in &mut r.inputs {
+                for vc in &mut port.vcs {
                     if vc.front().is_some() && vc.head_wait_since.is_none() {
                         vc.head_wait_since = Some(now);
                     }
@@ -291,6 +303,8 @@ impl Network {
     /// Phase 6: NICs stream packet flits into their router's local port.
     fn compute_injection(&mut self) {
         let now = self.cycle;
+        #[cfg(feature = "check-invariants")]
+        let mut injected_now: u64 = 0;
         let Network {
             cfg,
             routers,
@@ -320,8 +334,7 @@ impl Network {
                         .filter(|&v| Some(v) != esc)
                         .chain(esc)
                         .find(|&v| {
-                            routers[i].inputs[lp].vcs[v].is_free()
-                                && nic.local_claims[v].is_none()
+                            routers[i].inputs[lp].vcs[v].is_free() && nic.local_claims[v].is_none()
                         });
                     if let Some(v) = pick {
                         nic.inj_queues[cls].pop_front();
@@ -348,6 +361,10 @@ impl Network {
                 // bodies follow the resident packet).
                 inbox_router[i].push((now + cfg.router_latency as Cycle, lp, flit));
                 stats.record_injected_flit(&flit);
+                #[cfg(feature = "check-invariants")]
+                {
+                    injected_now += 1;
+                }
                 *last_progress = now;
                 prog.next_seq += 1;
                 if prog.next_seq == prog.packet.len_flits {
@@ -356,6 +373,10 @@ impl Network {
                     nic.inj_active = None;
                 }
             }
+        }
+        #[cfg(feature = "check-invariants")]
+        {
+            self.inv.injected_flits += injected_now;
         }
     }
 
@@ -370,6 +391,11 @@ impl Network {
                         self.nics[i].consume_commit(ej);
                         self.stats.record_delivery(&d);
                         self.last_progress = now;
+                        #[cfg(feature = "check-invariants")]
+                        {
+                            let cols = self.cfg.cols;
+                            self.inv.on_consume(&d, cols);
+                        }
                     }
                 }
             }
@@ -391,15 +417,18 @@ impl Network {
     }
 
     /// The upstream claim (if any) on input VC `(node, port, vc)`.
-    pub fn upstream_claim(&self, node: NodeId, port: PortId, vc: usize) -> Option<noc_types::PacketId> {
+    pub fn upstream_claim(
+        &self,
+        node: NodeId,
+        port: PortId,
+        vc: usize,
+    ) -> Option<noc_types::PacketId> {
         if port == Direction::Local.index() {
             return self.nics[node.idx()].local_claims[vc];
         }
         let dir = Direction::from_index(port);
         match self.neighbor(node, dir) {
-            Some(nb) => {
-                self.routers[nb.idx()].outputs[dir.opposite().index()].vc_claimed[vc]
-            }
+            Some(nb) => self.routers[nb.idx()].outputs[dir.opposite().index()].vc_claimed[vc],
             None => None,
         }
     }
@@ -447,6 +476,11 @@ fn flit_target_vc(router: &Router, port: PortId, flit: &Flit) -> usize {
     v
 }
 
+/// Stage-1 nomination: `(in_vc, out_port, alloc)` where `alloc` is the
+/// freshly granted `(downstream VC, is_escape)` pair for head flits (body
+/// flits already hold their route and carry `None`).
+type Nomination = (usize, PortId, Option<(usize, bool)>);
+
 /// One router's combined route-compute / VC-allocation / switch-allocation
 /// decision for this cycle (1-cycle router pipeline).
 ///
@@ -479,9 +513,8 @@ fn decide_router(
     }
 
     // Stage 1: nominations — (in_vc, out_port, alloc).
-    let mut nominee: [Option<(usize, PortId, Option<(usize, bool)>)>; NUM_PORTS] =
-        [None; NUM_PORTS];
-    for p in 0..NUM_PORTS {
+    let mut nominee: [Option<Nomination>; NUM_PORTS] = [None; NUM_PORTS];
+    for (p, nom) in nominee.iter_mut().enumerate() {
         let nvcs = r.inputs[p].vcs.len();
         for k in 0..nvcs {
             let v = (r.sa_in_rr[p] + k) % nvcs;
@@ -499,7 +532,7 @@ fn decide_router(
                     || route.out_port == Direction::Local.index()
                     || down.slots[route.out_port][route.out_vc] > 0;
                 if has_slot && !reservations.is_reserved(r.id, route.out_port, now) {
-                    nominee[p] = Some((v, route.out_port, None));
+                    *nom = Some((v, route.out_port, None));
                     break;
                 }
                 continue;
@@ -516,7 +549,7 @@ fn decide_router(
                 }
                 if let Some(ej) = try_alloc_ejection(&front, cfg, down) {
                     if !reservations.is_reserved(r.id, lp, now) {
-                        nominee[p] = Some((v, lp, Some((ej, false))));
+                        *nom = Some((v, lp, Some((ej, false))));
                         break;
                     }
                 }
@@ -551,10 +584,11 @@ fn decide_router(
                     pp
                 }
             };
-            if let Some((port, out_vc, esc)) = try_alloc(&front, in_escape, pending, here, cfg, down)
+            if let Some((port, out_vc, esc)) =
+                try_alloc(&front, in_escape, pending, here, cfg, down)
             {
                 if !reservations.is_reserved(r.id, port, now) {
-                    nominee[p] = Some((v, port, Some((out_vc, esc))));
+                    *nom = Some((v, port, Some((out_vc, esc))));
                     break;
                 }
             }
@@ -568,13 +602,12 @@ fn decide_router(
             let p = (r.sa_out_rr[o] + k) % NUM_PORTS;
             if let Some((_, port, _)) = nominee[p] {
                 if port == o {
-                    winner = Some(p);
+                    winner = nominee[p].take().map(|n| (p, n));
                     break;
                 }
             }
         }
-        if let Some(p) = winner {
-            let (v, _, alloc) = nominee[p].take().unwrap();
+        if let Some((p, (v, _, alloc))) = winner {
             moves.push(Move {
                 node,
                 in_port: p,
@@ -616,10 +649,7 @@ impl Sim {
         net.deliver_arrivals();
         {
             let Network {
-                nics,
-                stats,
-                cycle,
-                ..
+                nics, stats, cycle, ..
             } = net;
             self.workload.generate(*cycle, &mut |node, pkt| {
                 debug_assert_ne!(pkt.src, pkt.dest, "self-addressed packet");
@@ -635,6 +665,8 @@ impl Sim {
         net.compute_injection();
         net.consume(self.workload.as_mut());
         self.mech.post_cycle(net);
+        #[cfg(feature = "check-invariants")]
+        net.check_invariants();
         let c = net.cycle;
         net.reservations.prune(c);
         net.cycle += 1;

@@ -140,8 +140,8 @@ impl Nic {
     pub fn consume_peek(&self, ej_vc: usize, now: Cycle) -> DeliveredPacket {
         let vc = &self.ejection[ej_vc];
         assert!(vc.complete_packet(), "consuming incomplete packet");
-        let head = *vc.buf.front().unwrap();
-        let tail = *vc.buf.back().unwrap();
+        let head = *vc.buf.front().expect("complete packet has a head flit");
+        let tail = *vc.buf.back().expect("complete packet has a tail flit");
         DeliveredPacket {
             id: head.packet,
             src: head.src,

@@ -21,15 +21,13 @@ use noc_types::{Cycle, NodeId, PortId, NUM_PORTS};
 ///
 /// Intervals are closed `[from, to]`. The table is empty unless a mechanism
 /// that uses FF (or probe traffic) is active.
-#[derive(Clone, Debug)]
-#[derive(Default)]
+#[derive(Clone, Debug, Default)]
 pub struct ReservationTable {
     /// `links[node * NUM_PORTS + port]` → live intervals.
     links: Vec<Vec<(Cycle, Cycle)>>,
     /// Total live intervals (fast emptiness check).
     live: usize,
 }
-
 
 impl ReservationTable {
     pub fn new() -> Self {

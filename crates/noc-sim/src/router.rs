@@ -61,7 +61,8 @@ impl Router {
             .iter()
             .map(|&d| {
                 let neighbor = if d.is_cardinal() {
-                    d.step(coord, cfg.cols, cfg.rows).map(|c| c.to_node(cfg.cols))
+                    d.step(coord, cfg.cols, cfg.rows)
+                        .map(|c| c.to_node(cfg.cols))
                 } else {
                     None
                 };
@@ -124,7 +125,9 @@ impl DownFree {
     pub fn first_free_normal(&self, port: PortId, cfg: &NetConfig, vnet: u8) -> Option<usize> {
         let range = cfg.vc_range(vnet);
         let esc = cfg.escape_vc(vnet).map(|e| range.start + e);
-        range.filter(|&v| Some(v) != esc).find(|&v| self.free[port][v])
+        range
+            .filter(|&v| Some(v) != esc)
+            .find(|&v| self.free[port][v])
     }
 
     /// The escape VC of `vnet` behind `port`, if configured and free.
@@ -286,8 +289,14 @@ mod tests {
         let c = cfg();
         let r = Router::new(NodeId(5), &c); // coord (1,1)
         assert_eq!(r.coord, Coord::new(1, 1));
-        assert_eq!(r.outputs[Direction::North.index()].neighbor, Some(NodeId(1)));
-        assert_eq!(r.outputs[Direction::South.index()].neighbor, Some(NodeId(9)));
+        assert_eq!(
+            r.outputs[Direction::North.index()].neighbor,
+            Some(NodeId(1))
+        );
+        assert_eq!(
+            r.outputs[Direction::South.index()].neighbor,
+            Some(NodeId(9))
+        );
         assert_eq!(r.outputs[Direction::East.index()].neighbor, Some(NodeId(6)));
         assert_eq!(r.outputs[Direction::West.index()].neighbor, Some(NodeId(4)));
         assert_eq!(r.outputs[Direction::Local.index()].neighbor, None);
@@ -368,7 +377,14 @@ mod tests {
 
         // Dest to the west: WF forces West.
         let f2 = flit_to(NodeId(4)); // (0,1) from coord (2,1)
-        let got2 = try_alloc(&f2, false, Direction::West.index(), Coord::new(2, 1), &c, &d);
+        let got2 = try_alloc(
+            &f2,
+            false,
+            Direction::West.index(),
+            Coord::new(2, 1),
+            &c,
+            &d,
+        );
         assert_eq!(got2.unwrap().0, Direction::West.index());
     }
 

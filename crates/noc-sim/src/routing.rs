@@ -129,21 +129,31 @@ pub fn xy_path(from: Coord, to: Coord) -> Vec<Coord> {
     path
 }
 
+/// The direction of the single hop from `a` to adjacent `b`, or `None` when
+/// the coordinates are not mesh neighbours.
+pub fn try_hop_dir(a: Coord, b: Coord) -> Option<Direction> {
+    if b.x == a.x + 1 && b.y == a.y {
+        Some(Direction::East)
+    } else if a.x == b.x + 1 && b.y == a.y {
+        Some(Direction::West)
+    } else if b.y == a.y + 1 && b.x == a.x {
+        Some(Direction::South)
+    } else if a.y == b.y + 1 && b.x == a.x {
+        Some(Direction::North)
+    } else {
+        None
+    }
+}
+
 /// The direction of the single hop from `a` to adjacent `b`.
 ///
 /// # Panics
-/// Panics if `a` and `b` are not mesh neighbours.
+/// Panics if `a` and `b` are not mesh neighbours; use [`try_hop_dir`] when
+/// adjacency is not already guaranteed.
 pub fn hop_dir(a: Coord, b: Coord) -> Direction {
-    if b.x == a.x + 1 && b.y == a.y {
-        Direction::East
-    } else if a.x == b.x + 1 && b.y == a.y {
-        Direction::West
-    } else if b.y == a.y + 1 && b.x == a.x {
-        Direction::South
-    } else if a.y == b.y + 1 && b.x == a.x {
-        Direction::North
-    } else {
-        panic!("{a} and {b} are not neighbours");
+    match try_hop_dir(a, b) {
+        Some(d) => d,
+        None => panic!("{a} and {b} are not neighbours"),
     }
 }
 

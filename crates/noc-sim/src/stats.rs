@@ -342,9 +342,11 @@ mod tests {
 
     #[test]
     fn throughput_normalizes_by_nodes_and_cycles() {
-        let mut s = Stats::default();
-        s.measure_start = 1000;
-        s.ejected_packets_all = 640;
+        let mut s = Stats {
+            measure_start: 1000,
+            ejected_packets_all: 640,
+            ..Stats::default()
+        };
         s.finish(2000);
         assert!((s.throughput(64) - 0.01).abs() < 1e-12);
     }

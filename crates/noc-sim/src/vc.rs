@@ -93,7 +93,11 @@ impl VirtualChannel {
             self.is_escape_resident = flit.escape;
             self.flits_sent = 0;
         } else {
-            debug_assert_eq!(self.resident, Some(flit.packet), "interleaved packets in VC");
+            debug_assert_eq!(
+                self.resident,
+                Some(flit.packet),
+                "interleaved packets in VC"
+            );
         }
         self.buf.push_back(flit);
     }

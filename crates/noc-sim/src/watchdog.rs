@@ -128,7 +128,10 @@ pub fn find_deadlock_cycle(net: &Network) -> Option<Vec<WaitNode>> {
         for &w in &adj[u] {
             match mark[w] {
                 Mark::Grey => {
-                    let pos = stack.iter().position(|&x| x == w).unwrap();
+                    let pos = stack
+                        .iter()
+                        .position(|&x| x == w)
+                        .expect("grey node is on the DFS stack by definition");
                     return Some(stack[pos..].to_vec());
                 }
                 Mark::White => {

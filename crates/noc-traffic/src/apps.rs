@@ -7,7 +7,7 @@
 //! hotspots, and benchmark-to-benchmark load variation. Each profile
 //! parameterizes the `noc-protocol` engine to produce exactly that; the
 //! intensity numbers are chosen to span the light-to-heavy range reported
-//! for these suites (misses per kilo-instruction × IPC at a 1 GHz NoC).
+//! for these suites (misses per kilo-instruction × IPC at a 1 GHz `NoC`).
 
 /// A statistical application profile for the closed-loop protocol engine.
 #[derive(Clone, Copy, Debug)]
@@ -18,7 +18,7 @@ pub struct AppProfile {
     /// Mean think time between a core's memory requests (cycles) once an
     /// MSHR is available: lower = heavier network load.
     pub think_time: f64,
-    /// Fraction of requests that are reads (GetS) vs writes (GetX).
+    /// Fraction of requests that are reads (`GetS`) vs writes (`GetX`).
     pub read_frac: f64,
     /// Probability a request is owned by another core (directory forwards,
     /// 3-hop transaction) rather than answered from memory (2-hop).

@@ -7,6 +7,8 @@
 //! SPLASH-2 experiments live in [`apps`]; the closed-loop engine that drives
 //! them is in the `noc-protocol` crate.
 
+#![forbid(unsafe_code)]
+
 pub mod apps;
 pub mod pattern;
 pub mod synth;

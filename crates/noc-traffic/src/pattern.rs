@@ -56,13 +56,7 @@ impl TrafficPattern {
     /// The destination for a packet injected at `src`, or `None` when the
     /// pattern maps `src` to itself (that node does not inject, matching
     /// Garnet). `cols`/`rows` describe the mesh; random patterns use `rng`.
-    pub fn dest(
-        self,
-        src: NodeId,
-        cols: u8,
-        rows: u8,
-        rng: &mut SmallRng,
-    ) -> Option<NodeId> {
+    pub fn dest(self, src: NodeId, cols: u8, rows: u8, rng: &mut SmallRng) -> Option<NodeId> {
         let n = cols as u16 * rows as u16;
         let dest = match self {
             TrafficPattern::UniformRandom => {
@@ -154,7 +148,10 @@ mod tests {
             Some(NodeId(6))
         );
         // Diagonal nodes map to themselves → no injection.
-        assert_eq!(TrafficPattern::Transpose.dest(NodeId(5), 4, 4, &mut r), None);
+        assert_eq!(
+            TrafficPattern::Transpose.dest(NodeId(5), 4, 4, &mut r),
+            None
+        );
     }
 
     #[test]

@@ -13,7 +13,9 @@ fn run(
     cycles: u64,
     seed: u64,
 ) -> noc_sim::Stats {
-    let cfg = NetConfig::synth(k, vcs).with_routing(routing).with_seed(seed);
+    let cfg = NetConfig::synth(k, vcs)
+        .with_routing(routing)
+        .with_seed(seed);
     let wl = SyntheticWorkload::new(pattern, rate, k, k, cfg.warmup, seed);
     let mut sim = Sim::new(cfg, Box::new(wl), Box::new(NoMechanism));
     sim.run(cycles);

@@ -30,7 +30,7 @@ pub enum BaseRouting {
 pub enum RoutingAlgo {
     /// Every VC uses the same base algorithm.
     Uniform(BaseRouting),
-    /// Duato-style escape VC: the last VC of each VNet is an escape VC
+    /// Duato-style escape VC: the last VC of each `VNet` is an escape VC
     /// restricted to west-first routing; all other VCs use `normal`.
     /// Packets that enter the escape VC stay in escape VCs until ejection.
     EscapeVc { normal: BaseRouting },
@@ -45,7 +45,7 @@ impl RoutingAlgo {
         }
     }
 
-    /// Whether the last VC of each VNet is a west-first escape VC.
+    /// Whether the last VC of each `VNet` is a west-first escape VC.
     pub fn has_escape(self) -> bool {
         matches!(self, RoutingAlgo::EscapeVc { .. })
     }
@@ -107,13 +107,13 @@ pub struct NetConfig {
     /// Mesh rows.
     pub rows: u8,
     /// Number of virtual networks the in-NoC VCs are partitioned into.
-    /// Baselines that need protocol-deadlock freedom use one VNet per message
+    /// Baselines that need protocol-deadlock freedom use one `VNet` per message
     /// class (6); DRAIN and SEEC use 1.
     pub vnets: u8,
-    /// Number of protocol message classes carried (classes map onto VNets by
+    /// Number of protocol message classes carried (classes map onto `VNets` by
     /// `class % vnets`).
     pub classes: u8,
-    /// VCs per VNet at every router input port.
+    /// VCs per `VNet` at every router input port.
     pub vcs_per_vnet: u8,
     /// VC buffer depth in flits. Virtual cut-through with a single packet per
     /// VC: the depth equals the largest packet (5 flits). Wormhole allows
@@ -137,7 +137,7 @@ pub struct NetConfig {
 }
 
 impl NetConfig {
-    /// Synthetic-traffic configuration: `k`×`k` mesh, one VNet and one
+    /// Synthetic-traffic configuration: `k`×`k` mesh, one `VNet` and one
     /// message class (the paper's `--inj-vnet=0` runs), `vcs` VCs per port.
     pub fn synth(k: u8, vcs: u8) -> NetConfig {
         NetConfig {
@@ -215,7 +215,7 @@ impl NetConfig {
         self.vnets as usize * self.vcs_per_vnet as usize
     }
 
-    /// VNet a message class travels in.
+    /// `VNet` a message class travels in.
     pub fn vnet_of(&self, class: MessageClass) -> u8 {
         class.0 % self.vnets
     }
@@ -229,7 +229,7 @@ impl NetConfig {
 
     /// Index of the escape VC *within* `vnet`'s VC range (relative, add
     /// `vc_range(vnet).start` for the flattened port index), if the routing
-    /// algorithm uses one — always the last VC of the VNet.
+    /// algorithm uses one — always the last VC of the `VNet`.
     pub fn escape_vc(&self, vnet: u8) -> Option<usize> {
         let _ = vnet;
         if self.routing.has_escape() {
@@ -284,9 +284,9 @@ mod tests {
 mod escape_regression {
     use super::*;
 
-    /// Regression: with multiple VNets the escape index must be *relative*
-    /// to the VNet's range — adding it to `range.start` must stay in bounds
-    /// for every VNet (it used to be absolute, overflowing VNet 1+).
+    /// Regression: with multiple `VNets` the escape index must be *relative*
+    /// to the `VNet`'s range — adding it to `range.start` must stay in bounds
+    /// for every `VNet` (it used to be absolute, overflowing `VNet` 1+).
     #[test]
     fn escape_index_is_relative_across_vnets() {
         let mut c = NetConfig::full_system(4, 6, 2);
@@ -296,7 +296,10 @@ mod escape_regression {
         for vnet in 0..6 {
             let esc = c.escape_vc(vnet).unwrap();
             let flat = c.vc_range(vnet).start + esc;
-            assert!(flat < c.vcs_per_port(), "vnet {vnet}: index {flat} overflows");
+            assert!(
+                flat < c.vcs_per_port(),
+                "vnet {vnet}: index {flat} overflows"
+            );
             assert_eq!(flat, c.vc_range(vnet).end - 1);
         }
     }

@@ -6,6 +6,8 @@
 //! structure. Everything is `Copy` or cheaply clonable so the simulator's hot
 //! loop never allocates for bookkeeping.
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod direction;
 pub mod flit;

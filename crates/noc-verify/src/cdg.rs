@@ -1,0 +1,288 @@
+//! Extended channel-dependency-graph construction.
+//!
+//! Nodes are *(link, VC class)* channels: a unidirectional mesh link together
+//! with the class of virtual channels a packet occupies on it. All VCs of one
+//! class at one link are interchangeable under the simulator's allocation
+//! policy (any free VC of the class may be granted), so collapsing them to a
+//! single node loses nothing: a cyclic wait among the full VC set exists if
+//! and only if one exists among the collapsed classes.
+//!
+//! Edges are the *dest-consistent* dependencies induced by the routing
+//! relation: channel `A = (u→v, c)` depends on `B = (v→w, c′)` when there is
+//! some destination `d` such that a packet headed for `d` may legally hold
+//! `A` and next request `B` (`d ≠ v`, `A` legal for `(u,d)` under class `c`'s
+//! routing function, and `c→c′`/`v→w` a legal continuation toward `d`). This
+//! is Dally–Seitz/Duato's construction specialised to the simulator's actual
+//! routing functions in `noc_sim::routing`, including the escape-VC
+//! transition rules of `noc_sim::router::try_alloc`: normal→normal,
+//! normal→escape (west-first-legal directions only), escape→escape, and
+//! never escape→normal.
+
+use noc_sim::routing::{candidates, west_first, Candidates};
+use noc_types::{Coord, Direction, NetConfig};
+
+/// The VC class a channel carries: which `VNet`, and whether these are the
+/// regular (adaptive) VCs or the Duato escape VC.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum VcClass {
+    /// Regular VCs of a `VNet`, routed by the configured base algorithm.
+    Normal(u8),
+    /// The west-first escape VC of a `VNet` (`RoutingAlgo::EscapeVc` only).
+    Escape(u8),
+}
+
+impl VcClass {
+    /// The `VNet` this class belongs to.
+    pub fn vnet(self) -> u8 {
+        match self {
+            VcClass::Normal(v) | VcClass::Escape(v) => v,
+        }
+    }
+
+    /// True for escape-VC classes.
+    pub fn is_escape(self) -> bool {
+        matches!(self, VcClass::Escape(_))
+    }
+}
+
+/// One node of the extended channel dependency graph.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Channel {
+    /// Upstream router of the link.
+    pub from: Coord,
+    /// Link direction (always cardinal).
+    pub dir: Direction,
+    /// VC class occupied on the link.
+    pub class: VcClass,
+}
+
+impl Channel {
+    /// Downstream router of the link.
+    pub fn to(&self, cols: u8, rows: u8) -> Coord {
+        self.dir
+            .step(self.from, cols, rows)
+            .expect("channel links never leave the mesh")
+    }
+}
+
+impl std::fmt::Display for Channel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (kind, vnet) = match self.class {
+            VcClass::Normal(v) => ("normal", v),
+            VcClass::Escape(v) => ("escape", v),
+        };
+        write!(f, "{} -{}-> [vnet {} {}]", self.from, self.dir, vnet, kind)
+    }
+}
+
+/// The extended channel dependency graph of one network configuration.
+#[derive(Clone, Debug)]
+pub struct Cdg {
+    /// Mesh columns.
+    pub cols: u8,
+    /// Mesh rows.
+    pub rows: u8,
+    /// Whether the configuration uses a Duato escape VC.
+    pub has_escape: bool,
+    channels: Vec<Channel>,
+    /// Adjacency lists, indexed like `channels`.
+    succ: Vec<Vec<usize>>,
+    /// Dense lookup from (node, dir, class-slot) to channel index.
+    index: Vec<Option<usize>>,
+    vnets: u8,
+}
+
+impl Cdg {
+    /// Builds the graph for `cfg`. Routing-level only; the protocol-level
+    /// message-class dependencies are analysed separately (they couple `VNets`,
+    /// not individual channels).
+    pub fn build(cfg: &NetConfig) -> Cdg {
+        let (cols, rows) = (cfg.cols, cfg.rows);
+        let vnets = cfg.vnets;
+        let has_escape = cfg.routing.has_escape();
+        let normal = cfg.routing.normal();
+        let kinds: usize = if has_escape { 2 } else { 1 };
+        let slots = cols as usize * rows as usize * 4 * vnets as usize * kinds;
+
+        let mut g = Cdg {
+            cols,
+            rows,
+            has_escape,
+            channels: Vec::new(),
+            succ: Vec::new(),
+            index: vec![None; slots],
+            vnets,
+        };
+
+        // Enumerate channels: every on-mesh link × vnet × class kind.
+        for y in 0..rows {
+            for x in 0..cols {
+                let u = Coord::new(x, y);
+                for dir in Direction::CARDINAL {
+                    if dir.step(u, cols, rows).is_none() {
+                        continue;
+                    }
+                    for vnet in 0..vnets {
+                        g.insert(Channel {
+                            from: u,
+                            dir,
+                            class: VcClass::Normal(vnet),
+                        });
+                        if has_escape {
+                            g.insert(Channel {
+                                from: u,
+                                dir,
+                                class: VcClass::Escape(vnet),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Dest-consistent edges. For each channel A = (u→v, c) and each
+        // destination d routable over A with d ≠ v, every continuation
+        // channel at v toward d is a dependency.
+        let mut seen = vec![false; g.channels.len()];
+        for a in 0..g.channels.len() {
+            let ch = g.channels[a];
+            let u = ch.from;
+            let v = ch.to(cols, rows);
+            let mut out: Vec<usize> = Vec::new();
+            for dy in 0..rows {
+                for dx in 0..cols {
+                    let d = Coord::new(dx, dy);
+                    if d == u || d == v {
+                        continue;
+                    }
+                    let legal_here = match ch.class {
+                        VcClass::Normal(_) => candidates(normal, u, d).contains(ch.dir),
+                        VcClass::Escape(_) => west_first(u, d).contains(ch.dir),
+                    };
+                    if !legal_here {
+                        continue;
+                    }
+                    let vnet = ch.class.vnet();
+                    match ch.class {
+                        VcClass::Normal(_) => {
+                            g.push_edges(
+                                &mut out,
+                                &mut seen,
+                                v,
+                                candidates(normal, v, d),
+                                VcClass::Normal(vnet),
+                            );
+                            if has_escape {
+                                // Escape fallback at the next router.
+                                g.push_edges(
+                                    &mut out,
+                                    &mut seen,
+                                    v,
+                                    west_first(v, d),
+                                    VcClass::Escape(vnet),
+                                );
+                            }
+                        }
+                        VcClass::Escape(_) => {
+                            // Escape residents stay in escape VCs (Duato).
+                            g.push_edges(
+                                &mut out,
+                                &mut seen,
+                                v,
+                                west_first(v, d),
+                                VcClass::Escape(vnet),
+                            );
+                        }
+                    }
+                }
+            }
+            for &b in &out {
+                seen[b] = false;
+            }
+            g.succ[a] = out;
+        }
+        g
+    }
+
+    fn insert(&mut self, ch: Channel) {
+        let slot = self.slot(ch);
+        let id = self.channels.len();
+        self.index[slot] = Some(id);
+        self.channels.push(ch);
+        self.succ.push(Vec::new());
+    }
+
+    fn slot(&self, ch: Channel) -> usize {
+        let node = ch.from.y as usize * self.cols as usize + ch.from.x as usize;
+        let (kind, vnet) = match ch.class {
+            VcClass::Normal(v) => (0usize, v as usize),
+            VcClass::Escape(v) => (1usize, v as usize),
+        };
+        let kinds = if self.has_escape { 2 } else { 1 };
+        ((node * 4 + ch.dir.index()) * self.vnets as usize + vnet) * kinds + kind
+    }
+
+    fn push_edges(
+        &self,
+        out: &mut Vec<usize>,
+        seen: &mut [bool],
+        at: Coord,
+        dirs: Candidates,
+        class: VcClass,
+    ) {
+        for &dir in dirs.as_slice() {
+            if dir.step(at, self.cols, self.rows).is_none() {
+                continue;
+            }
+            let id = self.index[self.slot(Channel {
+                from: at,
+                dir,
+                class,
+            })]
+            .expect("on-mesh continuation channel must exist");
+            if !seen[id] {
+                seen[id] = true;
+                out.push(id);
+            }
+        }
+    }
+
+    /// Channel (node) count.
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Dependency (edge) count.
+    pub fn edge_count(&self) -> usize {
+        self.succ.iter().map(Vec::len).sum()
+    }
+
+    /// The channel with index `id`.
+    pub fn channel(&self, id: usize) -> Channel {
+        self.channels[id]
+    }
+
+    /// Successor indices of channel `id`.
+    pub fn successors(&self, id: usize) -> &[usize] {
+        &self.succ[id]
+    }
+
+    /// Indices of all escape-class channels.
+    pub fn escape_channel_ids(&self) -> Vec<usize> {
+        (0..self.channels.len())
+            .filter(|&i| self.channels[i].class.is_escape())
+            .collect()
+    }
+
+    /// True if some edge leaves an escape channel for a normal channel —
+    /// forbidden by Duato's condition and by construction; checked as a
+    /// structural self-test.
+    pub fn escape_leaks_to_normal(&self) -> bool {
+        (0..self.channels.len()).any(|i| {
+            self.channels[i].class.is_escape()
+                && self.succ[i]
+                    .iter()
+                    .any(|&j| !self.channels[j].class.is_escape())
+        })
+    }
+}

@@ -1,0 +1,244 @@
+//! `noc-verify` — static deadlock-freedom certification CLI.
+//!
+//! ```text
+//! noc-verify --mesh 8 --routing escape:adaptive --vnets 1 --vcs 4
+//! noc-verify --all-configs          # expectation matrix, used by CI
+//! ```
+#![forbid(unsafe_code)]
+
+use noc_types::{BaseRouting, NetConfig, RoutingAlgo};
+use noc_verify::certify;
+
+const USAGE: &str = "\
+noc-verify: static channel-dependency-graph deadlock certifier
+
+USAGE:
+    noc-verify [OPTIONS]
+    noc-verify --all-configs
+
+OPTIONS:
+    --mesh <K | CxR>      mesh size (default 8)
+    --routing <ALGO>      xy | west-first | oblivious | adaptive |
+                          escape[:<base>]   (default xy)
+    --vnets <N>           virtual networks (default 1)
+    --vcs <N>             VCs per VNet (default 4)
+    --classes <N>         message classes (default = vnets)
+    --all-configs         check the expectation matrix over the paper's
+                          configurations; exit nonzero on any mismatch
+    -h, --help            show this help
+
+Exit status: 0 when the analysed configuration is certified deadlock-free
+(or, with --all-configs, every verdict matches its expectation); 1 otherwise.
+";
+
+fn parse_routing(s: &str) -> Result<RoutingAlgo, String> {
+    let base = |name: &str| -> Result<BaseRouting, String> {
+        match name {
+            "xy" => Ok(BaseRouting::Xy),
+            "west-first" | "wf" => Ok(BaseRouting::WestFirst),
+            "oblivious" => Ok(BaseRouting::ObliviousMinimal),
+            "adaptive" => Ok(BaseRouting::AdaptiveMinimal),
+            other => Err(format!("unknown routing algorithm '{other}'")),
+        }
+    };
+    if let Some(normal) = s.strip_prefix("escape") {
+        let normal = normal.strip_prefix(':').unwrap_or("adaptive");
+        Ok(RoutingAlgo::EscapeVc {
+            normal: base(normal)?,
+        })
+    } else {
+        Ok(RoutingAlgo::Uniform(base(s)?))
+    }
+}
+
+fn parse_mesh(s: &str) -> Result<(u8, u8), String> {
+    let dims: Vec<&str> = s.split(['x', 'X']).collect();
+    let parse = |t: &str| {
+        t.parse::<u8>()
+            .map_err(|_| format!("bad mesh dimension '{t}'"))
+            .and_then(|v| {
+                if v >= 2 {
+                    Ok(v)
+                } else {
+                    Err(format!("mesh dimension {v} < 2"))
+                }
+            })
+    };
+    match dims.as_slice() {
+        [k] => parse(k).map(|k| (k, k)),
+        [c, r] => Ok((parse(c)?, parse(r)?)),
+        _ => Err(format!("bad mesh spec '{s}' (want K or CxR)")),
+    }
+}
+
+struct Args {
+    cols: u8,
+    rows: u8,
+    routing: RoutingAlgo,
+    vnets: u8,
+    vcs: u8,
+    classes: Option<u8>,
+    all_configs: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        cols: 8,
+        rows: 8,
+        routing: RoutingAlgo::Uniform(BaseRouting::Xy),
+        vnets: 1,
+        vcs: 4,
+        classes: None,
+        all_configs: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--mesh" => {
+                let (c, r) = parse_mesh(&value("--mesh")?)?;
+                args.cols = c;
+                args.rows = r;
+            }
+            "--routing" => args.routing = parse_routing(&value("--routing")?)?,
+            "--vnets" => {
+                args.vnets = value("--vnets")?
+                    .parse()
+                    .map_err(|e| format!("--vnets: {e}"))?;
+            }
+            "--vcs" => {
+                args.vcs = value("--vcs")?.parse().map_err(|e| format!("--vcs: {e}"))?;
+            }
+            "--classes" => {
+                args.classes = Some(
+                    value("--classes")?
+                        .parse()
+                        .map_err(|e| format!("--classes: {e}"))?,
+                );
+            }
+            "--all-configs" => args.all_configs = true,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    if args.vnets == 0 || args.vcs == 0 {
+        return Err("--vnets and --vcs must be at least 1".into());
+    }
+    Ok(args)
+}
+
+fn config_of(args: &Args) -> NetConfig {
+    let mut cfg = if args.rows == args.cols {
+        NetConfig::synth(args.cols, args.vcs)
+    } else {
+        let mut c = NetConfig::synth(args.cols.max(args.rows), args.vcs);
+        c.cols = args.cols;
+        c.rows = args.rows;
+        c
+    };
+    cfg.vnets = args.vnets;
+    cfg.classes = args.classes.unwrap_or(args.vnets);
+    cfg.vcs_per_vnet = args.vcs;
+    cfg.with_routing(args.routing)
+}
+
+/// The expectation matrix exercised by `--all-configs` (and CI): every
+/// headline configuration of the paper, with the verdict it must receive.
+fn all_configs() -> Vec<(NetConfig, bool, &'static str)> {
+    let mut out = Vec::new();
+    for k in [4u8, 8] {
+        for (routing, certified) in [
+            (RoutingAlgo::Uniform(BaseRouting::Xy), true),
+            (RoutingAlgo::Uniform(BaseRouting::WestFirst), true),
+            (RoutingAlgo::Uniform(BaseRouting::ObliviousMinimal), false),
+            (RoutingAlgo::Uniform(BaseRouting::AdaptiveMinimal), false),
+            (
+                RoutingAlgo::EscapeVc {
+                    normal: BaseRouting::AdaptiveMinimal,
+                },
+                true,
+            ),
+        ] {
+            out.push((
+                NetConfig::synth(k, 4).with_routing(routing),
+                certified,
+                if certified {
+                    "must certify"
+                } else {
+                    "must produce a witness"
+                },
+            ));
+        }
+        // Full-system: six VNets isolate the protocol's class dependencies…
+        out.push((
+            NetConfig::full_system(k, 6, 2).with_routing(RoutingAlgo::Uniform(BaseRouting::Xy)),
+            true,
+            "six VNets must certify both layers",
+        ));
+        // …a single shared VNet must be flagged at the protocol layer.
+        out.push((
+            NetConfig::full_system(k, 1, 2).with_routing(RoutingAlgo::Uniform(BaseRouting::Xy)),
+            false,
+            "one shared VNet must fail the protocol layer",
+        ));
+    }
+    out
+}
+
+fn run_all_configs() -> i32 {
+    let mut mismatches = 0usize;
+    let configs = all_configs();
+    let total = configs.len();
+    for (cfg, expect_certified, why) in configs {
+        let report = certify(&cfg);
+        let got = report.certified();
+        let status = if got == expect_certified {
+            "ok "
+        } else {
+            "FAIL"
+        };
+        println!(
+            "[{status}] {:<60} expected {:<13} got {}",
+            report.config,
+            if expect_certified {
+                "certified"
+            } else {
+                "not-certified"
+            },
+            if got { "certified" } else { "not-certified" },
+        );
+        if got != expect_certified {
+            mismatches += 1;
+            eprintln!("--- expectation: {why} ---");
+            eprint!("{}", report.render());
+        }
+    }
+    if mismatches == 0 {
+        println!("all {total} configurations match their expected verdicts");
+        0
+    } else {
+        eprintln!("{mismatches}/{total} configurations MISMATCHED");
+        1
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let code = if args.all_configs {
+        run_all_configs()
+    } else {
+        let report = certify(&config_of(&args));
+        print!("{}", report.render());
+        i32::from(!report.certified())
+    };
+    std::process::exit(code);
+}

@@ -1,0 +1,198 @@
+//! Cycle detection: iterative Tarjan SCC plus minimal-cycle extraction.
+
+/// A directed graph view: node count plus a successor accessor.
+pub trait Digraph {
+    /// Number of nodes.
+    fn len(&self) -> usize;
+    /// Successors of `v`.
+    fn succ(&self, v: usize) -> &[usize];
+    /// True when the graph has no nodes.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Strongly connected components of `g`, each a sorted list of node indices,
+/// in reverse topological order of the condensation. Iterative Tarjan — no
+/// recursion, so arbitrarily large meshes are fine.
+pub fn tarjan_scc(g: &dyn Digraph) -> Vec<Vec<usize>> {
+    const UNVISITED: usize = usize::MAX;
+    let n = g.len();
+    let mut index = vec![UNVISITED; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+    // Explicit DFS frames: (node, next-successor position).
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        frames.push((root, 0));
+        while let Some(&mut (v, ref mut pos)) = frames.last_mut() {
+            if *pos == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            let succs = g.succ(v);
+            if *pos < succs.len() {
+                let w = succs[*pos];
+                *pos += 1;
+                if index[w] == UNVISITED {
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&mut (parent, _)) = frames.last_mut() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort_unstable();
+                    sccs.push(comp);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+/// True when `g` contains a directed cycle (an SCC of size ≥ 2 or a
+/// self-loop).
+pub fn has_cycle(g: &dyn Digraph) -> bool {
+    tarjan_scc(g).iter().any(|c| is_cyclic_component(g, c))
+}
+
+fn is_cyclic_component(g: &dyn Digraph, comp: &[usize]) -> bool {
+    comp.len() > 1 || g.succ(comp[0]).contains(&comp[0])
+}
+
+/// A shortest directed cycle of `g`, as a node sequence `c0 → c1 → … → c0`
+/// (the closing edge back to `c0` is implicit). `None` when acyclic.
+///
+/// Deterministic: scans SCCs in Tarjan order and starts BFS from each node of
+/// the smallest cyclic SCC in ascending index order, keeping the first
+/// shortest cycle found.
+pub fn minimal_cycle(g: &dyn Digraph) -> Option<Vec<usize>> {
+    let cyclic: Vec<Vec<usize>> = tarjan_scc(g)
+        .into_iter()
+        .filter(|c| is_cyclic_component(g, c))
+        .collect();
+    let comp = cyclic.iter().min_by_key(|c| c.len())?;
+    let members: std::collections::HashSet<usize> = comp.iter().copied().collect();
+
+    let mut best: Option<Vec<usize>> = None;
+    for &start in comp {
+        if g.succ(start).contains(&start) {
+            return Some(vec![start]);
+        }
+        // BFS within the SCC from `start`; the shortest cycle through
+        // `start` closes over an edge (x → start).
+        let mut parent: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+        let mut queue = std::collections::VecDeque::new();
+        parent.insert(start, start);
+        queue.push_back(start);
+        'bfs: while let Some(v) = queue.pop_front() {
+            for &w in g.succ(v) {
+                if !members.contains(&w) {
+                    continue;
+                }
+                if w == start {
+                    let mut path = vec![v];
+                    let mut cur = v;
+                    while cur != start {
+                        cur = parent[&cur];
+                        path.push(cur);
+                    }
+                    path.reverse();
+                    if best.as_ref().is_none_or(|b| path.len() < b.len()) {
+                        best = Some(path);
+                    }
+                    break 'bfs;
+                }
+                if let std::collections::hash_map::Entry::Vacant(e) = parent.entry(w) {
+                    e.insert(v);
+                    queue.push_back(w);
+                }
+            }
+        }
+        if best.as_ref().is_some_and(|b| b.len() == 2) {
+            break; // cannot beat a 2-cycle
+        }
+    }
+    best
+}
+
+/// Adjacency-list digraph for tests and the protocol-level analysis.
+pub struct AdjGraph {
+    /// Successor lists.
+    pub succ: Vec<Vec<usize>>,
+}
+
+impl Digraph for AdjGraph {
+    fn len(&self) -> usize {
+        self.succ.len()
+    }
+    fn succ(&self, v: usize) -> &[usize] {
+        &self.succ[v]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(succ: Vec<Vec<usize>>) -> AdjGraph {
+        AdjGraph { succ }
+    }
+
+    #[test]
+    fn dag_has_no_cycle() {
+        let d = g(vec![vec![1, 2], vec![2], vec![]]);
+        assert!(!has_cycle(&d));
+        assert_eq!(minimal_cycle(&d), None);
+        assert_eq!(tarjan_scc(&d).len(), 3);
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let d = g(vec![vec![0]]);
+        assert!(has_cycle(&d));
+        assert_eq!(minimal_cycle(&d), Some(vec![0]));
+    }
+
+    #[test]
+    fn finds_shortest_cycle_among_larger_scc() {
+        // 0→1→2→0 (len 3) and 2→3→2 (len 2) in one SCC.
+        let d = g(vec![vec![1], vec![2], vec![0, 3], vec![2]]);
+        assert!(has_cycle(&d));
+        let cyc = minimal_cycle(&d).unwrap();
+        assert_eq!(cyc.len(), 2);
+        let set: std::collections::HashSet<_> = cyc.into_iter().collect();
+        assert_eq!(set, [2usize, 3].into_iter().collect());
+    }
+
+    #[test]
+    fn two_component_graph() {
+        // Component A acyclic {0,1}; component B cyclic {2,3,4}.
+        let d = g(vec![vec![1], vec![], vec![3], vec![4], vec![2]]);
+        assert!(has_cycle(&d));
+        assert_eq!(minimal_cycle(&d).unwrap().len(), 3);
+    }
+}

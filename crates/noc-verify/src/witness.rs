@@ -1,0 +1,120 @@
+//! Cycle witnesses and their ASCII-mesh rendering.
+
+use crate::cdg::Channel;
+use noc_types::Direction;
+
+/// A concrete cyclic channel dependency: the exact sequence of (link, VC
+/// class) channels, each waiting on the next, the last waiting on the first.
+/// This is a certificate of *non*-certifiability: filling each channel with
+/// a packet destined so as to request the next channel wedges the network.
+#[derive(Clone, Debug)]
+pub struct Witness {
+    /// The cycle, in dependency order.
+    pub cycle: Vec<Channel>,
+    /// Mesh columns (for rendering).
+    pub cols: u8,
+    /// Mesh rows (for rendering).
+    pub rows: u8,
+}
+
+impl Witness {
+    /// One line per channel of the cycle.
+    pub fn describe(&self) -> String {
+        let mut s = String::new();
+        for (i, ch) in self.cycle.iter().enumerate() {
+            s.push_str(&format!("  [{i}] {ch}\n"));
+        }
+        s.push_str("  ... and channel [0] is requested again: cyclic wait.\n");
+        s
+    }
+
+    /// Draws the mesh with the cycle's links as directed arrows.
+    ///
+    /// ```text
+    /// .     .     .
+    ///
+    /// +---->+     .
+    /// ^     |
+    /// |     v
+    /// +<----+     .
+    /// ```
+    pub fn render_ascii(&self) -> String {
+        const SX: usize = 6; // horizontal stride
+        const SY: usize = 2; // vertical stride
+        let w = (self.cols as usize - 1) * SX + 1;
+        let h = (self.rows as usize - 1) * SY + 1;
+        let mut canvas = vec![vec![' '; w]; h];
+        for y in 0..self.rows as usize {
+            for x in 0..self.cols as usize {
+                canvas[y * SY][x * SX] = '.';
+            }
+        }
+        for ch in &self.cycle {
+            let (x, y) = (ch.from.x as usize, ch.from.y as usize);
+            canvas[y * SY][x * SX] = '+';
+            let to = ch.to(self.cols, self.rows);
+            canvas[to.y as usize * SY][to.x as usize * SX] = '+';
+            match ch.dir {
+                Direction::East => {
+                    for i in 1..SX - 1 {
+                        canvas[y * SY][x * SX + i] = '-';
+                    }
+                    canvas[y * SY][x * SX + SX - 1] = '>';
+                }
+                Direction::West => {
+                    canvas[y * SY][x * SX - SX + 1] = '<';
+                    for i in 2..SX {
+                        canvas[y * SY][x * SX - SX + i] = '-';
+                    }
+                }
+                Direction::South => {
+                    canvas[y * SY + 1][x * SX] = 'v';
+                }
+                Direction::North => {
+                    canvas[y * SY - 1][x * SX] = '^';
+                }
+                Direction::Local => {}
+            }
+        }
+        let mut out = String::new();
+        for line in canvas {
+            let s: String = line.into_iter().collect();
+            out.push_str(s.trim_end());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cdg::VcClass;
+    use noc_types::Coord;
+
+    #[test]
+    fn renders_a_square_cycle() {
+        let mk = |x, y, dir| Channel {
+            from: Coord::new(x, y),
+            dir,
+            class: VcClass::Normal(0),
+        };
+        let w = Witness {
+            cycle: vec![
+                mk(0, 0, Direction::East),
+                mk(1, 0, Direction::South),
+                mk(1, 1, Direction::West),
+                mk(0, 1, Direction::North),
+            ],
+            cols: 3,
+            rows: 3,
+        };
+        let art = w.render_ascii();
+        assert!(art.contains('>'), "{art}");
+        assert!(art.contains('v'), "{art}");
+        assert!(art.contains('<'), "{art}");
+        assert!(art.contains('^'), "{art}");
+        assert_eq!(art.lines().count(), 5);
+        assert!(w.describe().contains("[3]"));
+    }
+}

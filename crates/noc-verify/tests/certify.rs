@@ -1,0 +1,139 @@
+//! Acceptance-criteria lock: verdicts for the paper's configurations.
+
+use noc_types::{BaseRouting, NetConfig, RoutingAlgo};
+use noc_verify::{certify, ProtocolVerdict, RoutingVerdict, VcClass};
+
+fn synth(k: u8, routing: RoutingAlgo) -> NetConfig {
+    NetConfig::synth(k, 4).with_routing(routing)
+}
+
+#[test]
+fn xy_is_certified_acyclic() {
+    for k in [4u8, 8] {
+        let r = certify(&synth(k, RoutingAlgo::Uniform(BaseRouting::Xy)));
+        assert!(
+            matches!(r.routing, RoutingVerdict::CertifiedAcyclic { .. }),
+            "{}",
+            r.render()
+        );
+        assert!(r.certified());
+    }
+}
+
+#[test]
+fn west_first_is_certified_acyclic() {
+    for k in [4u8, 8] {
+        let r = certify(&synth(k, RoutingAlgo::Uniform(BaseRouting::WestFirst)));
+        assert!(
+            matches!(r.routing, RoutingVerdict::CertifiedAcyclic { .. }),
+            "{}",
+            r.render()
+        );
+    }
+}
+
+#[test]
+fn escape_vc_composite_is_certified_by_duato() {
+    for k in [4u8, 8] {
+        let r = certify(&synth(
+            k,
+            RoutingAlgo::EscapeVc {
+                normal: BaseRouting::AdaptiveMinimal,
+            },
+        ));
+        assert!(
+            matches!(r.routing, RoutingVerdict::CertifiedEscape { .. }),
+            "{}",
+            r.render()
+        );
+        assert!(r.certified());
+    }
+}
+
+#[test]
+fn adaptive_minimal_yields_a_concrete_witness() {
+    for k in [4u8, 8] {
+        let r = certify(&synth(
+            k,
+            RoutingAlgo::Uniform(BaseRouting::AdaptiveMinimal),
+        ));
+        let RoutingVerdict::Deadlockable { witness, .. } = &r.routing else {
+            panic!("expected witness, got {}", r.render());
+        };
+        // The minimal cyclic wait on a mesh under unrestricted minimal
+        // adaptive routing is a 2x2 turn square: four channels.
+        assert_eq!(witness.cycle.len(), 4, "{}", witness.describe());
+        // The witness must be a genuine cycle: each hop ends where the next
+        // begins, and the last feeds the first.
+        for (i, ch) in witness.cycle.iter().enumerate() {
+            let next = &witness.cycle[(i + 1) % witness.cycle.len()];
+            assert_eq!(ch.to(k, k), next.from, "{}", witness.describe());
+        }
+        assert!(!r.certified());
+        let art = witness.render_ascii();
+        assert!(art.contains('+'), "{art}");
+    }
+}
+
+#[test]
+fn oblivious_minimal_is_also_deadlockable() {
+    let r = certify(&synth(
+        4,
+        RoutingAlgo::Uniform(BaseRouting::ObliviousMinimal),
+    ));
+    assert!(!r.routing.certified(), "{}", r.render());
+}
+
+#[test]
+fn escape_witness_channels_are_normal_class() {
+    // Without an escape VC the witness must live entirely in normal VCs.
+    let r = certify(&synth(
+        4,
+        RoutingAlgo::Uniform(BaseRouting::AdaptiveMinimal),
+    ));
+    let RoutingVerdict::Deadlockable { witness, .. } = &r.routing else {
+        panic!("expected witness");
+    };
+    assert!(witness
+        .cycle
+        .iter()
+        .all(|ch| matches!(ch.class, VcClass::Normal(_))));
+}
+
+#[test]
+fn full_system_six_vnets_xy_is_fully_certified() {
+    let r = certify(
+        &NetConfig::full_system(4, 6, 2).with_routing(RoutingAlgo::Uniform(BaseRouting::Xy)),
+    );
+    assert!(r.certified(), "{}", r.render());
+    assert!(matches!(
+        r.protocol,
+        ProtocolVerdict::Acyclic { vnets: 6, deps: 2 }
+    ));
+}
+
+#[test]
+fn full_system_single_vnet_fails_protocol_layer() {
+    let r = certify(
+        &NetConfig::full_system(4, 1, 2).with_routing(RoutingAlgo::Uniform(BaseRouting::Xy)),
+    );
+    assert!(r.routing.certified(), "{}", r.render());
+    assert!(!r.certified(), "{}", r.render());
+    assert!(matches!(r.protocol, ProtocolVerdict::Cyclic { .. }));
+}
+
+#[test]
+fn report_renders_without_panicking_on_every_verdict() {
+    for routing in [
+        RoutingAlgo::Uniform(BaseRouting::Xy),
+        RoutingAlgo::Uniform(BaseRouting::AdaptiveMinimal),
+        RoutingAlgo::EscapeVc {
+            normal: BaseRouting::AdaptiveMinimal,
+        },
+    ] {
+        let r = certify(&synth(4, routing));
+        let text = r.render();
+        assert!(text.starts_with("config: "), "{text}");
+        assert!(text.contains("verdict: "), "{text}");
+    }
+}

@@ -69,7 +69,10 @@ impl FfFlight {
         'probe: loop {
             for (i, &(node, port)) in links.iter().enumerate() {
                 let from_c = depart + i as Cycle;
-                if net.reservations.conflicts(node, port, from_c, from_c + len - 1) {
+                if net
+                    .reservations
+                    .conflicts(node, port, from_c, from_c + len - 1)
+                {
                     depart += 1;
                     continue 'probe;
                 }
@@ -78,7 +81,8 @@ impl FfFlight {
         }
         for (i, &(node, port)) in links.iter().enumerate() {
             let from_c = depart + i as Cycle;
-            net.reservations.reserve(node, port, from_c, from_c + len - 1);
+            net.reservations
+                .reserve(node, port, from_c, from_c + len - 1);
         }
 
         // The data path crosses `links.len() - 1` router-router links; stamp
@@ -202,15 +206,29 @@ mod tests {
         let mut net = Network::new(NetConfig::synth(4, 2));
         let from = NodeId(0);
         let dest = NodeId(10); // (2,2): 4 hops + ejection
-        let mut flight = FfFlight::plan(&mut net, flits(5, NodeId(3), dest), from, dest, 0, 11, false);
+        let mut flight = FfFlight::plan(
+            &mut net,
+            flits(5, NodeId(3), dest),
+            from,
+            dest,
+            0,
+            11,
+            false,
+        );
         assert_eq!(flight.links().len(), 5);
         assert_eq!(flight.depart(), 11);
         // Head: crosses links 11..15, arrives NIC at 16; tail arrives at 20.
         assert_eq!(flight.completes_at(), 20);
         // Link slots are reserved.
-        assert!(net.reservations.is_reserved(NodeId(0), flight.links()[0].1, 11));
-        assert!(net.reservations.is_reserved(NodeId(0), flight.links()[0].1, 15));
-        assert!(!net.reservations.is_reserved(NodeId(0), flight.links()[0].1, 16));
+        assert!(net
+            .reservations
+            .is_reserved(NodeId(0), flight.links()[0].1, 11));
+        assert!(net
+            .reservations
+            .is_reserved(NodeId(0), flight.links()[0].1, 15));
+        assert!(!net
+            .reservations
+            .is_reserved(NodeId(0), flight.links()[0].1, 16));
 
         let mut done = false;
         for now in 11..=20 {
@@ -227,9 +245,25 @@ mod tests {
     fn conflicting_flight_is_delayed_not_overlapped() {
         let mut net = Network::new(NetConfig::synth(4, 2));
         let dest = NodeId(3);
-        let a = FfFlight::plan(&mut net, flits(5, NodeId(0), dest), NodeId(0), dest, 0, 5, false);
+        let a = FfFlight::plan(
+            &mut net,
+            flits(5, NodeId(0), dest),
+            NodeId(0),
+            dest,
+            0,
+            5,
+            false,
+        );
         // Same path, same earliest: must be pushed past a's occupancy.
-        let b = FfFlight::plan(&mut net, flits(5, NodeId(0), dest), NodeId(0), dest, 1, 5, false);
+        let b = FfFlight::plan(
+            &mut net,
+            flits(5, NodeId(0), dest),
+            NodeId(0),
+            dest,
+            1,
+            5,
+            false,
+        );
         assert!(b.depart() > a.depart());
         // No shared (link, cycle): b departs only after a's first link frees.
         assert!(b.depart() >= a.depart() + 5);
@@ -250,8 +284,15 @@ mod tests {
         // Packet already buffered at its destination router.
         let mut net = Network::new(NetConfig::synth(4, 2));
         let dest = NodeId(6);
-        let mut flight =
-            FfFlight::plan(&mut net, flits(1, NodeId(0), dest), dest, dest, 1, 100, false);
+        let mut flight = FfFlight::plan(
+            &mut net,
+            flits(1, NodeId(0), dest),
+            dest,
+            dest,
+            1,
+            100,
+            false,
+        );
         assert_eq!(flight.links().len(), 1);
         assert_eq!(flight.completes_at(), 101);
         assert!(!flight.advance(&mut net, 100));
@@ -285,6 +326,7 @@ pub struct FfStream {
 impl FfStream {
     /// Begins capturing `(node, port, vc)`, whose front flit must be the
     /// packet's head. Flits buffered right now launch immediately.
+    #[allow(clippy::too_many_arguments)] // mirrors the upgrade-site tuple one-to-one
     pub fn begin(
         net: &mut Network,
         node: NodeId,

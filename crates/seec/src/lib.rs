@@ -13,6 +13,8 @@
 //! honours the space-time link reservations FF traversals make (the model of
 //! the paper's lookahead signal, §3.5).
 
+#![forbid(unsafe_code)]
+
 pub mod flight;
 pub mod mseec;
 pub mod ring;

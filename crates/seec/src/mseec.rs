@@ -233,8 +233,8 @@ impl Mechanism for MSeecMechanism {
                     let per = net.cfg.ejection_vcs_per_class as usize;
                     let base = class.idx() * per;
                     let nic = &mut net.nics[origin.idx()];
-                    let held = (base..base + per)
-                        .find(|&i| nic.ejection[i].reserve == EjReserve::Held);
+                    let held =
+                        (base..base + per).find(|&i| nic.ejection[i].reserve == EjReserve::Held);
                     let ej_vc = match held {
                         Some(i) => Some(i),
                         None => {
@@ -379,7 +379,7 @@ impl Mechanism for MSeecMechanism {
                 self.step = 0;
                 self.phase = (self.phase + 1) % self.rows;
             }
-            for e in self.engines.iter_mut() {
+            for e in &mut self.engines {
                 e.state = EngState::StartClass;
                 e.class_cursor = 0;
             }

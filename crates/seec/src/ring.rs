@@ -109,7 +109,10 @@ mod tests {
         for &node in ring.seq() {
             seen[node.idx()] = true;
         }
-        assert!(seen.iter().all(|&s| s), "{cols}x{rows}: ring misses routers");
+        assert!(
+            seen.iter().all(|&s| s),
+            "{cols}x{rows}: ring misses routers"
+        );
         // Consecutive entries (cyclically) are neighbours.
         for i in 0..ring.len() {
             let a = ring.at(i).to_coord(cols);

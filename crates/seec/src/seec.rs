@@ -12,9 +12,9 @@ use noc_types::{Cycle, Flit, MessageClass, NodeId, SchemeKind, NUM_PORTS};
 pub struct SeecConfig {
     /// Every this many cycles, seekers also search NIC *injection* queues
     /// for one full revolution (footnote 2 of the paper: guards the corner
-    /// case where the NoC is so full of requests that a response can never
+    /// case where the `NoC` is so full of requests that a response can never
     /// inject). The paper set N = 1M and never hit the case on gem5's
-    /// resource sizing; our stress configurations (2 TBEs, 1 VNet) reach it
+    /// resource sizing; our stress configurations (2 TBEs, 1 `VNet`) reach it
     /// readily, so the default is 10k. Set to 0 to disable.
     pub inj_search_period: Cycle,
 }
@@ -136,8 +136,9 @@ impl SeecMechanism {
         let ej_vc = match held {
             Some(i) => Some(i),
             None => {
-                let claims = &net.routers[self.token.nic].outputs[noc_types::Direction::Local.index()]
-                    .vc_claimed;
+                let claims = &net.routers[self.token.nic].outputs
+                    [noc_types::Direction::Local.index()]
+                .vc_claimed;
                 let free = nic.free_ejection_vc(class, claims);
                 if let Some(i) = free {
                     nic.ejection[i].reserve = EjReserve::Held;

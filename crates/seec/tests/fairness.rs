@@ -28,7 +28,7 @@ struct TwoSources {
 impl Workload for TwoSources {
     fn generate(&mut self, cycle: Cycle, inject: &mut dyn FnMut(NodeId, Packet)) {
         // Heavy: both sources push a 5-flit packet every other cycle.
-        if cycle % 2 != 0 {
+        if !cycle.is_multiple_of(2) {
             return;
         }
         for &src in &self.srcs {

@@ -5,7 +5,9 @@
 use noc_sim::stats::DeliveredPacket;
 use noc_sim::workload::PacketFactory;
 use noc_sim::{ReorderBuffer, Sim, Workload};
-use noc_types::{BaseRouting, Cycle, MessageClass, NetConfig, NodeId, Packet, PacketId, RoutingAlgo};
+use noc_types::{
+    BaseRouting, Cycle, MessageClass, NetConfig, NodeId, Packet, PacketId, RoutingAlgo,
+};
 use seec::SeecMechanism;
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -17,7 +19,7 @@ struct SequencedStreams {
     factory: PacketFactory,
     rate_period: Cycle,
     next_seq: Vec<u64>,
-    /// PacketId → (stream seq).
+    /// `PacketId` → (stream seq).
     seq_of: HashMap<PacketId, u64>,
     /// Observed arrival sequence per source, raw and reordered.
     raw: Rc<RefCell<HashMap<NodeId, Vec<u64>>>>,
@@ -75,13 +77,14 @@ fn ff_reorders_streams_and_reorder_buffer_repairs_them() {
     let mech = SeecMechanism::for_net(&cfg);
     let mut sim = Sim::new(cfg, Box::new(wl), Box::new(mech));
     sim.run(40_000);
-    assert!(sim.net.stats.ff_packets > 0, "no FF rescues — test load too low");
+    assert!(
+        sim.net.stats.ff_packets > 0,
+        "no FF rescues — test load too low"
+    );
 
     // Raw delivery order is NOT always the send order (reordering exists).
     let raw = raw.borrow();
-    let any_reordered = raw
-        .values()
-        .any(|v| v.windows(2).any(|w| w[0] > w[1]));
+    let any_reordered = raw.values().any(|v| v.windows(2).any(|w| w[0] > w[1]));
     assert!(
         any_reordered,
         "expected at least one out-of-order delivery under FF + adaptive routing"

@@ -19,7 +19,11 @@ fn seec_delivers_and_uses_ff_under_load() {
     let mut sim = Sim::new(cfg, Box::new(wl), Box::new(mech));
     sim.run(30_000);
     let s = sim.finish();
-    assert!(s.ejected_packets > 1000, "only {} delivered", s.ejected_packets);
+    assert!(
+        s.ejected_packets > 1000,
+        "only {} delivered",
+        s.ejected_packets
+    );
     assert!(s.ff_packets > 0, "no packet ever used Free Flow");
     assert!(s.sideband_hops > 0, "seekers never moved");
     assert!(s.lookahead_hops > 0, "no lookaheads sent");
@@ -134,7 +138,8 @@ fn seec_packets_route_minimally() {
 fn seec_and_mseec_are_deterministic() {
     let run = |mseec: bool, seed: u64| {
         let cfg = adaptive_cfg(4, 2, seed);
-        let wl = SyntheticWorkload::new(TrafficPattern::UniformRandom, 0.15, 4, 4, cfg.warmup, seed);
+        let wl =
+            SyntheticWorkload::new(TrafficPattern::UniformRandom, 0.15, 4, 4, cfg.warmup, seed);
         let mech: Box<dyn noc_sim::Mechanism> = if mseec {
             Box::new(MSeecMechanism::for_net(&cfg))
         } else {

@@ -16,8 +16,7 @@ fn wormhole_cfg(k: u8, vcs: u8, depth: u8, seed: u64) -> NetConfig {
 #[test]
 fn wormhole_network_delivers_multi_flit_packets() {
     // Depth-2 VCs, 5-flit packets: worms span routers.
-    let cfg = wormhole_cfg(4, 2, 2, 11)
-        .with_routing(RoutingAlgo::Uniform(BaseRouting::Xy));
+    let cfg = wormhole_cfg(4, 2, 2, 11).with_routing(RoutingAlgo::Uniform(BaseRouting::Xy));
     let wl = SyntheticWorkload::new(TrafficPattern::UniformRandom, 0.05, 4, 4, cfg.warmup, 11);
     let mut sim = Sim::new(cfg, Box::new(wl), Box::new(NoMechanism));
     sim.run(20_000);
@@ -59,7 +58,11 @@ fn seec_streams_ff_packets_under_wormhole() {
         );
     }
     let s = sim.finish();
-    assert!(s.ejected_packets_all > 500, "only {}", s.ejected_packets_all);
+    assert!(
+        s.ejected_packets_all > 500,
+        "only {}",
+        s.ejected_packets_all
+    );
     assert!(s.ff_packets > 0, "no streaming FF upgrades happened");
 }
 

@@ -1,6 +1,6 @@
 //! Application traffic demo: a PARSEC-style coherence workload on a 4×4
 //! mesh, comparing the 6-VNet XY baseline against SEEC running on a single
-//! VNet at one sixth of the buffer budget.
+//! `VNet` at one sixth of the buffer budget.
 //!
 //! ```sh
 //! cargo run --release --example coherent_app [app-name]
@@ -49,7 +49,12 @@ fn main() {
     let base = NetConfig::full_system(4, 6, 2)
         .with_routing(RoutingAlgo::Uniform(BaseRouting::Xy))
         .with_seed(99);
-    run("XY, 6 VNets (12 VCs/port)", base, Box::new(NoMechanism), app);
+    run(
+        "XY, 6 VNets (12 VCs/port)",
+        base,
+        Box::new(NoMechanism),
+        app,
+    );
 
     // SEEC: one VNet, 2 VCs — one sixth the buffers, same protocol.
     let seec_cfg = NetConfig::full_system(4, 1, 2)

@@ -47,9 +47,7 @@ fn main() {
 
     let max = Direction::CARDINAL
         .iter()
-        .flat_map(|d| {
-            (0..k * k).map(move |n| s.link_use_at(noc_types_node(n), d.index()))
-        })
+        .flat_map(|d| (0..k * k).map(move |n| s.link_use_at(noc_types_node(n), d.index())))
         .max()
         .unwrap_or(1)
         .max(1);

@@ -38,7 +38,10 @@ fn main() {
 
     // Now run it: transpose traffic at a saturating load makes every engine
     // find work.
-    println!("\nRunning mSEEC under transpose @ 0.20 on {k0}x{k0}...", k0 = k.max(4));
+    println!(
+        "\nRunning mSEEC under transpose @ 0.20 on {k0}x{k0}...",
+        k0 = k.max(4)
+    );
     let k = k.max(4);
     let cfg = NetConfig::synth(k, 2)
         .with_routing(RoutingAlgo::Uniform(BaseRouting::AdaptiveMinimal))
@@ -55,7 +58,5 @@ fn main() {
         100.0 * s.ff_fraction(),
         s.avg_total_latency()
     );
-    println!(
-        "  no two FF packets ever shared a link-cycle (enforced by the reservation table)"
-    );
+    println!("  no two FF packets ever shared a link-cycle (enforced by the reservation table)");
 }

@@ -35,13 +35,22 @@ fn main() {
 
     println!("SEEC on 4x4 mesh, uniform random @ 0.10 pkts/node/cycle");
     println!("  packets delivered : {}", stats.ejected_packets);
-    println!("  avg packet latency: {:.1} cycles", stats.avg_total_latency());
+    println!(
+        "  avg packet latency: {:.1} cycles",
+        stats.avg_total_latency()
+    );
     println!("  avg hops          : {:.2}", stats.avg_hops());
-    println!("  throughput        : {:.4} pkts/node/cycle", stats.throughput(16));
+    println!(
+        "  throughput        : {:.4} pkts/node/cycle",
+        stats.throughput(16)
+    );
     println!(
         "  Free-Flow rescues : {} packets ({:.1}% of deliveries)",
         stats.ff_packets,
         100.0 * stats.ff_fraction()
     );
-    println!("  seeker side-band  : {} hops (16-bit links)", stats.sideband_hops);
+    println!(
+        "  seeker side-band  : {} hops (16-bit links)",
+        stats.sideband_hops
+    );
 }

@@ -6,6 +6,8 @@
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the system inventory.
 
+#![forbid(unsafe_code)]
+
 pub use noc_baselines as baselines;
 pub use noc_experiments as experiments;
 pub use noc_power as power;

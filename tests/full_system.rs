@@ -12,7 +12,8 @@ use seec_repro::types::{BaseRouting, NetConfig, RoutingAlgo, SchemeKind};
 /// moving on the deadlock-prone single-VC adaptive configuration.
 #[test]
 fn liveness_matrix_schemes_x_patterns() {
-    let mechs: Vec<(&str, fn(&NetConfig) -> Box<dyn Mechanism>)> = vec![
+    type MechFactory = fn(&NetConfig) -> Box<dyn Mechanism>;
+    let mechs: Vec<(&str, MechFactory)> = vec![
         ("SEEC", |c| Box::new(SeecMechanism::for_net(c))),
         ("mSEEC", |c| Box::new(MSeecMechanism::for_net(c))),
         ("SPIN", |c| Box::new(SpinMechanism::for_net(c))),
@@ -94,7 +95,8 @@ fn mseec_ff_paths_never_collide_across_seeds() {
         let cfg = NetConfig::synth(4, 1)
             .with_routing(RoutingAlgo::Uniform(BaseRouting::AdaptiveMinimal))
             .with_seed(seed);
-        let wl = SyntheticWorkload::new(TrafficPattern::UniformRandom, 0.35, 4, 4, cfg.warmup, seed);
+        let wl =
+            SyntheticWorkload::new(TrafficPattern::UniformRandom, 0.35, 4, 4, cfg.warmup, seed);
         let mech = MSeecMechanism::for_net(&cfg);
         let mut sim = Sim::new(cfg, Box::new(wl), Box::new(mech));
         sim.run(15_000); // debug_assert in ReservationTable::reserve guards

@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use seec_repro::seec::SeekerRing;
-use seec_repro::sim::routing::{candidates, hop_dir, productive, west_first, xy_path};
+use seec_repro::sim::routing::{candidates, hop_dir, productive, try_hop_dir, west_first, xy_path};
 use seec_repro::sim::ReservationTable;
 use seec_repro::traffic::TrafficPattern;
 use seec_repro::types::{BaseRouting, Coord, NodeId};
@@ -80,12 +80,104 @@ proptest! {
         let mut prev = from;
         for &c in &path {
             prop_assert_eq!(prev.manhattan(c), 1);
-            // hop_dir accepts exactly the neighbours xy_path emits.
-            let _ = hop_dir(prev, c);
+            // hop_dir accepts exactly the neighbours xy_path emits, and the
+            // direction it names really performs the step.
+            let d = hop_dir(prev, c);
+            prop_assert_eq!(try_hop_dir(prev, c), Some(d));
+            prop_assert_eq!(d.step(prev, 16, 16), Some(c));
             prev = c;
         }
         if from != to {
             prop_assert_eq!(*path.last().unwrap(), to);
+        }
+    }
+
+    /// On arbitrary mesh shapes, every algorithm terminates in exactly the
+    /// Manhattan distance even under adversarial candidate choice (any
+    /// productive pick strictly reduces distance, so the bound is tight).
+    #[test]
+    fn every_algorithm_terminates_within_manhattan(
+        cols in 2u8..12,
+        rows in 2u8..12,
+        fx in 0u8..12, fy in 0u8..12,
+        tx in 0u8..12, ty in 0u8..12,
+        algo_idx in 0usize..4,
+        choice in 0usize..997,
+    ) {
+        let algo = [
+            BaseRouting::Xy,
+            BaseRouting::WestFirst,
+            BaseRouting::ObliviousMinimal,
+            BaseRouting::AdaptiveMinimal,
+        ][algo_idx];
+        let from = Coord::new(fx % cols, fy % rows);
+        let to = Coord::new(tx % cols, ty % rows);
+        let mut cur = from;
+        let mut hops = 0u32;
+        while cur != to {
+            let cands = candidates(algo, cur, to);
+            prop_assert!(!cands.is_empty(), "{algo:?} stuck at {cur}->{to}");
+            // Adversarial pick: rotate through the candidate set by `choice`.
+            let d = cands.as_slice()[(choice + hops as usize) % cands.len()];
+            let next = d.step(cur, cols, rows);
+            prop_assert!(next.is_some(), "{algo:?} stepped off {cols}x{rows}");
+            cur = next.expect("checked above");
+            hops += 1;
+            prop_assert!(hops <= u32::from(cols) + u32::from(rows), "{algo:?} detoured");
+        }
+        prop_assert_eq!(hops, from.manhattan(to));
+    }
+
+    /// XY is deterministic: exactly one candidate, X-dimension first.
+    #[test]
+    fn xy_is_deterministic_dimension_ordered(
+        from in coord_strategy(16),
+        to in coord_strategy(16),
+    ) {
+        let cands = candidates(BaseRouting::Xy, from, to);
+        if from == to {
+            prop_assert!(cands.is_empty());
+        } else {
+            prop_assert_eq!(cands.len(), 1);
+            let d = cands.as_slice()[0];
+            if from.x != to.x {
+                prop_assert!(d == seec_repro::types::Direction::East
+                    || d == seec_repro::types::Direction::West);
+            }
+        }
+    }
+
+    /// West-first turn legality: while the destination lies to the west, West
+    /// is the only legal direction (the turns the algorithm forbids).
+    #[test]
+    fn west_first_goes_west_first(
+        from in coord_strategy(16),
+        to in coord_strategy(16),
+    ) {
+        let cands = west_first(from, to);
+        if to.x < from.x {
+            prop_assert_eq!(cands.len(), 1);
+            prop_assert_eq!(cands.as_slice()[0], seec_repro::types::Direction::West);
+        } else {
+            // Destination not west: West never appears.
+            prop_assert!(!cands.contains(seec_repro::types::Direction::West));
+        }
+    }
+
+    /// `try_hop_dir` is total: Some exactly for unit-distance pairs, and the
+    /// direction returned inverts to the starting coordinate.
+    #[test]
+    fn try_hop_dir_characterizes_adjacency(
+        a in coord_strategy(16),
+        b in coord_strategy(16),
+    ) {
+        match try_hop_dir(a, b) {
+            Some(d) => {
+                prop_assert_eq!(a.manhattan(b), 1);
+                prop_assert_eq!(d.step(a, 16, 16), Some(b));
+                prop_assert_eq!(try_hop_dir(b, a), Some(d.opposite()));
+            }
+            None => prop_assert_ne!(a.manhattan(b), 1),
         }
     }
 
