@@ -1,19 +1,26 @@
-//! Hermetic stand-in for `criterion`.
+//! Hermetic stand-in for `criterion` with real multi-iteration timing.
 //!
-//! Each `bench_function` executes its body once and prints the wall time —
-//! enough to smoke-test the bench targets (and regenerate the figure
-//! artifacts their setup code prints) in an offline environment without the
-//! statistical machinery of real criterion.
+//! Each `bench_function` runs its body once as warm-up, then `sample_size`
+//! timed iterations (default 10, overridable per group or via the
+//! `NOC_BENCH_SAMPLES` environment variable), and reports min / median /
+//! mean wall time. With a `Throughput` annotation it also reports elements
+//! per second (computed from the median — the robust central estimate).
+//!
+//! Results accumulate in a process-global registry; `criterion_main!` writes
+//! them as JSON to the path named by `NOC_BENCH_JSON` (if set), and
+//! [`write_json`] / [`record_extra`] let harness binaries emit combined
+//! reports (see `crates/bench/src/bin/bench02.rs`).
 #![forbid(unsafe_code)]
 
-use std::time::Instant;
+use std::sync::{Mutex, OnceLock, PoisonError};
+use std::time::{Duration, Instant};
 
 /// Re-export of `std::hint::black_box`, mirroring `criterion::black_box`.
 pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
 }
 
-/// Throughput annotation (accepted and ignored).
+/// Throughput annotation: scales timing into a rate.
 #[derive(Clone, Copy, Debug)]
 pub enum Throughput {
     /// Elements processed per iteration.
@@ -22,17 +29,163 @@ pub enum Throughput {
     Bytes(u64),
 }
 
+/// One finished measurement, as stored in the global registry.
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    /// Fully-qualified id (`group/bench`).
+    pub id: String,
+    /// Number of timed iterations.
+    pub samples: usize,
+    pub min_ns: u128,
+    pub median_ns: u128,
+    pub mean_ns: u128,
+    /// Elements (or bytes) per iteration, when annotated.
+    pub throughput: Option<u64>,
+    /// Elements per second derived from the median, when annotated.
+    pub per_second: Option<f64>,
+}
+
+fn registry() -> &'static Mutex<Vec<BenchRecord>> {
+    static REGISTRY: OnceLock<Mutex<Vec<BenchRecord>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Appends a record produced outside the `Criterion` API (e.g. a wall-clock
+/// measurement of a whole figure panel) to the registry.
+pub fn record_extra(record: BenchRecord) {
+    registry()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .push(record);
+}
+
+/// Snapshot of all records accumulated so far.
+pub fn records() -> Vec<BenchRecord> {
+    registry()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone()
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders all accumulated records as a JSON document.
+pub fn render_json() -> String {
+    let recs = records();
+    let mut out = String::from("{\n  \"benches\": [\n");
+    for (i, r) in recs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"samples\": {}, \"min_ns\": {}, \"median_ns\": {}, \
+             \"mean_ns\": {}",
+            json_escape(&r.id),
+            r.samples,
+            r.min_ns,
+            r.median_ns,
+            r.mean_ns
+        ));
+        if let Some(t) = r.throughput {
+            out.push_str(&format!(", \"throughput\": {t}"));
+        }
+        if let Some(p) = r.per_second {
+            out.push_str(&format!(", \"per_second\": {p:.1}"));
+        }
+        out.push_str(if i + 1 == recs.len() { "}\n" } else { "},\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes all accumulated records to `path` as JSON.
+pub fn write_json(path: &str) -> std::io::Result<()> {
+    std::fs::write(path, render_json())
+}
+
+/// Called by `criterion_main!` after all groups ran: honours
+/// `NOC_BENCH_JSON=<path>`.
+pub fn write_json_if_requested() {
+    if let Ok(path) = std::env::var("NOC_BENCH_JSON") {
+        if !path.is_empty() {
+            write_json(&path).expect("writing NOC_BENCH_JSON report");
+            println!("wrote bench report to {path}");
+        }
+    }
+}
+
+fn env_samples() -> Option<usize> {
+    std::env::var("NOC_BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .filter(|&n| n >= 1)
+}
+
+const DEFAULT_SAMPLES: usize = 10;
+
 /// Timer handle passed to bench bodies.
-pub struct Bencher;
+pub struct Bencher {
+    samples: usize,
+    durations: Vec<Duration>,
+}
 
 impl Bencher {
-    /// Runs the routine once, timing it.
+    /// Runs the routine once for warm-up, then `samples` timed iterations.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
-        let start = Instant::now();
         black_box(routine());
-        let dt = start.elapsed();
-        println!("      once in {dt:?}");
+        self.durations.clear();
+        self.durations.reserve(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.durations.push(start.elapsed());
+        }
     }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    id: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        samples: env_samples().unwrap_or(samples),
+        durations: Vec::new(),
+    };
+    f(&mut b);
+    if b.durations.is_empty() {
+        // The body never called `iter` — nothing to report.
+        println!("  {id}: no measurement");
+        return;
+    }
+    let mut sorted = b.durations.clone();
+    sorted.sort();
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+    let elems = throughput.map(|t| match t {
+        Throughput::Elements(n) | Throughput::Bytes(n) => n,
+    });
+    let per_second = elems.map(|n| n as f64 / (median.as_secs_f64().max(1e-12)));
+    match per_second {
+        Some(rate) => println!(
+            "  {id}: {} samples, min {min:?}, median {median:?}, mean {mean:?}, {rate:.0} elems/s",
+            sorted.len()
+        ),
+        None => println!(
+            "  {id}: {} samples, min {min:?}, median {median:?}, mean {mean:?}",
+            sorted.len()
+        ),
+    }
+    record_extra(BenchRecord {
+        id,
+        samples: sorted.len(),
+        min_ns: min.as_nanos(),
+        median_ns: median.as_nanos(),
+        mean_ns: mean.as_nanos(),
+        throughput: elems,
+        per_second,
+    });
 }
 
 /// Top-level bench context, mirroring `criterion::Criterion`.
@@ -40,46 +193,60 @@ impl Bencher {
 pub struct Criterion;
 
 impl Criterion {
-    /// Runs a single named benchmark once.
-    pub fn bench_function<S, F>(&mut self, id: S, mut f: F) -> &mut Self
+    /// Runs a single named benchmark.
+    pub fn bench_function<S, F>(&mut self, id: S, f: F) -> &mut Self
     where
         S: std::fmt::Display,
         F: FnMut(&mut Bencher),
     {
         println!("bench {id}");
-        f(&mut Bencher);
+        run_bench(id.to_string(), DEFAULT_SAMPLES, None, f);
         self
     }
 
     /// Opens a named group of benchmarks.
     pub fn benchmark_group<S: std::fmt::Display>(&mut self, name: S) -> BenchmarkGroup {
         println!("group {name}");
-        BenchmarkGroup
+        BenchmarkGroup {
+            name: name.to_string(),
+            samples: DEFAULT_SAMPLES,
+            throughput: None,
+        }
     }
 }
 
 /// Group handle, mirroring `criterion::BenchmarkGroup`.
-pub struct BenchmarkGroup;
+pub struct BenchmarkGroup {
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+}
 
 impl BenchmarkGroup {
-    /// Accepted and ignored (single-run stand-in).
-    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+    /// Sets the number of timed iterations for subsequent benches.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
         self
     }
 
-    /// Accepted and ignored (single-run stand-in).
-    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+    /// Sets the throughput annotation for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
         self
     }
 
-    /// Runs a single named benchmark once.
-    pub fn bench_function<S, F>(&mut self, id: S, mut f: F) -> &mut Self
+    /// Runs a single named benchmark within the group.
+    pub fn bench_function<S, F>(&mut self, id: S, f: F) -> &mut Self
     where
         S: std::fmt::Display,
         F: FnMut(&mut Bencher),
     {
-        println!("  bench {id}");
-        f(&mut Bencher);
+        run_bench(
+            format!("{}/{id}", self.name),
+            self.samples,
+            self.throughput,
+            f,
+        );
         self
     }
 
@@ -104,6 +271,36 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_json_if_requested();
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_min_median_mean() {
+        let mut c = Criterion;
+        let mut g = c.benchmark_group("t");
+        g.sample_size(5).throughput(Throughput::Elements(1000));
+        g.bench_function("spin", |b| {
+            b.iter(|| {
+                let mut x = 0u64;
+                for i in 0..10_000 {
+                    x = x.wrapping_add(black_box(i));
+                }
+                x
+            });
+        });
+        g.finish();
+        let recs = records();
+        let r = recs.iter().find(|r| r.id == "t/spin").expect("recorded");
+        assert_eq!(r.samples, 5);
+        assert!(r.min_ns > 0 && r.min_ns <= r.median_ns);
+        assert!(r.per_second.expect("throughput set") > 0.0);
+        let json = render_json();
+        assert!(json.contains("\"t/spin\""));
+    }
 }

@@ -66,23 +66,32 @@ impl Mechanism for TfcMechanism {
         let mut bypasses = 0;
         let bypass_arrival = now + 2; // link + latch
         for (j, inbox) in net.inbox_router.iter_mut().enumerate() {
-            for entry in inbox.iter_mut() {
-                let (arrive, port, flit) = *entry;
-                if arrive == sent_at
-                    && port != Direction::Local.index()
-                    && self.tokens[j].iter().take(4).any(|&t| t)
-                {
-                    bypasses += 1;
-                    // Only heads may be accelerated (re-timing a body flit
-                    // past its head would break FIFO arrival within a VC).
-                    if flit.kind.is_head() && bypass_arrival < arrive {
-                        entry.0 = bypass_arrival;
-                    }
+            let tokens = &self.tokens[j];
+            // Flits just sent arrive exactly at `sent_at`, so only that
+            // bucket of the wheel needs visiting.
+            inbox.retime_due_at(sent_at, |&(port, flit)| {
+                if port == Direction::Local.index() || !tokens.iter().take(4).any(|&t| t) {
+                    return None;
                 }
-            }
+                bypasses += 1;
+                // Only heads may be accelerated (re-timing a body flit past
+                // its head would break FIFO arrival within a VC).
+                if flit.kind.is_head() && bypass_arrival < sent_at {
+                    Some(bypass_arrival)
+                } else {
+                    None
+                }
+            });
         }
         self.bypassed_flits += bypasses;
         net.stats.tfc_bypasses += bypasses;
+    }
+
+    /// TFC only reads the snapshot and re-times in-flight flits; it never
+    /// touches buffers, claims or ejection VCs. Arrivals mark their own
+    /// routers dirty when the re-timed flits land.
+    fn touches_credits(&self) -> bool {
+        false
     }
 }
 

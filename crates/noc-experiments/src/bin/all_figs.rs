@@ -1,7 +1,8 @@
 //! Regenerates every table and figure (EXPERIMENTS.md source). Pass
-//! `--quick` for reduced sweeps and `--csv <dir>` to also dump each table
-//! as CSV. Cheap artifacts print first; each fig-8 panel prints as soon as
-//! it is computed; progress marks go to stderr.
+//! `--quick` for reduced sweeps, `--threads N` to bound the sweep executor
+//! (default: `NOC_THREADS` or all cores) and `--csv <dir>` to also dump
+//! each table as CSV. Cheap artifacts print first; each fig-8 panel prints
+//! as soon as it is computed; progress marks go to stderr.
 //!
 //! `--allow-unverified` disables the `noc-verify` deadlock-freedom gate
 //! (otherwise statically-routed schemes refuse uncertified configurations).
@@ -14,7 +15,7 @@ use std::time::Instant;
 
 fn main() {
     let t0 = Instant::now();
-    let args: Vec<String> = std::env::args().collect();
+    let args = noc_experiments::cli::args();
     let quick = args.iter().any(|a| a == "--quick");
     if args.iter().any(|a| a == "--allow-unverified") {
         // The figure modules build their specs internally; the env override

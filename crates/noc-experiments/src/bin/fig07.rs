@@ -1,4 +1,5 @@
 //! Regenerates Fig 7 (router area breakdown).
 fn main() {
+    noc_experiments::cli::args();
     println!("{}", noc_experiments::figs::fig07::run());
 }

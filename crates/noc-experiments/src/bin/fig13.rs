@@ -1,5 +1,5 @@
 //! Regenerates Fig 13 (SEEC 2 VCs vs escape VC with more VCs).
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let quick = noc_experiments::cli::args().iter().any(|a| a == "--quick");
     println!("{}", noc_experiments::figs::fig13::run(quick));
 }

@@ -1,5 +1,5 @@
 //! Regenerates Fig 15 (application tail latency).
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let quick = noc_experiments::cli::args().iter().any(|a| a == "--quick");
     println!("{}", noc_experiments::figs::fig15::run(quick));
 }

@@ -6,6 +6,7 @@ use noc_traffic::TrafficPattern;
 use std::io::Write;
 
 fn main() {
+    noc_experiments::cli::args();
     let emit = |t: noc_experiments::FigTable| {
         println!("{t}");
         std::io::stdout().flush().ok();

@@ -1,5 +1,5 @@
 //! Regenerates the measured counterpart of Table 1.
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let quick = noc_experiments::cli::args().iter().any(|a| a == "--quick");
     println!("{}", noc_experiments::figs::table1::run(quick));
 }

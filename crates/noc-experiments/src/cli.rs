@@ -1,0 +1,31 @@
+//! Shared command-line handling for the experiment binaries.
+
+/// Reads the process arguments (program name dropped), applies the
+/// `--threads N` / `--threads=N` flag to the sweep executor, and returns
+/// the remaining arguments for the binary's own flags.
+///
+/// `--threads` overrides the `NOC_THREADS` environment knob at runtime;
+/// `--threads 1` forces strictly sequential sweeps. Results are identical
+/// for any thread count — the executor only changes wall-clock time.
+pub fn args() -> Vec<String> {
+    let mut rest = Vec::new();
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
+        let n = if a == "--threads" {
+            argv.next()
+        } else {
+            a.strip_prefix("--threads=").map(str::to_string)
+        };
+        match n {
+            Some(n) => match n.parse::<usize>() {
+                Ok(n) if n >= 1 => rayon::set_num_threads(n),
+                _ => {
+                    eprintln!("--threads expects a positive integer, got {n:?}");
+                    std::process::exit(2);
+                }
+            },
+            None => rest.push(a),
+        }
+    }
+    rest
+}

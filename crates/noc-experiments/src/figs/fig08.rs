@@ -2,9 +2,10 @@
 //! sizes, all schemes.
 
 use crate::runner::Scheme;
-use crate::saturation::latency_curve;
+use crate::saturation::{curve_point, CurvePoint};
 use crate::table::{fmt_latency, FigTable};
 use noc_traffic::TrafficPattern;
+use rayon::prelude::*;
 
 /// The figure's line-up: proactive, reactive, subactive, deflection, SEEC.
 pub fn schemes() -> Vec<Scheme> {
@@ -47,10 +48,18 @@ pub fn panel(pattern: TrafficPattern, k: u8, quick: bool) -> FigTable {
         &colrefs,
     )
     .with_note("paper: SEEC ≥ all baselines; mSEEC best; minBD saturates first");
-    let curves: Vec<Vec<crate::saturation::CurvePoint>> = list
+    // One flat scheme × rate sweep: a single parallel region with
+    // |schemes|·|rates| independent design points load-balances far better
+    // than per-scheme sweeps (the quick panel alone yields 40 tasks).
+    let pairs: Vec<(Scheme, f64)> = list
         .iter()
-        .map(|&s| latency_curve(k, vcs, s, pattern, &rates, cycles))
+        .flat_map(|&s| rates.iter().map(move |&r| (s, r)))
         .collect();
+    let points: Vec<CurvePoint> = pairs
+        .into_par_iter()
+        .map(|(s, rate)| curve_point(k, vcs, s, pattern, rate, cycles))
+        .collect();
+    let curves: Vec<&[CurvePoint]> = points.chunks(rates.len()).collect();
     for (i, &rate) in rates.iter().enumerate() {
         let mut row = vec![format!("{rate:.3}")];
         for curve in &curves {

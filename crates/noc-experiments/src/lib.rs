@@ -12,6 +12,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod cli;
 pub mod runner;
 pub mod saturation;
 pub mod table;

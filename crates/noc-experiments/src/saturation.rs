@@ -18,6 +18,23 @@ pub struct CurvePoint {
     pub avg_latency: f64,
 }
 
+/// Measures one point of a latency-throughput curve.
+pub fn curve_point(
+    k: u8,
+    vcs: u8,
+    scheme: Scheme,
+    pattern: TrafficPattern,
+    rate: f64,
+    cycles: u64,
+) -> CurvePoint {
+    let s = run_synth(SynthSpec::new(k, vcs, scheme, pattern, rate).with_cycles(cycles));
+    CurvePoint {
+        offered: rate,
+        accepted: s.throughput(k as usize * k as usize),
+        avg_latency: s.avg_total_latency(),
+    }
+}
+
 /// Sweeps `rates` in parallel and returns the measured curve.
 pub fn latency_curve(
     k: u8,
@@ -29,14 +46,7 @@ pub fn latency_curve(
 ) -> Vec<CurvePoint> {
     rates
         .par_iter()
-        .map(|&rate| {
-            let s = run_synth(SynthSpec::new(k, vcs, scheme, pattern, rate).with_cycles(cycles));
-            CurvePoint {
-                offered: rate,
-                accepted: s.throughput(k as usize * k as usize),
-                avg_latency: s.avg_total_latency(),
-            }
-        })
+        .map(|&rate| curve_point(k, vcs, scheme, pattern, rate, cycles))
         .collect()
 }
 

@@ -134,7 +134,7 @@ impl Network {
                 for v in 0..out.inflight.len() {
                     let flying = self.inbox_router[nb.idx()]
                         .iter()
-                        .filter(|(_, port, f)| *port == their_in && f.vc as usize == v)
+                        .filter(|(_, (port, f))| *port == their_in && f.vc as usize == v)
                         .count();
                     if usize::from(out.inflight[v]) != flying {
                         found.push(format!(
@@ -175,6 +175,45 @@ impl Network {
                         found.push(format!("ejection: nic {i} ej vc {e} mixes packets"));
                     }
                 }
+            }
+        }
+        // Occupancy-counter coherence: the running per-port counts that gate
+        // the empty router/port skips in router compute must match the
+        // buffers.
+        for (i, r) in self.routers.iter().enumerate() {
+            let tracked = self.buffered_count(i);
+            for (p, port) in r.inputs.iter().enumerate() {
+                let actual: u16 = port.vcs.iter().map(|vc| vc.buf.len() as u16).sum();
+                if tracked[p] != actual {
+                    found.push(format!(
+                        "occupancy counter: router {i} in[{p}] tracked {} but buffers hold \
+                         {actual}",
+                        tracked[p]
+                    ));
+                }
+            }
+        }
+        // Credit-snapshot coherence: a router whose dirty bit is clear claims
+        // "nothing my snapshot reads has changed since my last refresh" — so
+        // a fresh recompute must match exactly. Dirty routers are refreshed
+        // before the next SA pass and are skipped here.
+        for i in 0..self.routers.len() {
+            if self.credit_is_dirty(i) {
+                continue;
+            }
+            let mut fresh = self.downfree[i].clone();
+            crate::network::refresh_one_downfree(
+                &self.routers,
+                &self.nics,
+                i,
+                &mut fresh,
+                wormhole,
+                self.cfg.vc_depth,
+            );
+            if fresh != self.downfree[i] {
+                found.push(format!(
+                    "credit snapshot: router {i} marked clean but snapshot is stale"
+                ));
             }
         }
         // Strict: exact flit conservation across the whole network.

@@ -25,6 +25,20 @@ pub trait Mechanism {
     fn post_cycle(&mut self, net: &mut Network) {
         let _ = net;
     }
+
+    /// Whether this mechanism mutates state the per-router credit snapshot
+    /// reads: input-VC occupancy, output claims, wormhole in-flight counts,
+    /// or NIC ejection VCs / reservations. When `true` (the conservative
+    /// default) the engine invalidates every router's snapshot each cycle;
+    /// mechanisms that only observe, or only touch in-flight timing, return
+    /// `false` to keep the dirty-tracking fast path (the engine then
+    /// refreshes only routers marked dirty). A mechanism that mutates a
+    /// *known*
+    /// node may instead return `false` and call
+    /// [`Network::credit_touch`] itself.
+    fn touches_credits(&self) -> bool {
+        true
+    }
 }
 
 /// The null mechanism: a plain VC router network. Deadlock-free only if the
@@ -35,5 +49,9 @@ pub struct NoMechanism;
 impl Mechanism for NoMechanism {
     fn kind(&self) -> SchemeKind {
         SchemeKind::None
+    }
+
+    fn touches_credits(&self) -> bool {
+        false
     }
 }

@@ -18,6 +18,7 @@
 //! router evaluation order never matters and runs are bit-reproducible for a
 //! given seed.
 
+use crate::inbox::Inbox;
 use crate::mechanism::Mechanism;
 use crate::nic::{InjProgress, Nic};
 use crate::reservation::ReservationTable;
@@ -47,10 +48,13 @@ pub struct Network {
     pub nics: Vec<Nic>,
     /// Per-router credit snapshot, refreshed each cycle before SA.
     pub downfree: Vec<DownFree>,
-    /// Flits in flight toward router input ports: `(arrival, port, flit)`.
-    pub inbox_router: Vec<Vec<(Cycle, PortId, Flit)>>,
-    /// Flits in flight toward NIC ejection VCs: `(arrival, ej_vc, flit)`.
-    pub inbox_nic: Vec<Vec<(Cycle, usize, Flit)>>,
+    /// Flits in flight toward router input ports, bucketed by arrival
+    /// cycle: each entry is `(in_port, flit)`. Same-cycle entries deliver
+    /// in push order (FIFO within a cycle).
+    pub inbox_router: Vec<Inbox<(PortId, Flit)>>,
+    /// Flits in flight toward NIC ejection VCs: `(ej_vc, flit)` entries
+    /// bucketed by arrival cycle.
+    pub inbox_nic: Vec<Inbox<(usize, Flit)>>,
     /// Space-time link reservations made by Free-Flow traversals.
     pub reservations: ReservationTable,
     pub stats: Stats,
@@ -62,6 +66,23 @@ pub struct Network {
     pub inv: crate::invariants::InvariantState,
     /// Scratch for SA winners, reused across cycles.
     moves: Vec<Move>,
+    /// Scratch for the delivery phase's post-insert bookkeeping
+    /// (`(node, port, vc, is_tail)`), reused across cycles.
+    scratch_arrivals: Vec<(usize, PortId, usize, bool)>,
+    /// Scratch the inbox wheels drain into, reused across cycles.
+    scratch_due: Vec<(PortId, Flit)>,
+    /// Routers whose credit snapshot inputs changed since the last refresh;
+    /// [`Network::refresh_downfree`] recomputes only these.
+    credit_dirty: Vec<bool>,
+    /// Flits buffered per input port of each router. Lets `compute_routers`
+    /// skip empty routers outright and skip empty ports inside switch
+    /// allocation without touching their VC buffers (an empty router/port
+    /// nominates nothing, consumes no RNG and marks no head waits, so the
+    /// skip is behaviour-identical). Kept exact by the engine's own mutation
+    /// sites; recounted from scratch each cycle for mechanisms that mutate
+    /// buffers (see
+    /// [`Mechanism::touches_credits`](crate::Mechanism::touches_credits)).
+    buffered: Vec<[u16; NUM_PORTS]>,
 }
 
 impl Network {
@@ -92,8 +113,8 @@ impl Network {
             routers,
             nics,
             downfree,
-            inbox_router: vec![Vec::new(); n],
-            inbox_nic: vec![Vec::new(); n],
+            inbox_router: vec![Inbox::new(); n],
+            inbox_nic: vec![Inbox::new(); n],
             reservations: ReservationTable::with_nodes(n),
             stats: Stats::default(),
             rng,
@@ -101,6 +122,10 @@ impl Network {
             #[cfg(feature = "check-invariants")]
             inv: crate::invariants::InvariantState::default(),
             moves: Vec::new(),
+            scratch_arrivals: Vec::new(),
+            scratch_due: Vec::new(),
+            credit_dirty: vec![true; n],
+            buffered: vec![[0; NUM_PORTS]; n],
             cfg,
         }
     }
@@ -118,38 +143,42 @@ impl Network {
     }
 
     /// Phase 1: deliver due flits into router VCs and NIC ejection VCs.
+    ///
+    /// Same-cycle arrivals at one node enter their VCs in send order (the
+    /// wheels preserve push order within a cycle — see [`Inbox`]).
     fn deliver_arrivals(&mut self) {
         let now = self.cycle;
-        let Network {
-            routers,
-            nics,
-            inbox_router,
-            inbox_nic,
-            stats,
-            last_progress,
-            ..
-        } = self;
+        // Both scratch buffers are taken out of `self` so the loop bodies can
+        // borrow the rest of the network freely; they go back at the end, so
+        // steady-state delivery allocates nothing.
+        let mut due = std::mem::take(&mut self.scratch_due);
+        let mut arrivals = std::mem::take(&mut self.scratch_arrivals);
+        arrivals.clear();
         // Claims on router-to-router VCs are released only when the tail flit
         // *arrives* (clearing at send would open a window where the VC looks
         // free while flits are still on the link); every arrival also returns
         // its wormhole flit credit (decrements the upstream in-flight count).
-        let mut arrivals: Vec<(usize, PortId, usize, bool)> = Vec::new();
-        for (i, inbox) in inbox_router.iter_mut().enumerate() {
-            let mut k = 0;
-            while k < inbox.len() {
-                if inbox[k].0 <= now {
-                    let (_, port, flit) = inbox.swap_remove(k);
-                    let vcid = flit_target_vc(&routers[i], port, &flit);
-                    routers[i].inputs[port].vcs[vcid].push(flit);
-                    stats.buffer_writes += 1;
-                    *last_progress = now;
-                    arrivals.push((i, port, vcid, flit.kind.is_tail()));
-                } else {
-                    k += 1;
-                }
+        for i in 0..self.inbox_router.len() {
+            due.clear();
+            self.inbox_router[i].drain_due_into(now, &mut due);
+            if due.is_empty() {
+                continue;
             }
+            let r = &mut self.routers[i];
+            for &(port, flit) in &due {
+                let vcid = flit_target_vc(r, port, &flit);
+                r.inputs[port].vcs[vcid].push(flit);
+                self.stats.buffer_writes += 1;
+                arrivals.push((i, port, vcid, flit.kind.is_tail()));
+            }
+            self.last_progress = now;
+            for &(port, _) in &due {
+                self.buffered[i][port] += 1;
+            }
+            self.credit_touch(i);
         }
-        for (i, port, vcid, is_tail) in arrivals {
+        let Network { routers, nics, .. } = self;
+        for &(i, port, vcid, is_tail) in &arrivals {
             if port == Direction::Local.index() {
                 // Injection link: the NIC's claim clears when the tail lands
                 // (clearing at send reopens the in-flight window once the
@@ -171,56 +200,98 @@ impl Network {
                 }
             }
         }
-        for (i, inbox) in inbox_nic.iter_mut().enumerate() {
-            let mut k = 0;
-            while k < inbox.len() {
-                if inbox[k].0 <= now {
-                    let (_, ej, flit) = inbox.swap_remove(k);
-                    nics[i].receive(ej, flit);
-                    *last_progress = now;
-                } else {
-                    k += 1;
-                }
+        for i in 0..self.inbox_nic.len() {
+            due.clear();
+            self.inbox_nic[i].drain_due_into(now, &mut due);
+            if due.is_empty() {
+                continue;
+            }
+            for &(ej, flit) in &due {
+                self.nics[i].receive(ej, flit);
+            }
+            self.last_progress = now;
+            // Ejection VC occupancy feeds this node's local-port snapshot.
+            self.credit_dirty[i] = true;
+        }
+        self.scratch_due = due;
+        self.scratch_arrivals = arrivals;
+    }
+
+    /// Marks `node`'s credit snapshot stale, plus its cardinal neighbours'
+    /// (their snapshots read this node's input-VC occupancy as downstream
+    /// state). Mechanisms mutating buffers or claims through the SPI for a
+    /// known node may call this instead of blanket
+    /// [`Network::credit_mark_all`].
+    pub fn credit_touch(&mut self, node: usize) {
+        self.credit_dirty[node] = true;
+        for d in Direction::CARDINAL {
+            if let Some(nb) = self.routers[node].outputs[d.index()].neighbor {
+                self.credit_dirty[nb.idx()] = true;
             }
         }
     }
 
-    /// Phase 4: refresh every router's downstream-availability snapshot.
+    /// Marks every router's credit snapshot stale. [`Sim::step`] calls this
+    /// each cycle for mechanisms whose
+    /// [`Mechanism::touches_credits`](crate::Mechanism::touches_credits)
+    /// reports `true` (the conservative default).
+    pub fn credit_mark_all(&mut self) {
+        for f in &mut self.credit_dirty {
+            *f = true;
+        }
+    }
+
+    /// Whether `node`'s credit snapshot is pending a refresh (invariant
+    /// layer: a *clean* snapshot must match a fresh recompute).
+    #[cfg(feature = "check-invariants")]
+    pub(crate) fn credit_is_dirty(&self, node: usize) -> bool {
+        self.credit_dirty[node]
+    }
+
+    /// The engine's running buffered-flit counts for `node`, per input port
+    /// (invariant layer: must match the buffers at every end of cycle).
+    #[cfg(feature = "check-invariants")]
+    pub(crate) fn buffered_count(&self, node: usize) -> [u16; NUM_PORTS] {
+        self.buffered[node]
+    }
+
+    /// Recounts every router's per-port buffered-flit totals from the
+    /// buffers themselves. [`Sim::step`] calls this around mechanism phases
+    /// that may push or pop input-VC flits without going through the
+    /// engine's tracked sites (`touches_credits`), keeping the empty
+    /// router/port skips in `compute_routers` sound.
+    pub fn recount_buffered(&mut self) {
+        let Network {
+            routers, buffered, ..
+        } = self;
+        for (b, r) in buffered.iter_mut().zip(routers.iter()) {
+            for (p, slot) in b.iter_mut().enumerate() {
+                *slot = r.inputs[p].vcs.iter().map(|vc| vc.buf.len() as u16).sum();
+            }
+        }
+    }
+
+    /// Phase 4: refresh the downstream-availability snapshot of every router
+    /// whose inputs changed since its last refresh (see `credit_dirty`; a
+    /// snapshot only depends on this router's outputs, its NIC's ejection
+    /// VCs, and its cardinal neighbours' input VCs, and every mutation of
+    /// those marks the affected routers via [`Network::credit_touch`]).
     fn refresh_downfree(&mut self) {
         let Network {
             routers,
             nics,
             downfree,
+            credit_dirty,
             ..
         } = self;
         let wormhole = self.cfg.buffer_org == noc_types::BufferOrg::Wormhole;
         let depth = self.cfg.vc_depth;
         for (i, d) in downfree.iter_mut().enumerate() {
-            let r = &routers[i];
-            for dir in Direction::CARDINAL {
-                let p = dir.index();
-                match r.outputs[p].neighbor {
-                    Some(nb) => {
-                        let their_in = dir.opposite().index();
-                        let down = &routers[nb.idx()].inputs[their_in];
-                        for (v, slot) in d.free[p].iter_mut().enumerate() {
-                            *slot = down.vcs[v].is_free() && r.outputs[p].vc_claimed[v].is_none();
-                        }
-                        if wormhole {
-                            for (v, slot) in d.slots[p].iter_mut().enumerate() {
-                                let used = down.vcs[v].buf.len() as u8 + r.outputs[p].inflight[v];
-                                *slot = depth.saturating_sub(used);
-                            }
-                        }
-                    }
-                    None => d.free[p].iter_mut().for_each(|s| *s = false),
-                }
+            if !credit_dirty[i] {
+                continue;
             }
-            let lp = Direction::Local.index();
-            let nic = &nics[i];
-            for (v, slot) in d.free[lp].iter_mut().enumerate() {
-                *slot = nic.ejection[v].is_free() && r.outputs[lp].vc_claimed[v].is_none();
-            }
+            credit_dirty[i] = false;
+            refresh_one_downfree(routers, nics, i, d, wormhole, depth);
         }
     }
 
@@ -238,14 +309,20 @@ impl Network {
             rng,
             last_progress,
             moves,
+            credit_dirty,
+            buffered,
             ..
         } = self;
 
         for i in 0..routers.len() {
+            if buffered[i] == [0; NUM_PORTS] {
+                continue;
+            }
             moves.clear();
             decide_router(
                 i,
                 &mut routers[i],
+                &buffered[i],
                 &downfree[i],
                 cfg,
                 reservations,
@@ -253,6 +330,16 @@ impl Network {
                 now,
                 moves,
             );
+            if !moves.is_empty() {
+                // Moves change this router's outputs (claims, inflight) and
+                // its input-VC occupancy, which its neighbours snapshot.
+                credit_dirty[i] = true;
+                for d in Direction::CARDINAL {
+                    if let Some(nb) = routers[i].outputs[d.index()].neighbor {
+                        credit_dirty[nb.idx()] = true;
+                    }
+                }
+            }
             let r = &mut routers[i];
             for m in moves.iter() {
                 let vc = &mut r.inputs[m.in_port].vcs[m.in_vc];
@@ -267,6 +354,7 @@ impl Network {
                 }
                 let route = vc.route.expect("moving flit without route");
                 let (mut flit, _freed) = vc.pop_front_sent();
+                buffered[i][m.in_port] -= 1;
                 flit.escape = route.escape;
                 flit.vc = route.out_vc as u8;
                 stats.buffer_reads += 1;
@@ -277,7 +365,7 @@ impl Network {
                     r.outputs[route.out_port].vc_claimed[route.out_vc] = None;
                 }
                 if m.out_port == Direction::Local.index() {
-                    inbox_nic[i].push((now + LOCAL_LATENCY, route.out_vc, flit));
+                    inbox_nic[i].push(now + LOCAL_LATENCY, (route.out_vc, flit));
                 } else {
                     flit.hops += 1;
                     stats.count_link_hop_at(now, r.id, route.out_port);
@@ -285,7 +373,7 @@ impl Network {
                     let nb = r.outputs[route.out_port].neighbor.expect("move off-mesh");
                     let their_in = Direction::from_index(m.out_port).opposite().index();
                     let hop = 1 + cfg.router_latency as Cycle;
-                    inbox_router[nb.idx()].push((now + hop, their_in, flit));
+                    inbox_router[nb.idx()].push(now + hop, (their_in, flit));
                 }
                 *last_progress = now;
             }
@@ -359,7 +447,7 @@ impl Network {
                 // Direct flits to the VC the NIC allocated: record it so the
                 // delivery phase can place them (head marks the VC resident;
                 // bodies follow the resident packet).
-                inbox_router[i].push((now + cfg.router_latency as Cycle, lp, flit));
+                inbox_router[i].push(now + cfg.router_latency as Cycle, (lp, flit));
                 stats.record_injected_flit(&flit);
                 #[cfg(feature = "check-invariants")]
                 {
@@ -391,6 +479,9 @@ impl Network {
                         self.nics[i].consume_commit(ej);
                         self.stats.record_delivery(&d);
                         self.last_progress = now;
+                        // Freeing an ejection VC changes this node's
+                        // local-port snapshot.
+                        self.credit_dirty[i] = true;
                         #[cfg(feature = "check-invariants")]
                         {
                             let cols = self.cfg.cols;
@@ -438,7 +529,10 @@ impl Network {
     pub fn drain_packet(&mut self, node: NodeId, port: PortId, vc: usize) -> Vec<Flit> {
         let v = &mut self.routers[node.idx()].inputs[port].vcs[vc];
         assert!(v.route.is_none(), "draining a packet that began moving");
-        v.drain_packet()
+        let flits = v.drain_packet();
+        self.buffered[node.idx()][port] -= flits.len() as u16;
+        self.credit_touch(node.idx());
+        flits
     }
 
     /// Installs a fully-buffered packet into a free, unclaimed VC.
@@ -447,21 +541,60 @@ impl Network {
             self.vc_installable(node, port, vc),
             "installing into unavailable VC"
         );
+        self.buffered[node.idx()][port] += flits.len() as u16;
         self.routers[node.idx()].inputs[port].vcs[vc].install_packet(flits);
         self.last_progress = self.cycle;
+        self.credit_touch(node.idx());
     }
 
     /// Flits currently buffered in routers plus flits in flight (watchdog /
     /// invariants; excludes NIC queues and ejection VCs).
     pub fn flits_in_network(&self) -> usize {
         let buffered: usize = self.routers.iter().map(Router::buffered_flits).sum();
-        let flying: usize = self.inbox_router.iter().map(Vec::len).sum();
+        let flying: usize = self.inbox_router.iter().map(Inbox::len).sum();
         buffered + flying
     }
 
     /// Cycles since anything moved.
     pub fn quiescent_for(&self) -> u64 {
         self.cycle.saturating_sub(self.last_progress)
+    }
+}
+
+/// Recomputes one router's downstream-availability snapshot from scratch
+/// (shared by the per-cycle refresh and the invariant layer's cross-check).
+pub(crate) fn refresh_one_downfree(
+    routers: &[Router],
+    nics: &[Nic],
+    i: usize,
+    d: &mut DownFree,
+    wormhole: bool,
+    depth: u8,
+) {
+    let r = &routers[i];
+    for dir in Direction::CARDINAL {
+        let p = dir.index();
+        match r.outputs[p].neighbor {
+            Some(nb) => {
+                let their_in = dir.opposite().index();
+                let down = &routers[nb.idx()].inputs[their_in];
+                for (v, slot) in d.free[p].iter_mut().enumerate() {
+                    *slot = down.vcs[v].is_free() && r.outputs[p].vc_claimed[v].is_none();
+                }
+                if wormhole {
+                    for (v, slot) in d.slots[p].iter_mut().enumerate() {
+                        let used = down.vcs[v].buf.len() as u8 + r.outputs[p].inflight[v];
+                        *slot = depth.saturating_sub(used);
+                    }
+                }
+            }
+            None => d.free[p].iter_mut().for_each(|s| *s = false),
+        }
+    }
+    let lp = Direction::Local.index();
+    let nic = &nics[i];
+    for (v, slot) in d.free[lp].iter_mut().enumerate() {
+        *slot = nic.ejection[v].is_free() && r.outputs[lp].vc_claimed[v].is_none();
     }
 }
 
@@ -494,6 +627,7 @@ type Nomination = (usize, PortId, Option<(usize, bool)>);
 fn decide_router(
     node: usize,
     r: &mut Router,
+    occ: &[u16; NUM_PORTS],
     down: &DownFree,
     cfg: &NetConfig,
     reservations: &ReservationTable,
@@ -512,9 +646,14 @@ fn decide_router(
         *has = down.free[p].iter().any(|&f| f);
     }
 
-    // Stage 1: nominations — (in_vc, out_port, alloc).
+    // Stage 1: nominations — (in_vc, out_port, alloc). `nominated` holds a
+    // bit per *output* port so stage 2 can skip uncontested outputs.
     let mut nominee: [Option<Nomination>; NUM_PORTS] = [None; NUM_PORTS];
+    let mut nominated: u8 = 0;
     for (p, nom) in nominee.iter_mut().enumerate() {
+        if occ[p] == 0 {
+            continue; // no flits behind this port: nothing to nominate
+        }
         let nvcs = r.inputs[p].vcs.len();
         for k in 0..nvcs {
             let v = (r.sa_in_rr[p] + k) % nvcs;
@@ -533,6 +672,7 @@ fn decide_router(
                     || down.slots[route.out_port][route.out_vc] > 0;
                 if has_slot && !reservations.is_reserved(r.id, route.out_port, now) {
                     *nom = Some((v, route.out_port, None));
+                    nominated |= 1 << route.out_port;
                     break;
                 }
                 continue;
@@ -550,6 +690,7 @@ fn decide_router(
                 if let Some(ej) = try_alloc_ejection(&front, cfg, down) {
                     if !reservations.is_reserved(r.id, lp, now) {
                         *nom = Some((v, lp, Some((ej, false))));
+                        nominated |= 1 << lp;
                         break;
                     }
                 }
@@ -589,14 +730,19 @@ fn decide_router(
             {
                 if !reservations.is_reserved(r.id, port, now) {
                     *nom = Some((v, port, Some((out_vc, esc))));
+                    nominated |= 1 << port;
                     break;
                 }
             }
         }
     }
 
-    // Stage 2: output arbitration (round-robin over input ports).
+    // Stage 2: output arbitration (round-robin over input ports), only for
+    // outputs somebody nominated.
     for o in 0..NUM_PORTS {
+        if nominated & (1 << o) == 0 {
+            continue;
+        }
         let mut winner = None;
         for k in 0..NUM_PORTS {
             let p = (r.sa_out_rr[o] + k) % NUM_PORTS;
@@ -660,11 +806,26 @@ impl Sim {
             });
         }
         self.mech.pre_cycle(net);
+        if self.mech.touches_credits() {
+            // The mechanism may have moved flits in or out of input VCs
+            // without the engine seeing it: re-derive the per-router
+            // occupancy counts before they gate router compute.
+            net.recount_buffered();
+        }
         net.refresh_downfree();
         net.compute_routers();
         net.compute_injection();
         net.consume(self.workload.as_mut());
         self.mech.post_cycle(net);
+        if self.mech.touches_credits() {
+            // The mechanism may have mutated buffers, claims or ejection
+            // reservations anywhere. One blanket invalidation here covers
+            // both this post_cycle and the next cycle's pre_cycle (no
+            // refresh happens in between); mechanisms that only observe, or
+            // only touch inbox timing, opt out via `touches_credits`.
+            net.credit_mark_all();
+            net.recount_buffered();
+        }
         #[cfg(feature = "check-invariants")]
         net.check_invariants();
         let c = net.cycle;

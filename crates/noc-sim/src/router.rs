@@ -102,7 +102,7 @@ impl Router {
 /// `free[port][vc]` is true when the downstream VC (or NIC ejection VC, for
 /// the local port) is empty, unreserved and unclaimed. Refreshed by the
 /// network at the start of every cycle; models credit visibility.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct DownFree {
     pub free: [Vec<bool>; NUM_PORTS],
     /// Free buffer *slots* per downstream VC (wormhole flit credits):

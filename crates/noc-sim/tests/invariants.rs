@@ -83,7 +83,7 @@ fn run_and_check(cfg: NetConfig, transpose: bool, seed: u64) {
             .flat_map(|n| n.ejection.iter())
             .map(|e| e.buf.len())
             .sum();
-        let flying: usize = sim.net.inbox_nic.iter().map(Vec::len).sum();
+        let flying: usize = sim.net.inbox_nic.iter().map(noc_sim::Inbox::len).sum();
         if backlog == 0
             && ejecting == 0
             && flying == 0

@@ -1,0 +1,29 @@
+//! Executor determinism gate: a sweep run on the parallel executor must be
+//! bit-identical to the same sweep run sequentially. Every design point owns
+//! its RNG (seeded from the spec), so the thread count can only change
+//! wall-clock time — this test pins that property at the figure level.
+//!
+//! CI additionally diffs full `fig08 --quick` / `fig09 --quick` outputs
+//! across `NOC_THREADS=1` and `NOC_THREADS=8` processes; this in-process
+//! test keeps the gate in `cargo test`.
+
+use seec_repro::experiments::figs::fig08;
+use seec_repro::traffic::TrafficPattern;
+
+/// The executor budget is process-global, so sequential and parallel runs
+/// live in one test (cargo runs `#[test]` fns of a binary concurrently).
+#[test]
+fn parallel_sweep_is_bit_identical_to_sequential() {
+    for pattern in [TrafficPattern::UniformRandom, TrafficPattern::Transpose] {
+        rayon::set_num_threads(1);
+        let sequential = fig08::panel(pattern, 4, true).to_string();
+        rayon::set_num_threads(8);
+        let parallel = fig08::panel(pattern, 4, true).to_string();
+        assert_eq!(
+            sequential,
+            parallel,
+            "thread count changed {} results",
+            pattern.label()
+        );
+    }
+}
