@@ -113,11 +113,22 @@ pub fn write_json_if_requested() {
     }
 }
 
+/// Reads and validates `NOC_BENCH_SAMPLES`. Unset or empty means "use the
+/// per-bench default"; anything else must be an integer ≥ 1 — `0` or garbage
+/// aborts with a clear message instead of silently falling back.
 fn env_samples() -> Option<usize> {
-    std::env::var("NOC_BENCH_SAMPLES")
-        .ok()
-        .and_then(|s| s.trim().parse().ok())
-        .filter(|&n| n >= 1)
+    let raw = std::env::var("NOC_BENCH_SAMPLES").ok()?;
+    let t = raw.trim();
+    if t.is_empty() {
+        return None;
+    }
+    match t.parse::<usize>() {
+        Ok(n) if n >= 1 => Some(n),
+        _ => panic!(
+            "NOC_BENCH_SAMPLES={raw:?}: must be an integer >= 1 (unset the \
+             variable for the per-bench default)"
+        ),
+    }
 }
 
 const DEFAULT_SAMPLES: usize = 10;

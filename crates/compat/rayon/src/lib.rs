@@ -51,12 +51,40 @@ struct PoolState {
 
 static POOL: OnceLock<Mutex<PoolState>> = OnceLock::new();
 
+/// Validates a thread-count environment value (`NOC_THREADS`-style knob).
+///
+/// `Ok(None)` when the variable is unset or empty (empty means "use the
+/// default", so `NOC_THREADS= cmd` behaves like an unset variable). Any
+/// non-empty value must be an integer ≥ 1: `0` and garbage are *errors*,
+/// never a silent fallback to the default.
+pub fn parse_threads_env(name: &str, val: Option<&str>) -> Result<Option<usize>, String> {
+    let Some(raw) = val else { return Ok(None) };
+    let t = raw.trim();
+    if t.is_empty() {
+        return Ok(None);
+    }
+    match t.parse::<usize>() {
+        Ok(0) => Err(format!(
+            "{name}={raw:?}: thread count must be at least 1 (use 1 for \
+             sequential execution, or unset the variable for the default)"
+        )),
+        Ok(n) => Ok(Some(n)),
+        Err(_) => Err(format!(
+            "{name}={raw:?}: not a positive integer (unset the variable for \
+             the default of one thread per available core)"
+        )),
+    }
+}
+
+/// Reads and validates `NOC_THREADS`. `Ok(None)` when unset.
+pub fn env_threads() -> Result<Option<usize>, String> {
+    parse_threads_env("NOC_THREADS", std::env::var("NOC_THREADS").ok().as_deref())
+}
+
 fn pool() -> &'static Mutex<PoolState> {
     POOL.get_or_init(|| {
-        let threads = std::env::var("NOC_THREADS")
-            .ok()
-            .and_then(|s| s.trim().parse::<usize>().ok())
-            .filter(|&n| n >= 1)
+        let threads = env_threads()
+            .unwrap_or_else(|e| panic!("invalid thread configuration: {e}"))
             .unwrap_or_else(|| {
                 std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
             });
@@ -104,6 +132,30 @@ impl Drop for WorkerTokens {
     fn drop(&mut self) {
         release_workers(self.0);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Panic isolation.
+// ---------------------------------------------------------------------------
+
+/// Extracts a human-readable message from a panic payload (`panic!` with a
+/// `String` or `&str`; anything else gets a generic description).
+pub fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `f`, converting a panic into `Err(message)` instead of unwinding.
+///
+/// This is the isolation primitive for crash-resilient sweep runners: one
+/// wedged or asserting datapoint becomes a recorded failure, not a lost run.
+pub fn catch_panic<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|p| panic_message(&*p))
 }
 
 // ---------------------------------------------------------------------------
@@ -526,6 +578,31 @@ mod tests {
             assert!(std::time::Instant::now() < deadline, "tokens leaked");
             std::thread::yield_now();
         }
+    }
+
+    #[test]
+    fn parse_threads_env_accepts_valid_and_rejects_garbage() {
+        use super::parse_threads_env as p;
+        assert_eq!(p("NOC_THREADS", None), Ok(None));
+        assert_eq!(p("NOC_THREADS", Some("")), Ok(None));
+        assert_eq!(p("NOC_THREADS", Some("  ")), Ok(None));
+        assert_eq!(p("NOC_THREADS", Some("1")), Ok(Some(1)));
+        assert_eq!(p("NOC_THREADS", Some(" 8 ")), Ok(Some(8)));
+        let zero = p("NOC_THREADS", Some("0")).unwrap_err();
+        assert!(zero.contains("at least 1"), "{zero}");
+        let junk = p("NOC_THREADS", Some("four")).unwrap_err();
+        assert!(junk.contains("not a positive integer"), "{junk}");
+        assert!(p("NOC_THREADS", Some("-2")).is_err());
+        assert!(p("NOC_THREADS", Some("3.5")).is_err());
+    }
+
+    #[test]
+    fn catch_panic_isolates_and_reports() {
+        assert_eq!(super::catch_panic(|| 42), Ok(42));
+        let msg = super::catch_panic(|| -> u32 { panic!("point {} wedged", 7) }).unwrap_err();
+        assert_eq!(msg, "point 7 wedged");
+        let msg = super::catch_panic(|| -> u32 { std::panic::panic_any("static str") });
+        assert_eq!(msg, Err("static str".to_string()));
     }
 
     #[test]

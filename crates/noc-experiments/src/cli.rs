@@ -4,10 +4,27 @@
 /// `--threads N` / `--threads=N` flag to the sweep executor, and returns
 /// the remaining arguments for the binary's own flags.
 ///
-/// `--threads` overrides the `NOC_THREADS` environment knob at runtime;
-/// `--threads 1` forces strictly sequential sweeps. Results are identical
-/// for any thread count — the executor only changes wall-clock time.
+/// Thread-count precedence (documented, never silent):
+///
+/// 1. `--threads N` on the command line wins;
+/// 2. otherwise the `NOC_THREADS` environment variable;
+/// 3. otherwise one thread per available core.
+///
+/// The environment value is validated *eagerly* here, even when `--threads`
+/// overrides it: `NOC_THREADS=0` or a non-numeric value is a configuration
+/// error and aborts with exit status 2 rather than being silently replaced
+/// by a default. When both knobs are set and disagree, a note is printed so
+/// the override is visible. `--threads 1` forces strictly sequential sweeps.
+/// Results are identical for any thread count — the executor only changes
+/// wall-clock time.
 pub fn args() -> Vec<String> {
+    let env = match rayon::env_threads() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
     let mut rest = Vec::new();
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
@@ -18,7 +35,14 @@ pub fn args() -> Vec<String> {
         };
         match n {
             Some(n) => match n.parse::<usize>() {
-                Ok(n) if n >= 1 => rayon::set_num_threads(n),
+                Ok(n) if n >= 1 => {
+                    if let Some(env_n) = env {
+                        if env_n != n {
+                            eprintln!("note: --threads {n} overrides NOC_THREADS={env_n}");
+                        }
+                    }
+                    rayon::set_num_threads(n);
+                }
                 _ => {
                     eprintln!("--threads expects a positive integer, got {n:?}");
                     std::process::exit(2);

@@ -1,0 +1,222 @@
+//! Minimal hand-rolled JSON for checkpoint rows (`results/*.ckpt.jsonl`).
+//!
+//! The workspace's `serde` is a no-op compatibility marker, so the sweep
+//! runner writes and re-reads its own JSON. Only *flat* objects are needed:
+//! one checkpoint row is a single-line object whose values are strings,
+//! numbers or booleans. The parser is deliberately tolerant — an
+//! unparseable line in a checkpoint (e.g. a torn write from a killed
+//! process) is skipped, never fatal, so a crashed sweep can always resume.
+
+use std::collections::BTreeMap;
+
+/// Escapes a string for inclusion in a JSON document.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Builder for one flat JSON object, rendered on a single line.
+///
+/// Field order is exactly insertion order, so two runs that record the same
+/// datapoint produce byte-identical rows — which is what lets CI diff a
+/// resumed sweep against an uninterrupted one.
+#[derive(Default)]
+pub struct JsonObj {
+    buf: String,
+}
+
+impl JsonObj {
+    pub fn new() -> JsonObj {
+        JsonObj { buf: String::new() }
+    }
+
+    fn sep(&mut self) {
+        if !self.buf.is_empty() {
+            self.buf.push_str(", ");
+        }
+    }
+
+    /// Adds a string field (escaped).
+    #[must_use]
+    pub fn str_field(mut self, key: &str, val: &str) -> Self {
+        self.sep();
+        self.buf
+            .push_str(&format!("\"{}\": \"{}\"", escape(key), escape(val)));
+        self
+    }
+
+    /// Adds a numeric/boolean field rendered exactly as `val` displays.
+    /// The caller is responsible for `val` being valid bare JSON (integer,
+    /// `{:.N}` float, `true`/`false`).
+    #[must_use]
+    pub fn raw_field(mut self, key: &str, val: &str) -> Self {
+        self.sep();
+        self.buf.push_str(&format!("\"{}\": {val}", escape(key)));
+        self
+    }
+
+    /// Adds an integer field.
+    #[must_use]
+    pub fn u64_field(self, key: &str, val: u64) -> Self {
+        self.raw_field(key, &val.to_string())
+    }
+
+    /// Adds a float field with a fixed number of decimals (stable across
+    /// runs — never uses the shortest-roundtrip formatter).
+    #[must_use]
+    pub fn f64_field(self, key: &str, val: f64, decimals: usize) -> Self {
+        self.raw_field(key, &format!("{val:.decimals$}"))
+    }
+
+    /// Renders the object as one line (no trailing newline).
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+/// Parses one flat JSON object line into a key → raw-value map.
+///
+/// Values are returned unescaped for strings and verbatim for bare tokens
+/// (numbers, booleans). Returns `None` on anything that is not a flat
+/// object — nested objects/arrays, torn lines, garbage.
+pub fn parse_flat(line: &str) -> Option<BTreeMap<String, String>> {
+    let s = line.trim();
+    let inner = s.strip_prefix('{')?.strip_suffix('}')?;
+    let mut map = BTreeMap::new();
+    let mut chars = inner.char_indices().peekable();
+
+    // Scans a JSON string starting at the opening quote; returns the
+    // unescaped contents, leaving the iterator just past the closing quote.
+    fn scan_string(chars: &mut std::iter::Peekable<std::str::CharIndices>) -> Option<String> {
+        match chars.next() {
+            Some((_, '"')) => {}
+            _ => return None,
+        }
+        let mut out = String::new();
+        loop {
+            let (_, c) = chars.next()?;
+            match c {
+                '"' => return Some(out),
+                '\\' => {
+                    let (_, e) = chars.next()?;
+                    match e {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        'n' => out.push('\n'),
+                        'r' => out.push('\r'),
+                        't' => out.push('\t'),
+                        'u' => {
+                            let mut code = 0u32;
+                            for _ in 0..4 {
+                                let (_, h) = chars.next()?;
+                                code = code * 16 + h.to_digit(16)?;
+                            }
+                            out.push(char::from_u32(code)?);
+                        }
+                        _ => return None,
+                    }
+                }
+                c => out.push(c),
+            }
+        }
+    }
+
+    loop {
+        // Skip whitespace and separators before a key.
+        while matches!(chars.peek(), Some((_, c)) if c.is_whitespace() || *c == ',') {
+            chars.next();
+        }
+        if chars.peek().is_none() {
+            return Some(map);
+        }
+        let key = scan_string(&mut chars)?;
+        while matches!(chars.peek(), Some((_, c)) if c.is_whitespace()) {
+            chars.next();
+        }
+        match chars.next() {
+            Some((_, ':')) => {}
+            _ => return None,
+        }
+        while matches!(chars.peek(), Some((_, c)) if c.is_whitespace()) {
+            chars.next();
+        }
+        let val = match chars.peek() {
+            Some((_, '"')) => scan_string(&mut chars)?,
+            // Nested values mean the line is not flat; torn lines end early.
+            Some((_, '{' | '[')) | None => return None,
+            Some(_) => {
+                let mut tok = String::new();
+                while let Some((_, c)) = chars.peek() {
+                    if *c == ',' {
+                        break;
+                    }
+                    tok.push(*c);
+                    chars.next();
+                }
+                tok.trim().to_string()
+            }
+        };
+        map.insert(key, val);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_flat_object() {
+        let line = JsonObj::new()
+            .str_field("key", "abc123")
+            .str_field("scheme", "SEEC")
+            .f64_field("rate", 0.06, 4)
+            .u64_field("cycles", 30_000)
+            .raw_field("ok", "true")
+            .finish();
+        let map = parse_flat(&line).expect("must parse");
+        assert_eq!(map["key"], "abc123");
+        assert_eq!(map["scheme"], "SEEC");
+        assert_eq!(map["rate"], "0.0600");
+        assert_eq!(map["cycles"], "30000");
+        assert_eq!(map["ok"], "true");
+    }
+
+    #[test]
+    fn escapes_survive_the_roundtrip() {
+        let nasty = "a\"b\\c\nd\te\u{1}";
+        let line = JsonObj::new().str_field("msg", nasty).finish();
+        let map = parse_flat(&line).expect("must parse");
+        assert_eq!(map["msg"], nasty);
+    }
+
+    #[test]
+    fn torn_and_nested_lines_are_rejected_not_fatal() {
+        assert!(parse_flat("").is_none());
+        assert!(parse_flat("{\"a\": 1").is_none()); // torn write
+        assert!(parse_flat("{\"a\": {\"b\": 1}}").is_none()); // nested
+        assert!(parse_flat("not json at all").is_none());
+        assert!(parse_flat("{\"a\"}").is_none());
+    }
+
+    #[test]
+    fn identical_inputs_render_identical_lines() {
+        let mk = || {
+            JsonObj::new()
+                .str_field("k", "v")
+                .f64_field("x", 1.0 / 3.0, 6)
+                .finish()
+        };
+        assert_eq!(mk(), mk());
+    }
+}

@@ -13,12 +13,15 @@
 #![forbid(unsafe_code)]
 
 pub mod cli;
+pub mod jsonio;
 pub mod runner;
 pub mod saturation;
+pub mod sweep;
 pub mod table;
 
 pub mod figs {
     pub mod ablation;
+    pub mod fault_sweep;
     pub mod fig07;
     pub mod fig08;
     pub mod fig09;
@@ -35,4 +38,5 @@ pub mod figs {
 
 pub use runner::{run_app, run_synth, AppSpec, Scheme, SynthSpec};
 pub use saturation::find_saturation;
+pub use sweep::{run_sweep, Checkpoint, FaultPoint, SweepOutcome};
 pub use table::FigTable;

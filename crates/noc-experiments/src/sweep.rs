@@ -1,0 +1,524 @@
+//! Crash-resilient fault-sweep runner: checkpointed, panic-isolated,
+//! watchdog-escalated.
+//!
+//! A sweep is a list of [`FaultPoint`]s (scheme × traffic × fault scenario).
+//! Each point is executed under [`rayon::catch_panic`]: a panicking
+//! datapoint — an injected fault wedging the network, an assertion, a bug —
+//! is retried once and then recorded as a `"status": "failed"` row instead
+//! of killing the whole sweep. Completed points are appended to a
+//! [`Checkpoint`] (`results/*.ckpt.jsonl`), keyed by an FNV digest of the
+//! full design point, so a restarted sweep re-executes only the missing
+//! points and a finished checkpoint is byte-identical whether or not the
+//! run was interrupted.
+//!
+//! While a point runs, a progress watchdog samples the network every few
+//! hundred cycles; if nothing moves for [`watchdog::DEFAULT_STUCK_THRESHOLD`]
+//! cycles the runner escalates: it captures a black-box dump (per-VC
+//! occupancy, blocked heads, wait-for cycle witness, mechanism state, the
+//! last-N switch traversals) to `results/blackbox_<key>.json` and panics
+//! with the dump path — which the isolation layer turns into a failed row
+//! pointing at the evidence.
+
+use crate::jsonio::{self, JsonObj};
+use crate::runner::Scheme;
+use noc_sim::{watchdog, Sim};
+use noc_traffic::{SyntheticWorkload, TrafficPattern};
+use noc_types::fault::fnv1a;
+use noc_types::{FaultConfig, NetConfig, SchemeKind};
+use rayon::prelude::*;
+use std::collections::{BTreeMap, HashSet};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Cycles between watchdog samples while a point runs. Small enough to
+/// catch a wedge promptly, large enough to be free next to the simulation.
+const WATCHDOG_PERIOD: u64 = 256;
+
+/// One datapoint of a fault sweep.
+#[derive(Clone, Debug)]
+pub struct FaultPoint {
+    /// Series tag grouping points into output curves ("transient",
+    /// "dead-links", ...).
+    pub series: &'static str,
+    pub scheme: Scheme,
+    pub k: u8,
+    pub vcs: u8,
+    pub pattern: TrafficPattern,
+    /// Offered load in packets per node per cycle.
+    pub rate: f64,
+    pub cycles: u64,
+    pub seed: u64,
+    pub fault: FaultConfig,
+}
+
+impl FaultPoint {
+    /// The network configuration this point simulates.
+    pub fn config(&self) -> NetConfig {
+        self.scheme
+            .configure(NetConfig::synth(self.k, self.vcs))
+            .with_seed(self.seed)
+            .with_fault(self.fault.clone())
+    }
+
+    /// Short human identifier, also the match target for
+    /// `NOC_SWEEP_PANIC_KEY` fault injection.
+    pub fn ident(&self) -> String {
+        format!(
+            "{}:{}:{}:{:.4}",
+            self.series,
+            self.scheme.label(),
+            self.pattern.label(),
+            self.rate
+        )
+    }
+
+    /// Stable checkpoint key: FNV-1a over every knob that changes the
+    /// result — scheme, traffic, seed and the full config digest (which
+    /// itself covers the fault scenario).
+    pub fn key(&self) -> String {
+        let s = format!(
+            "{}|{}|{:016x}|{}|{}|{:016x}",
+            self.scheme.label(),
+            self.pattern.label(),
+            self.rate.to_bits(),
+            self.cycles,
+            self.seed,
+            self.config().digest(),
+        );
+        format!("{:016x}", fnv1a(s.as_bytes()))
+    }
+}
+
+/// Append-only record of completed datapoints (`*.ckpt.jsonl`): one flat
+/// JSON object per line, each carrying a `"key"` field. Torn or garbage
+/// lines (a killed writer) are skipped on load, never fatal.
+pub struct Checkpoint {
+    path: PathBuf,
+    done: HashSet<String>,
+    file: Mutex<std::fs::File>,
+}
+
+impl Checkpoint {
+    /// Opens (creating parents as needed) and loads the set of completed
+    /// keys from any existing rows.
+    pub fn open(path: &Path) -> std::io::Result<Checkpoint> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut done = HashSet::new();
+        if let Ok(text) = std::fs::read_to_string(path) {
+            for line in text.lines() {
+                if let Some(row) = jsonio::parse_flat(line) {
+                    if let Some(k) = row.get("key") {
+                        done.insert(k.clone());
+                    }
+                }
+            }
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(Checkpoint {
+            path: path.to_path_buf(),
+            done,
+            file: Mutex::new(file),
+        })
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// True when a row for `key` was already recorded (including failed and
+    /// skipped rows — a deterministic failure is not worth re-running on
+    /// every resume; delete the checkpoint to retry from scratch).
+    pub fn is_done(&self, key: &str) -> bool {
+        self.done.contains(key)
+    }
+
+    /// Number of rows loaded at open time.
+    pub fn done_count(&self) -> usize {
+        self.done.len()
+    }
+
+    /// Appends one row and flushes, so a killed process loses at most the
+    /// in-flight line (which the tolerant loader then skips).
+    pub fn record(&self, line: &str) {
+        let mut f = self
+            .file
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let _ = writeln!(f, "{line}");
+        let _ = f.flush();
+    }
+
+    /// Re-reads every parseable row from disk (used to build the final
+    /// tables, so a resumed run reports previously-completed points too).
+    pub fn rows(&self) -> Vec<BTreeMap<String, String>> {
+        let Ok(text) = std::fs::read_to_string(&self.path) else {
+            return Vec::new();
+        };
+        text.lines().filter_map(jsonio::parse_flat).collect()
+    }
+}
+
+/// How a single execution attempt ended (when it did not panic).
+enum PointRun {
+    /// Simulated to completion.
+    Done(Box<noc_sim::Stats>),
+    /// Deliberately not simulated; `status` goes into the row verbatim.
+    Skipped {
+        status: &'static str,
+        reason: String,
+    },
+}
+
+/// Executes one datapoint. May panic — on a wedged network (after writing
+/// the black-box dump), on an injected `NOC_SWEEP_PANIC_KEY` match, or on
+/// any simulator bug; the caller isolates it.
+fn execute_point(p: &FaultPoint, dump_dir: &Path) -> PointRun {
+    if let Ok(needle) = std::env::var("NOC_SWEEP_PANIC_KEY") {
+        let id = p.ident();
+        if !needle.is_empty() && (id.contains(&needle) || p.key().contains(&needle)) {
+            panic!("injected test panic (NOC_SWEEP_PANIC_KEY={needle}) for point {id}");
+        }
+    }
+    assert!(
+        !p.scheme.is_deflection(),
+        "fault sweeps drive VC-router schemes only"
+    );
+    let cfg = p.config();
+
+    // Static gate: on a degraded mesh, re-certify before running. An
+    // unroutable scenario cannot run at all; a scheme whose deadlock
+    // freedom rests on the static routing relation must keep a certificate
+    // on the *degraded* CDG. Recovery schemes (SEEC/mSEEC/SPIN/...) are
+    // exempt from the certificate — surviving an uncertifiable mesh is
+    // exactly what they are for — but still need routability.
+    let report = noc_verify::certify_degraded(&cfg);
+    use noc_verify::DegradedVerdict as V;
+    match &report.verdict {
+        V::Unroutable { src, dest } => {
+            return PointRun::Skipped {
+                status: "unroutable",
+                reason: format!("dead set disconnects node {} from node {}", src.0, dest.0),
+            };
+        }
+        V::EscapeSevered { src, dest }
+            if matches!(
+                p.scheme.kind(),
+                SchemeKind::None | SchemeKind::EscapeVc | SchemeKind::Tfc
+            ) =>
+        {
+            return PointRun::Skipped {
+                status: "escape-severed",
+                reason: format!(
+                    "no live west-first path from node {} to node {}; Duato certificate void",
+                    src.0, dest.0
+                ),
+            };
+        }
+        V::Deadlockable { .. }
+            if matches!(
+                p.scheme.kind(),
+                SchemeKind::None | SchemeKind::EscapeVc | SchemeKind::Tfc
+            ) =>
+        {
+            return PointRun::Skipped {
+                status: "uncertified",
+                reason: "degraded CDG has a cyclic witness and the scheme has no \
+                         runtime recovery"
+                    .to_string(),
+            };
+        }
+        _ => {}
+    }
+
+    let wl = SyntheticWorkload::new(p.pattern, p.rate, cfg.cols, cfg.rows, cfg.warmup, p.seed);
+    let mech = p.scheme.mechanism(&cfg);
+    let mut sim = Sim::new(cfg, Box::new(wl), mech);
+    sim.net.enable_flight_recorder(64);
+
+    // Run in watchdog-sized slices; escalate a sustained stall to a
+    // black-box dump + panic instead of spinning to the cycle budget.
+    let mut remaining = p.cycles;
+    while remaining > 0 {
+        let slice = WATCHDOG_PERIOD.min(remaining);
+        sim.run(slice);
+        remaining -= slice;
+        if watchdog::looks_stuck(&sim.net, watchdog::DEFAULT_STUCK_THRESHOLD) {
+            let bb =
+                watchdog::BlackBox::capture(&sim.net, &p.scheme.label(), &sim.mech.debug_state());
+            let path = dump_dir.join(format!("blackbox_{}.json", p.key()));
+            let _ = std::fs::create_dir_all(dump_dir);
+            let where_ = match bb.write(&path) {
+                Ok(()) => format!("black-box dump at {}", path.display()),
+                Err(e) => format!("black-box dump failed to write to {}: {e}", path.display()),
+            };
+            panic!(
+                "point {} wedged: no progress for {} cycles at cycle {} — {where_}",
+                p.ident(),
+                watchdog::DEFAULT_STUCK_THRESHOLD,
+                sim.net.cycle
+            );
+        }
+    }
+    PointRun::Done(Box::new(sim.finish().clone()))
+}
+
+/// Shared row prefix: identity first (key/series/scheme/...), then the
+/// outcome fields. Field order is fixed so identical results render
+/// byte-identical lines.
+fn row_base(p: &FaultPoint, status: &str) -> JsonObj {
+    JsonObj::new()
+        .str_field("key", &p.key())
+        .str_field("series", p.series)
+        .str_field("scheme", &p.scheme.label())
+        .str_field("pattern", p.pattern.label())
+        .u64_field("k", u64::from(p.k))
+        .u64_field("vcs", u64::from(p.vcs))
+        .f64_field("rate", p.rate, 4)
+        .f64_field("transient", p.fault.transient_rate, 6)
+        .u64_field(
+            "dead_links",
+            p.fault.dead_links.len() as u64 + u64::from(p.fault.random_dead_links),
+        )
+        .u64_field("fault_seed", p.fault.fault_seed)
+        .u64_field("cycles", p.cycles)
+        .u64_field("seed", p.seed)
+        .str_field("status", status)
+}
+
+/// Renders the checkpoint row for a completed simulation.
+fn render_done(p: &FaultPoint, s: &noc_sim::Stats) -> String {
+    let nodes = usize::from(p.k) * usize::from(p.k);
+    let retx_overhead = if s.link_flit_hops > 0 {
+        s.retransmitted_flits as f64 / s.link_flit_hops as f64
+    } else {
+        0.0
+    };
+    row_base(p, "ok")
+        .f64_field("avg_latency", s.avg_total_latency(), 3)
+        .f64_field("throughput", s.throughput(nodes), 6)
+        .u64_field("ejected_packets", s.ejected_packets)
+        .u64_field("corrupted_flits", s.corrupted_flits)
+        .u64_field("retransmitted_flits", s.retransmitted_flits)
+        .u64_field("link_acks", s.link_acks)
+        .u64_field("link_nacks", s.link_nacks)
+        .u64_field("recovery_events", s.recovery_events)
+        .f64_field("retx_overhead", retx_overhead, 6)
+        .finish()
+}
+
+/// Renders the checkpoint row for a failed or skipped point.
+fn render_status(p: &FaultPoint, status: &str, reason: &str) -> String {
+    row_base(p, status).str_field("reason", reason).finish()
+}
+
+/// Executes one point with panic isolation: a first panic is retried once
+/// (to shed one-off environmental noise), a second one becomes a
+/// `"status": "failed"` row. Returns the rendered row and whether it failed.
+fn run_isolated(p: &FaultPoint, dump_dir: &Path) -> (String, bool) {
+    let attempt = || rayon::catch_panic(|| execute_point(p, dump_dir));
+    let outcome = attempt().or_else(|_first| attempt());
+    match outcome {
+        Ok(PointRun::Done(stats)) => (render_done(p, &stats), false),
+        Ok(PointRun::Skipped { status, reason }) => (render_status(p, status, &reason), false),
+        Err(msg) => (render_status(p, "failed", &msg), true),
+    }
+}
+
+/// Summary of one [`run_sweep`] invocation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SweepOutcome {
+    /// Points executed (or skipped by the certification gate) this run.
+    pub executed: usize,
+    /// Points already present in the checkpoint and not re-run.
+    pub resumed: usize,
+    /// Points left untouched because of a `max_points` cap.
+    pub deferred: usize,
+    /// Points recorded as `"status": "failed"` this run.
+    pub failed: usize,
+}
+
+/// Runs every point of `points` that the checkpoint does not already hold,
+/// in parallel, recording each row as it completes. `max_points` caps how
+/// many missing points this invocation executes (the rest stay missing —
+/// the mechanism behind CI's interrupted-then-resumed sweep test).
+pub fn run_sweep(
+    points: &[FaultPoint],
+    ckpt: &Checkpoint,
+    max_points: Option<usize>,
+    dump_dir: &Path,
+) -> SweepOutcome {
+    let todo: Vec<&FaultPoint> = points.iter().filter(|p| !ckpt.is_done(&p.key())).collect();
+    let resumed = points.len() - todo.len();
+    let missing = todo.len();
+    let todo: Vec<&FaultPoint> = match max_points {
+        Some(n) => todo.into_iter().take(n).collect(),
+        None => todo,
+    };
+    let deferred = missing - todo.len();
+    let failed = AtomicUsize::new(0);
+    todo.par_iter().for_each(|p| {
+        let (row, was_failure) = run_isolated(p, dump_dir);
+        ckpt.record(&row);
+        if was_failure {
+            failed.fetch_add(1, Ordering::Relaxed);
+        }
+    });
+    SweepOutcome {
+        executed: todo.len(),
+        resumed,
+        deferred,
+        failed: failed.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_types::{Direction, NodeId};
+
+    fn point(scheme: Scheme, transient: f64) -> FaultPoint {
+        FaultPoint {
+            series: "test",
+            scheme,
+            k: 4,
+            vcs: 4,
+            pattern: TrafficPattern::UniformRandom,
+            rate: 0.05,
+            cycles: 3_000,
+            seed: 0xA11CE,
+            fault: FaultConfig::transient(transient),
+        }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("seec_sweep_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn keys_are_stable_and_distinguish_points() {
+        let a = point(Scheme::seec(), 0.01);
+        assert_eq!(a.key(), a.key());
+        assert_ne!(a.key(), point(Scheme::seec(), 0.02).key());
+        assert_ne!(a.key(), point(Scheme::mseec(), 0.01).key());
+        let mut b = a.clone();
+        b.seed ^= 1;
+        assert_ne!(a.key(), b.key());
+    }
+
+    #[test]
+    fn sweep_checkpoints_and_resumes_only_missing_points() {
+        let dir = tmpdir("resume");
+        let ckpt_path = dir.join("sweep.ckpt.jsonl");
+        let points = vec![
+            point(Scheme::seec(), 0.0),
+            point(Scheme::seec(), 0.01),
+            point(Scheme::mseec(), 0.0),
+        ];
+        // First run: capped at 2 points.
+        let ckpt = Checkpoint::open(&ckpt_path).unwrap();
+        let o1 = run_sweep(&points, &ckpt, Some(2), &dir);
+        assert_eq!((o1.executed, o1.resumed, o1.deferred), (2, 0, 1));
+        // Resume: only the missing point runs.
+        let ckpt = Checkpoint::open(&ckpt_path).unwrap();
+        assert_eq!(ckpt.done_count(), 2);
+        let o2 = run_sweep(&points, &ckpt, None, &dir);
+        assert_eq!((o2.executed, o2.resumed, o2.deferred), (1, 2, 0));
+        // The resumed checkpoint holds the same row set as an uninterrupted
+        // run of the same sweep.
+        let uckpt = Checkpoint::open(&dir.join("uninterrupted.ckpt.jsonl")).unwrap();
+        run_sweep(&points, &uckpt, None, &dir);
+        let sorted = |c: &Checkpoint| {
+            let mut rows: Vec<String> = c.rows().iter().map(|r| format!("{r:?}")).collect();
+            rows.sort();
+            rows
+        };
+        let resumed = Checkpoint::open(&ckpt_path).unwrap();
+        assert_eq!(sorted(&resumed), sorted(&uckpt));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ok_rows_carry_the_fault_metrics() {
+        let dir = tmpdir("metrics");
+        let ckpt = Checkpoint::open(&dir.join("m.ckpt.jsonl")).unwrap();
+        run_sweep(&[point(Scheme::seec(), 0.05)], &ckpt, None, &dir);
+        let rows = ckpt.rows();
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert_eq!(r["status"], "ok");
+        assert!(r["avg_latency"].parse::<f64>().unwrap() > 0.0);
+        assert!(
+            r["retransmitted_flits"].parse::<u64>().unwrap() > 0,
+            "5% corruption must force retransmissions: {r:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unroutable_scenarios_become_status_rows_not_panics() {
+        let dir = tmpdir("unroutable");
+        let ckpt = Checkpoint::open(&dir.join("u.ckpt.jsonl")).unwrap();
+        let mut p = point(Scheme::seec(), 0.0);
+        // Sever corner node 0 entirely: unroutable.
+        p.fault = FaultConfig::default().with_dead_links(vec![
+            (NodeId(0), Direction::East),
+            (NodeId(0), Direction::South),
+        ]);
+        let o = run_sweep(&[p], &ckpt, None, &dir);
+        assert_eq!(o.failed, 0);
+        let rows = ckpt.rows();
+        assert_eq!(rows[0]["status"], "unroutable");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn severed_escape_is_skipped_for_duato_schemes() {
+        let dir = tmpdir("severed");
+        let ckpt = Checkpoint::open(&dir.join("s.ckpt.jsonl")).unwrap();
+        let mut p = point(Scheme::escape(), 0.0);
+        p.fault = FaultConfig::default().with_dead_links(vec![(NodeId(1), Direction::East)]);
+        let o = run_sweep(&[p], &ckpt, None, &dir);
+        assert_eq!(o.failed, 0);
+        assert_eq!(ckpt.rows()[0]["status"], "escape-severed");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn panicking_point_is_recorded_as_failed_and_not_rerun() {
+        // The injection hook is env-driven; isolate it in a child test by
+        // matching a series tag no other test uses.
+        let dir = tmpdir("panic");
+        let ckpt_path = dir.join("p.ckpt.jsonl");
+        let mut bad = point(Scheme::seec(), 0.0);
+        bad.series = "panic-injection-test";
+        let good = point(Scheme::mseec(), 0.0);
+        std::env::set_var("NOC_SWEEP_PANIC_KEY", "panic-injection-test");
+        let ckpt = Checkpoint::open(&ckpt_path).unwrap();
+        let o = run_sweep(&[bad.clone(), good], &ckpt, None, &dir);
+        std::env::remove_var("NOC_SWEEP_PANIC_KEY");
+        assert_eq!(o.executed, 2);
+        assert_eq!(o.failed, 1, "the injected panic must be recorded");
+        let rows = Checkpoint::open(&ckpt_path).unwrap().rows();
+        assert_eq!(rows.len(), 2, "the healthy point must still complete");
+        let failed: Vec<_> = rows.iter().filter(|r| r["status"] == "failed").collect();
+        assert_eq!(failed.len(), 1);
+        assert!(failed[0]["reason"].contains("injected test panic"));
+        // A resumed run re-executes nothing: the failure is checkpointed.
+        let ckpt = Checkpoint::open(&ckpt_path).unwrap();
+        let o2 = run_sweep(&[bad, point(Scheme::mseec(), 0.0)], &ckpt, None, &dir);
+        assert_eq!((o2.executed, o2.resumed), (0, 2));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -241,3 +241,130 @@ mod tests {
         assert_eq!(w.slots.len(), MIN_SLOTS, "no growth for small horizons");
     }
 }
+
+/// Property tests: the wheel must be observationally identical to the naive
+/// flat-`Vec` inbox it replaced — same delivery cycles, same FIFO order
+/// within a cycle — under arbitrary interleavings of pushes and drains,
+/// including horizons that force growth and schedules that wrap the wheel
+/// many times over.
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        /// Random schedule vs the naive model. Each op either pushes an
+        /// entry `0..24` cycles ahead of the current cycle (beyond the
+        /// 8-slot minimum wheel, so growth and re-bucketing happen
+        /// constantly) or drains the current cycle and advances — i.e.
+        /// pushes interleave with drains exactly as in the engine's cycle
+        /// loop. The model is a push-ordered `Vec` drained by a stable
+        /// linear scan, so comparing full output sequences checks both
+        /// delivery cycles and FIFO-within-cycle.
+        fn wheel_matches_naive_vec_model(ops in prop::collection::vec(0u64..32, 1..300)) {
+            let mut w: Inbox<usize> = Inbox::new();
+            let mut model: Vec<(Cycle, usize)> = Vec::new();
+            let mut now: Cycle = 0;
+            let mut next_id = 0usize;
+            let mut got: Vec<usize> = Vec::new();
+            let mut want: Vec<usize> = Vec::new();
+            let drain_model = |model: &mut Vec<(Cycle, usize)>, now: Cycle,
+                                   want: &mut Vec<usize>| {
+                let mut i = 0;
+                while i < model.len() {
+                    if model[i].0 == now {
+                        want.push(model.remove(i).1);
+                    } else {
+                        i += 1;
+                    }
+                }
+            };
+            for op in ops {
+                if op >= 24 {
+                    w.drain_due_into(now, &mut got);
+                    drain_model(&mut model, now, &mut want);
+                    prop_assert_eq!(&got, &want, "divergence at cycle {}", now);
+                    prop_assert_eq!(w.len(), model.len());
+                    now += 1;
+                } else {
+                    let arrival = now + op;
+                    w.push(arrival, next_id);
+                    model.push((arrival, next_id));
+                    next_id += 1;
+                }
+            }
+            // Flush: drain far enough to deliver every pending entry.
+            for _ in 0..32 {
+                w.drain_due_into(now, &mut got);
+                drain_model(&mut model, now, &mut want);
+                now += 1;
+            }
+            prop_assert_eq!(got, want);
+            prop_assert!(w.is_empty());
+            prop_assert!(model.is_empty());
+        }
+
+        #[test]
+        /// Same-cycle FIFO survives arbitrary growth points: entries pushed
+        /// for one cycle interleave with far-future pushes (each forcing a
+        /// re-bucketing) and still drain in push order.
+        fn fifo_within_cycle_survives_growth(
+            (target, far) in (1u64..16, prop::collection::vec(16u64..4096, 0..8)),
+        ) {
+            let mut w: Inbox<u64> = Inbox::new();
+            let mut far_it = far.iter();
+            for i in 0..12u64 {
+                w.push(target, i);
+                if let Some(&f) = far_it.next() {
+                    w.push(target + f, 1000 + f); // may trigger growth
+                }
+            }
+            let mut out = Vec::new();
+            let mut same_cycle = Vec::new();
+            for now in 0..=target {
+                out.clear();
+                w.drain_due_into(now, &mut out);
+                if now == target {
+                    same_cycle = out.clone();
+                }
+            }
+            prop_assert_eq!(same_cycle, (0..12u64).collect::<Vec<_>>());
+        }
+
+        #[test]
+        /// `retime_due_at` conserves entries: whatever subset is
+        /// accelerated, every id is delivered exactly once, accelerated
+        /// ones at their new cycle.
+        fn retime_delivers_every_entry_once(
+            (at, delta, mask) in (2u64..20, 1u64..5, 0u32..256),
+        ) {
+            let mut w: Inbox<u32> = Inbox::new();
+            for i in 0..8u32 {
+                w.push(at, i);
+            }
+            let early = at - delta.min(at - 1);
+            w.retime_due_at(at, |&i| {
+                if mask & (1 << i) != 0 { Some(early) } else { None }
+            });
+            prop_assert_eq!(w.len(), 8);
+            let mut delivered: Vec<(Cycle, u32)> = Vec::new();
+            let mut out = Vec::new();
+            for now in 0..=at {
+                out.clear();
+                w.drain_due_into(now, &mut out);
+                delivered.extend(out.iter().map(|&i| (now, i)));
+            }
+            prop_assert!(w.is_empty());
+            let mut ids: Vec<u32> = delivered.iter().map(|&(_, i)| i).collect();
+            ids.sort_unstable();
+            prop_assert_eq!(ids, (0..8u32).collect::<Vec<_>>());
+            for (cycle, i) in delivered {
+                let expect = if mask & (1 << i) != 0 { early } else { at };
+                prop_assert_eq!(cycle, expect, "id {} at wrong cycle", i);
+            }
+        }
+    }
+}

@@ -59,10 +59,13 @@ impl InvariantState {
     }
 
     /// Bookkeeping at packet consumption; checks the hop ceiling in strict
-    /// mode.
-    pub fn on_consume(&mut self, d: &DeliveredPacket, cols: u8) {
+    /// mode. `detours_legal` suspends the ceiling — set on degraded meshes,
+    /// where routing around dead links legitimately exceeds the Manhattan
+    /// distance (transient-fault retransmissions never add hops, so the
+    /// ceiling stays in force for them).
+    pub fn on_consume(&mut self, d: &DeliveredPacket, cols: u8, detours_legal: bool) {
         self.consumed_flits += u64::from(d.len_flits);
-        if self.strict {
+        if self.strict && !detours_legal {
             let s = d.src.to_coord(cols);
             let t = d.dest.to_coord(cols);
             let manhattan = s.x.abs_diff(t.x) as u16 + s.y.abs_diff(t.y) as u16;
@@ -132,10 +135,16 @@ impl Network {
                 let their_in = dir.opposite().index();
                 let down = &self.routers[nb.idx()].inputs[their_in];
                 for v in 0..out.inflight.len() {
-                    let flying = self.inbox_router[nb.idx()]
-                        .iter()
-                        .filter(|(_, (port, f))| *port == their_in && f.vc as usize == v)
-                        .count();
+                    // Under retransmission, flits between send and
+                    // acceptance live in the link-layer windows, not the
+                    // inboxes; the counter must match that view instead.
+                    let flying = match self.fault.as_ref().and_then(|f| f.retrans.as_ref()) {
+                        Some(rt) => rt.wire_in_flight_vc(i, p, v),
+                        None => self.inbox_router[nb.idx()]
+                            .iter()
+                            .filter(|(_, (port, f))| *port == their_in && f.vc as usize == v)
+                            .count(),
+                    };
                     if usize::from(out.inflight[v]) != flying {
                         found.push(format!(
                             "credits: router {i} out[{p}] vc {v} inflight {} but {flying} on the wire",

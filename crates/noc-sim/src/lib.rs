@@ -16,6 +16,7 @@
 // `expect` with the invariant spelled out. Unit tests are exempt.
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod fault;
 pub mod inbox;
 #[cfg(feature = "check-invariants")]
 pub mod invariants;
@@ -31,6 +32,7 @@ pub mod vc;
 pub mod watchdog;
 pub mod workload;
 
+pub use fault::{DeadSet, FaultLayer, RouteMask, Unroutable};
 pub use inbox::Inbox;
 pub use mechanism::{Mechanism, NoMechanism};
 pub use network::{Network, NocModel, Sim, HOP_LATENCY, LOCAL_LATENCY};

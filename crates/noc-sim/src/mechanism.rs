@@ -39,6 +39,14 @@ pub trait Mechanism {
     fn touches_credits(&self) -> bool {
         true
     }
+
+    /// A human-readable snapshot of the mechanism's internal state (seeker
+    /// tables, tokens, probes in flight, …) for the watchdog's black-box
+    /// dump. The default says nothing; schemes with interesting state
+    /// override it.
+    fn debug_state(&self) -> String {
+        String::new()
+    }
 }
 
 /// The null mechanism: a plain VC router network. Deadlock-free only if the

@@ -61,6 +61,13 @@ pub struct Network {
     pub rng: SmallRng,
     /// Last cycle any flit moved anywhere (watchdog input).
     pub last_progress: Cycle,
+    /// Fault-injection runtime (`None` when `cfg.fault` is disabled; the
+    /// engine then takes no fault branches and is bit-identical to a build
+    /// without the fault layer).
+    pub fault: Option<Box<crate::fault::FaultLayer>>,
+    /// Optional flight recorder feeding black-box dumps (`None` by default:
+    /// zero overhead). Enable with [`Network::enable_flight_recorder`].
+    pub recorder: Option<crate::watchdog::FlightRecorder>,
     /// Invariant-layer counters and findings (`check-invariants` feature).
     #[cfg(feature = "check-invariants")]
     pub inv: crate::invariants::InvariantState,
@@ -89,9 +96,22 @@ impl Network {
     pub fn new(cfg: NetConfig) -> Network {
         let n = cfg.num_nodes();
         assert!(n >= 2, "a network needs at least two nodes");
-        let routers = (0..n)
+        let mut routers: Vec<Router> = (0..n)
             .map(|i| Router::new(NodeId(i as u16), &cfg))
             .collect();
+        let fault = crate::fault::FaultLayer::build(&cfg);
+        if let Some(f) = &fault {
+            // Dead links lose their wiring on both sides: `refresh_downfree`
+            // then reports every VC through them permanently un-free, so no
+            // allocation ever targets a dead link.
+            for (i, r) in routers.iter_mut().enumerate() {
+                for d in Direction::CARDINAL {
+                    if f.dead.link_dead(i, d) {
+                        r.outputs[d.index()].neighbor = None;
+                    }
+                }
+            }
+        }
         let nics = (0..n).map(|i| Nic::new(NodeId(i as u16), &cfg)).collect();
         let mut downfree = Vec::with_capacity(n);
         for _ in 0..n {
@@ -119,6 +139,8 @@ impl Network {
             stats: Stats::default(),
             rng,
             last_progress: 0,
+            fault,
+            recorder: None,
             #[cfg(feature = "check-invariants")]
             inv: crate::invariants::InvariantState::default(),
             moves: Vec::new(),
@@ -148,6 +170,19 @@ impl Network {
     /// wheels preserve push order within a cycle — see [`Inbox`]).
     fn deliver_arrivals(&mut self) {
         let now = self.cycle;
+        // Link-layer retransmission first: process the wire events due this
+        // cycle so freshly accepted flits join this cycle's deliveries (the
+        // fault-free path's timing, just via the protocol).
+        let has_retrans = match &mut self.fault {
+            Some(f) => match &mut f.retrans {
+                Some(rt) => {
+                    rt.tick(now, &mut self.stats);
+                    true
+                }
+                None => false,
+            },
+            None => false,
+        };
         // Both scratch buffers are taken out of `self` so the loop bodies can
         // borrow the rest of the network freely; they go back at the end, so
         // steady-state delivery allocates nothing.
@@ -161,6 +196,13 @@ impl Network {
         for i in 0..self.inbox_router.len() {
             due.clear();
             self.inbox_router[i].drain_due_into(now, &mut due);
+            if has_retrans {
+                if let Some(f) = &mut self.fault {
+                    if let Some(rt) = &mut f.retrans {
+                        rt.drain_accepted_into(i, &mut due);
+                    }
+                }
+            }
             if due.is_empty() {
                 continue;
             }
@@ -308,11 +350,20 @@ impl Network {
             stats,
             rng,
             last_progress,
+            fault,
+            recorder,
             moves,
             credit_dirty,
             buffered,
             ..
         } = self;
+        // Split the fault layer into its two independently borrowed halves:
+        // the routing mask feeds route decisions, the retransmission state
+        // replaces the direct inbox push at the send site.
+        let (mask, mut retrans) = match fault {
+            Some(f) => (f.mask.as_ref(), f.retrans.as_mut()),
+            None => (None, None),
+        };
 
         for i in 0..routers.len() {
             if buffered[i] == [0; NUM_PORTS] {
@@ -325,6 +376,7 @@ impl Network {
                 &buffered[i],
                 &downfree[i],
                 cfg,
+                mask,
                 reservations,
                 rng,
                 now,
@@ -372,8 +424,19 @@ impl Network {
                     r.outputs[route.out_port].inflight[route.out_vc] += 1;
                     let nb = r.outputs[route.out_port].neighbor.expect("move off-mesh");
                     let their_in = Direction::from_index(m.out_port).opposite().index();
-                    let hop = 1 + cfg.router_latency as Cycle;
-                    inbox_router[nb.idx()].push(now + hop, (their_in, flit));
+                    match &mut retrans {
+                        // Faulty links: the flit enters the link-layer
+                        // protocol instead of the inbox; it surfaces in
+                        // `deliver_arrivals` once *accepted* downstream.
+                        Some(rt) => rt.send(now, i, route.out_port, flit, stats),
+                        None => {
+                            let hop = 1 + cfg.router_latency as Cycle;
+                            inbox_router[nb.idx()].push(now + hop, (their_in, flit));
+                        }
+                    }
+                }
+                if let Some(rec) = recorder {
+                    rec.record(now, r.id, m.in_port, m.in_vc, m.out_port);
                 }
                 *last_progress = now;
             }
@@ -485,7 +548,8 @@ impl Network {
                         #[cfg(feature = "check-invariants")]
                         {
                             let cols = self.cfg.cols;
-                            self.inv.on_consume(&d, cols);
+                            let detours = self.fault.as_ref().is_some_and(|f| f.mask.is_some());
+                            self.inv.on_consume(&d, cols, detours);
                         }
                     }
                 }
@@ -552,7 +616,20 @@ impl Network {
     pub fn flits_in_network(&self) -> usize {
         let buffered: usize = self.routers.iter().map(Router::buffered_flits).sum();
         let flying: usize = self.inbox_router.iter().map(Inbox::len).sum();
-        buffered + flying
+        // Under retransmission, flits between send and downstream acceptance
+        // live in the link-layer windows instead of the inboxes.
+        let in_protocol = self
+            .fault
+            .as_ref()
+            .and_then(|f| f.retrans.as_ref())
+            .map_or(0, crate::fault::Retrans::in_flight_total);
+        buffered + flying + in_protocol
+    }
+
+    /// Turns on the flight recorder keeping the last `cap` switch-traversal
+    /// records for black-box dumps.
+    pub fn enable_flight_recorder(&mut self, cap: usize) {
+        self.recorder = Some(crate::watchdog::FlightRecorder::new(cap));
     }
 
     /// Cycles since anything moved.
@@ -630,6 +707,7 @@ fn decide_router(
     occ: &[u16; NUM_PORTS],
     down: &DownFree,
     cfg: &NetConfig,
+    mask: Option<&crate::fault::RouteMask>,
     reservations: &ReservationTable,
     rng: &mut SmallRng,
     now: Cycle,
@@ -697,13 +775,22 @@ fn decide_router(
                 continue;
             }
             // Pre-filter: every legal next hop (for any algorithm, escape
-            // included) is a productive direction; if none has a free VC,
-            // allocation is impossible this cycle.
-            if !crate::routing::productive(here, dest)
-                .as_slice()
-                .iter()
-                .any(|d| port_has_free[d.index()])
-            {
+            // included) is a productive direction — or, on a degraded mesh,
+            // a mask-allowed one; if none has a free VC, allocation is
+            // impossible this cycle.
+            let can_progress = match mask {
+                Some(m) => {
+                    let bits = m.allowed(here, dest);
+                    Direction::CARDINAL
+                        .into_iter()
+                        .any(|d| bits & (1 << d.index()) != 0 && port_has_free[d.index()])
+                }
+                None => crate::routing::productive(here, dest)
+                    .as_slice()
+                    .iter()
+                    .any(|d| port_has_free[d.index()]),
+            };
+            if !can_progress {
                 continue;
             }
             let in_escape = r.inputs[p].vcs[v].is_escape_resident;
@@ -720,7 +807,7 @@ fn decide_router(
                 Some(pp) if !adaptive => pp,
                 _ => {
                     let vnet = cfg.vnet_of(front.class);
-                    let pp = route_compute(algo, here, dest, vnet, cfg, down, rng);
+                    let pp = route_compute(algo, here, dest, vnet, cfg, down, mask, rng);
                     r.inputs[p].vcs[v].pending_port = Some(pp);
                     pp
                 }

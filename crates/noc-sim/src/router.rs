@@ -155,6 +155,14 @@ pub struct Move {
 /// Called once per router visit (the choice then sticks, as in Garnet).
 /// Adaptive routing consults `down` for free-VC counts; oblivious picks
 /// uniformly at random; XY/west-first are (near-)deterministic.
+///
+/// On a degraded mesh (`mask` present) the candidate set becomes the mask's
+/// distance-decreasing live directions — the detours around dead links —
+/// intersected with the algorithm's own candidates where that intersection
+/// is non-empty (so XY stays XY wherever its path is live). Degraded
+/// configurations are certified routable up front, so the masked set is
+/// never empty.
+#[allow(clippy::too_many_arguments)]
 pub fn route_compute(
     algo: BaseRouting,
     from: Coord,
@@ -162,11 +170,31 @@ pub fn route_compute(
     vnet: u8,
     cfg: &NetConfig,
     down: &DownFree,
+    mask: Option<&crate::fault::RouteMask>,
     rng: &mut SmallRng,
 ) -> PortId {
     debug_assert_ne!(from, dest);
-    let cands = candidates(algo, from, dest);
-    debug_assert!(!cands.is_empty());
+    let cands = match mask {
+        None => candidates(algo, from, dest),
+        Some(m) => {
+            let masked = m.candidates(from, dest);
+            let both: Candidates = candidates(algo, from, dest)
+                .as_slice()
+                .iter()
+                .copied()
+                .filter(|d| masked.contains(*d))
+                .collect();
+            if both.is_empty() {
+                masked
+            } else {
+                both
+            }
+        }
+    };
+    assert!(
+        !cands.is_empty(),
+        "no live route from {from} to {dest}: degraded mesh not certified"
+    );
     let slice = cands.as_slice();
     if slice.len() == 1 {
         return slice[0].index();
@@ -318,6 +346,7 @@ mod tests {
             0,
             &c,
             &d,
+            None,
             &mut rng,
         );
         assert_eq!(p, Direction::East.index());
@@ -340,6 +369,7 @@ mod tests {
                 0,
                 &c,
                 &d,
+                None,
                 &mut rng,
             );
             assert_eq!(p, Direction::South.index());

@@ -120,6 +120,18 @@ pub struct Stats {
     /// Deadlock-recovery events triggered (SPIN spins, timeouts fired).
     pub recovery_events: u64,
 
+    /// Link traversals the fault layer corrupted (detectable checksum
+    /// damage; each corruption forces at least one retransmission).
+    pub corrupted_flits: u64,
+    /// Flit re-sends performed by the link-layer retransmission protocol
+    /// (go-back-N resends after a nack or timeout). The retransmission
+    /// overhead of a run is `retransmitted_flits / link_flit_hops`.
+    pub retransmitted_flits: u64,
+    /// Ack events on the link-layer control wires.
+    pub link_acks: u64,
+    /// Nack events on the link-layer control wires.
+    pub link_nacks: u64,
+
     /// Per-directed-link traversal counts, indexed `node * NUM_PORTS + port`
     /// (filled lazily; see [`Stats::count_link_hop_at`]). Feeds utilization
     /// heat maps and per-link hotspot analysis.

@@ -1,24 +1,309 @@
-//! Deadlock detection for tests and experiments.
+//! Deadlock detection and black-box dumps for tests and experiments.
 //!
-//! Two views:
+//! Three views:
 //! * a cheap *progress watchdog* — the network is stuck when flits are
 //!   buffered but nothing has moved for a threshold number of cycles;
 //! * an exact *wait-for graph* cycle check over blocked head packets, used
 //!   by correctness tests to distinguish a true routing deadlock from mere
-//!   congestion.
+//!   congestion;
+//! * a *black box*: when the watchdog fires, [`BlackBox::capture`] snapshots
+//!   everything a post-mortem needs — per-VC occupancy, blocked heads, a
+//!   wait-for cycle witness, the mechanism's own debug state and the last-N
+//!   switch traversals from the optional [`FlightRecorder`] — and renders it
+//!   as a JSON file, so a hung experiment leaves evidence instead of a bare
+//!   panic message (schema: `DESIGN.md` §9).
 
 use crate::network::Network;
 use noc_types::{Direction, NodeId, PortId, NUM_PORTS};
+use std::collections::VecDeque;
+use std::fmt::Write as _;
 
 /// Conservative default threshold: with fully adaptive routing and 5-flit
 /// packets nothing legitimately waits this long on the meshes we simulate
 /// unless it is deadlocked (or starved behind one).
 pub const DEFAULT_STUCK_THRESHOLD: u64 = 2_000;
 
+/// Extra patience granted when the stall is explained by a slow sink: a
+/// complete packet parked in an ejection VC means consumption is the
+/// workload's choice, so the network only counts as stuck after
+/// `SLOW_SINK_GRACE * threshold` quiescent cycles instead of `threshold`.
+pub const SLOW_SINK_GRACE: u64 = 4;
+
 /// Progress watchdog: flits are in the network but nothing has moved for
 /// `threshold` cycles.
+///
+/// A protocol workload may legitimately refuse deliveries for long windows
+/// (e.g. a controller that back-pressures until an earlier transaction
+/// retires). A complete packet parked in an ejection VC keeps the whole
+/// path behind it quiet without being a deadlock, so while one exists the
+/// threshold is stretched by [`SLOW_SINK_GRACE`]. It is stretched, not
+/// waived: sinks refusing consumption while the network backs up behind
+/// them is exactly how a *protocol* deadlock presents, and those must
+/// still be reported.
 pub fn looks_stuck(net: &Network, threshold: u64) -> bool {
-    net.flits_in_network() > 0 && net.quiescent_for() >= threshold
+    if net.flits_in_network() == 0 {
+        return false;
+    }
+    let patience = if has_unconsumed_delivery(net) {
+        threshold.saturating_mul(SLOW_SINK_GRACE)
+    } else {
+        threshold
+    };
+    net.quiescent_for() >= patience
+}
+
+/// True when any NIC ejection VC holds a complete packet the workload has
+/// not consumed yet (a slow sink, not a stuck network).
+pub fn has_unconsumed_delivery(net: &Network) -> bool {
+    net.nics
+        .iter()
+        .any(|n| n.ejection.iter().any(super::nic::EjVc::complete_packet))
+}
+
+/// One switch traversal, as kept by the [`FlightRecorder`].
+#[derive(Clone, Copy, Debug)]
+pub struct MoveRecord {
+    pub cycle: noc_types::Cycle,
+    pub node: NodeId,
+    pub in_port: PortId,
+    pub in_vc: usize,
+    pub out_port: PortId,
+}
+
+/// Ring buffer of the last N switch traversals, feeding the black box's
+/// `recent_moves` section. Off by default (`Network::recorder == None`);
+/// enable via [`Network::enable_flight_recorder`] when running under a
+/// watchdog that should dump on escalation.
+#[derive(Clone, Debug)]
+pub struct FlightRecorder {
+    cap: usize,
+    buf: VecDeque<MoveRecord>,
+}
+
+impl FlightRecorder {
+    pub fn new(cap: usize) -> FlightRecorder {
+        FlightRecorder {
+            cap: cap.max(1),
+            buf: VecDeque::with_capacity(cap.max(1)),
+        }
+    }
+
+    /// Appends a traversal, evicting the oldest once full.
+    pub fn record(
+        &mut self,
+        cycle: noc_types::Cycle,
+        node: NodeId,
+        in_port: PortId,
+        in_vc: usize,
+        out_port: PortId,
+    ) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(MoveRecord {
+            cycle,
+            node,
+            in_port,
+            in_vc,
+            out_port,
+        });
+    }
+
+    /// Oldest-to-newest records.
+    pub fn iter(&self) -> impl Iterator<Item = &MoveRecord> {
+        self.buf.iter()
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Escapes a string for inclusion in a JSON document.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A post-mortem snapshot of a stuck network, rendered to JSON by
+/// [`BlackBox::to_json`]. Field-by-field schema in `DESIGN.md` §9.
+pub struct BlackBox {
+    json: String,
+}
+
+impl BlackBox {
+    /// Captures the black box from a (presumably stuck) network.
+    ///
+    /// `scheme` labels the mechanism (its `kind()` debug string);
+    /// `mech_state` is the mechanism's own [`crate::Mechanism::debug_state`]
+    /// dump (seeker tables, token state, …).
+    pub fn capture(net: &Network, scheme: &str, mech_state: &str) -> BlackBox {
+        let mut j = String::with_capacity(4096);
+        j.push_str("{\n  \"schema\": \"noc-blackbox-v1\",\n");
+        let _ = write!(
+            j,
+            "  \"cycle\": {},\n  \"last_progress\": {},\n  \"quiescent_for\": {},\n",
+            net.cycle,
+            net.last_progress,
+            net.quiescent_for()
+        );
+        let _ = writeln!(
+            j,
+            "  \"config\": {{\"cols\": {}, \"rows\": {}, \"scheme\": \"{}\", \
+             \"digest\": \"{:016x}\", \"fault\": \"{}\"}},",
+            net.cfg.cols,
+            net.cfg.rows,
+            json_escape(scheme),
+            net.cfg.digest(),
+            json_escape(&net.cfg.fault.canonical())
+        );
+        let _ = writeln!(j, "  \"flits_in_network\": {},", net.flits_in_network());
+
+        // Per-VC occupancy: every non-empty router input VC.
+        j.push_str("  \"occupancy\": [");
+        let mut first = true;
+        for (i, r) in net.routers.iter().enumerate() {
+            for p in 0..NUM_PORTS {
+                for (v, vc) in r.inputs[p].vcs.iter().enumerate() {
+                    if vc.buf.is_empty() {
+                        continue;
+                    }
+                    if !first {
+                        j.push(',');
+                    }
+                    first = false;
+                    let _ = write!(
+                        j,
+                        "\n    {{\"node\": {i}, \"port\": {p}, \"vc\": {v}, \"len\": {}, \
+                         \"packet\": {}, \"routed\": {}, \"escape\": {}, \"head_wait_since\": {}}}",
+                        vc.buf.len(),
+                        vc.resident.map_or(0, |p| p.0),
+                        vc.route.is_some(),
+                        vc.is_escape_resident,
+                        vc.head_wait_since
+                            .map_or_else(|| "null".to_string(), |c| c.to_string()),
+                    );
+                }
+            }
+        }
+        j.push_str("\n  ],\n");
+
+        // Blocked heads: head at front, no route allocated.
+        j.push_str("  \"blocked_heads\": [");
+        let mut first = true;
+        for (i, r) in net.routers.iter().enumerate() {
+            for p in 0..NUM_PORTS {
+                for (v, vc) in r.inputs[p].vcs.iter().enumerate() {
+                    let Some(front) = vc.front() else { continue };
+                    if !front.kind.is_head() || vc.route.is_some() {
+                        continue;
+                    }
+                    if !first {
+                        j.push(',');
+                    }
+                    first = false;
+                    let _ = write!(
+                        j,
+                        "\n    {{\"node\": {i}, \"port\": {p}, \"vc\": {v}, \"packet\": {}, \
+                         \"dest\": {}, \"pending_port\": {}}}",
+                        front.packet.0,
+                        front.dest.0,
+                        vc.pending_port
+                            .map_or_else(|| "null".to_string(), |p| p.to_string()),
+                    );
+                }
+            }
+        }
+        j.push_str("\n  ],\n");
+
+        // Wait-for cycle witness, if one exists right now.
+        match find_deadlock_cycle(net) {
+            Some(cycle) => {
+                j.push_str("  \"wait_cycle\": [");
+                for (k, w) in cycle.iter().enumerate() {
+                    if k > 0 {
+                        j.push(',');
+                    }
+                    let _ = write!(
+                        j,
+                        "\n    {{\"node\": {}, \"port\": {}, \"vc\": {}}}",
+                        w.node.0, w.port, w.vc
+                    );
+                }
+                j.push_str("\n  ],\n");
+            }
+            None => j.push_str("  \"wait_cycle\": null,\n"),
+        }
+
+        // Mechanism self-description (seeker state etc).
+        let _ = writeln!(j, "  \"mechanism\": \"{}\",", json_escape(mech_state));
+
+        // Fault-layer counters, when the fault layer is active.
+        match &net.fault {
+            Some(_) => {
+                let _ = writeln!(
+                    j,
+                    "  \"fault_counters\": {{\"corrupted\": {}, \"retransmitted\": {}, \
+                     \"acks\": {}, \"nacks\": {}}},",
+                    net.stats.corrupted_flits,
+                    net.stats.retransmitted_flits,
+                    net.stats.link_acks,
+                    net.stats.link_nacks
+                );
+            }
+            None => j.push_str("  \"fault_counters\": null,\n"),
+        }
+
+        // Last-N switch traversals from the flight recorder.
+        j.push_str("  \"recent_moves\": [");
+        if let Some(rec) = &net.recorder {
+            for (k, m) in rec.iter().enumerate() {
+                if k > 0 {
+                    j.push(',');
+                }
+                let _ = write!(
+                    j,
+                    "\n    {{\"cycle\": {}, \"node\": {}, \"in_port\": {}, \"in_vc\": {}, \
+                     \"out_port\": {}}}",
+                    m.cycle, m.node.0, m.in_port, m.in_vc, m.out_port
+                );
+            }
+        }
+        j.push_str("\n  ]\n}\n");
+        BlackBox { json: j }
+    }
+
+    /// The rendered JSON document.
+    pub fn to_json(&self) -> &str {
+        &self.json
+    }
+
+    /// Writes the dump to `path`, creating parent directories as needed.
+    pub fn write(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        std::fs::write(path, &self.json)
+    }
 }
 
 /// A blocked-VC node in the wait-for graph.
@@ -161,12 +446,131 @@ pub fn find_deadlock_cycle(net: &Network) -> Option<Vec<WaitNode>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use noc_types::NetConfig;
+    use crate::network::Sim;
+    use crate::workload::Workload;
+    use noc_types::{Cycle, MessageClass, NetConfig, Packet, PacketId};
 
     #[test]
     fn empty_network_is_not_stuck() {
         let net = Network::new(NetConfig::synth(4, 2));
         assert!(!looks_stuck(&net, 10));
         assert!(find_deadlock_cycle(&net).is_none());
+    }
+
+    /// A sink that refuses every delivery — models a protocol endpoint that
+    /// back-pressures indefinitely.
+    struct RefusingSink;
+    impl Workload for RefusingSink {
+        fn generate(&mut self, _c: Cycle, _i: &mut dyn FnMut(noc_types::NodeId, Packet)) {}
+        fn deliver(&mut self, _c: Cycle, _p: &crate::stats::DeliveredPacket) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn slow_sink_is_not_reported_stuck() {
+        let mut cfg = NetConfig::synth(4, 2);
+        cfg.warmup = 0;
+        let mut sim = Sim::new(cfg, Box::new(RefusingSink), Box::new(crate::NoMechanism));
+        sim.net.nics[0].enqueue(Packet {
+            id: PacketId(1),
+            src: NodeId(0),
+            dest: NodeId(3),
+            class: MessageClass(0),
+            len_flits: 1,
+            birth: 0,
+            measured: true,
+        });
+        sim.run(60);
+        // The packet is parked, complete, in an ejection VC; nothing else
+        // moves. The old watchdog called this deadlock; the delivered-but-
+        // unconsumed exclusion must not.
+        assert!(has_unconsumed_delivery(&sim.net));
+        assert!(!looks_stuck(&sim.net, 10));
+        // A genuinely empty-but-quiet network stays not-stuck too.
+        assert!(find_deadlock_cycle(&sim.net).is_none());
+    }
+
+    /// A refusing sink with traffic wedged *behind* the parked delivery is
+    /// how a protocol deadlock presents: the grace window stretches the
+    /// threshold but must not waive it.
+    #[test]
+    fn refusing_sink_with_backpressure_escalates_after_grace() {
+        let mut cfg = NetConfig::synth(4, 2);
+        cfg.warmup = 0;
+        let mut sim = Sim::new(cfg, Box::new(RefusingSink), Box::new(crate::NoMechanism));
+        for i in 0..6u64 {
+            sim.net.nics[0].enqueue(Packet {
+                id: PacketId(i + 1),
+                src: NodeId(0),
+                dest: NodeId(3),
+                class: MessageClass(0),
+                len_flits: 5,
+                birth: 0,
+                measured: true,
+            });
+        }
+        sim.run(400);
+        assert!(has_unconsumed_delivery(&sim.net));
+        assert!(
+            sim.net.flits_in_network() > 0,
+            "expected the line behind the refused delivery to wedge in-network"
+        );
+        let q = sim.net.quiescent_for();
+        assert!(q > 40, "expected a long stall, got {q}");
+        // Quiet past the plain threshold but within the stretched one:
+        // still the sink's choice, not a network failure.
+        assert!(!looks_stuck(&sim.net, q / 2));
+        // Past the stretched threshold it is reported stuck.
+        assert!(looks_stuck(&sim.net, q / SLOW_SINK_GRACE));
+    }
+
+    #[test]
+    fn flight_recorder_keeps_last_n() {
+        let mut rec = FlightRecorder::new(3);
+        for c in 0..10u64 {
+            rec.record(c, NodeId(0), 0, 0, 1);
+        }
+        assert_eq!(rec.len(), 3);
+        let cycles: Vec<u64> = rec.iter().map(|m| m.cycle).collect();
+        assert_eq!(cycles, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn black_box_renders_valid_shape() {
+        let mut cfg = NetConfig::synth(4, 2);
+        cfg.warmup = 0;
+        let mut sim = Sim::new(cfg, Box::new(RefusingSink), Box::new(crate::NoMechanism));
+        sim.net.enable_flight_recorder(16);
+        sim.net.nics[0].enqueue(Packet {
+            id: PacketId(1),
+            src: NodeId(0),
+            dest: NodeId(3),
+            class: MessageClass(0),
+            len_flits: 5,
+            birth: 0,
+            measured: true,
+        });
+        sim.run(20);
+        let bb = BlackBox::capture(&sim.net, "none", "state with \"quotes\"\nand newline");
+        let j = bb.to_json();
+        assert!(j.starts_with('{') && j.trim_end().ends_with('}'));
+        assert!(j.contains("\"schema\": \"noc-blackbox-v1\""));
+        assert!(j.contains("\"recent_moves\""));
+        assert!(j.contains("\\\"quotes\\\""), "string escaping broken");
+        assert!(
+            !j.contains("state with \"quotes\""),
+            "unescaped quote leaked"
+        );
+        // Balanced braces/brackets (cheap well-formedness check; the full
+        // parser lives in noc-experiments' jsonio tests).
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn json_escape_handles_control_chars() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
     }
 }

@@ -1,5 +1,6 @@
 //! Network configuration (the paper's Table 4).
 
+use crate::fault::{fnv1a, FaultConfig};
 use crate::message::MessageClass;
 use serde::{Deserialize, Serialize};
 use std::ops::Range;
@@ -134,6 +135,9 @@ pub struct NetConfig {
     pub warmup: u64,
     /// RNG seed; every run with the same config and seed is bit-identical.
     pub seed: u64,
+    /// Fault-injection scenario. Defaults to fully disabled, in which case
+    /// the simulator is bit-identical to a build without the fault layer.
+    pub fault: FaultConfig,
 }
 
 impl NetConfig {
@@ -154,6 +158,7 @@ impl NetConfig {
             link_width_bits: 128,
             warmup: 1000,
             seed: 1,
+            fault: FaultConfig::default(),
         }
     }
 
@@ -175,6 +180,7 @@ impl NetConfig {
             link_width_bits: 128,
             warmup: 1000,
             seed: 1,
+            fault: FaultConfig::default(),
         }
     }
 
@@ -203,6 +209,38 @@ impl NetConfig {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Builder-style override of the fault scenario.
+    pub fn with_fault(mut self, fault: FaultConfig) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// Stable 64-bit digest of every behaviour-affecting field, used to key
+    /// checkpoint rows so a resumed sweep never mixes incompatible configs.
+    pub fn digest(&self) -> u64 {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{}x{};vn={};cl={};vc={};d={};org={:?};rl={};rt={:?};ej={};lw={};wu={};seed={};",
+            self.cols,
+            self.rows,
+            self.vnets,
+            self.classes,
+            self.vcs_per_vnet,
+            self.vc_depth,
+            self.buffer_org,
+            self.router_latency,
+            self.routing,
+            self.ejection_vcs_per_class,
+            self.link_width_bits,
+            self.warmup,
+            self.seed,
+        );
+        s.push_str(&self.fault.canonical());
+        fnv1a(s.as_bytes())
     }
 
     /// Total number of nodes (routers/NICs) on the mesh.

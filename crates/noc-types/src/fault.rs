@@ -1,0 +1,186 @@
+//! Fault-injection configuration.
+//!
+//! A [`FaultConfig`] rides on [`crate::NetConfig`] and describes which faults
+//! the simulator must inject and how the recovery layer is tuned. The default
+//! value is fully disabled; the engine promises bit-identical behaviour to a
+//! fault-free build whenever [`FaultConfig::enabled`] is false.
+//!
+//! Two fault classes are modelled:
+//!
+//! * **Transient** — every link traversal independently corrupts the flit
+//!   with probability [`FaultConfig::transient_rate`] (a soft error on the
+//!   wires). The link-layer retransmission protocol in `noc-sim` detects the
+//!   corruption by checksum and heals it by ack/nack + resend: latency cost,
+//!   never loss.
+//! * **Permanent** — whole physical links (both directions) or whole routers
+//!   are dead for the entire run, either by explicit list or by drawing
+//!   [`FaultConfig::random_dead_links`] kills from [`FaultConfig::fault_seed`].
+//!   The simulator routes around dead hardware with a degraded-mesh routing
+//!   mask, re-certified by `noc-verify`.
+//!
+//! All randomness (corruption draws, random kills) comes from a dedicated RNG
+//! seeded by `fault_seed`, never from the traffic RNG, so a fault scenario is
+//! reproducible independently of the workload seed.
+
+use crate::direction::Direction;
+use crate::geometry::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Fault-injection knobs carried by [`crate::NetConfig`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Probability that a single inter-router link traversal corrupts the
+    /// flit. `0.0` disables transient faults entirely.
+    pub transient_rate: f64,
+    /// Physical links to kill permanently, each named from one endpoint as
+    /// `(node, direction)`. A dead link is dead in *both* directions.
+    pub dead_links: Vec<(NodeId, Direction)>,
+    /// Routers to kill permanently; all four of a dead router's mesh links
+    /// die with it (its NIC neither injects nor receives).
+    pub dead_routers: Vec<NodeId>,
+    /// Number of additional physical links to kill at random, drawn
+    /// deterministically from [`FaultConfig::fault_seed`].
+    pub random_dead_links: u8,
+    /// Seed for the dedicated fault RNG (corruption draws + random kills).
+    pub fault_seed: u64,
+    /// Cycles a sender waits for an ack before re-sending its oldest
+    /// unacknowledged flit.
+    pub retransmit_timeout: u32,
+    /// Extra wait cycles added per further resend of the same flit, so a
+    /// persistently unlucky flit backs off instead of hammering the link.
+    pub resend_backoff: u32,
+}
+
+impl Default for FaultConfig {
+    /// Fully disabled: no transient faults, no dead hardware. The recovery
+    /// knobs keep sane values so enabling faults later needs only a rate or
+    /// a kill list.
+    fn default() -> Self {
+        FaultConfig {
+            transient_rate: 0.0,
+            dead_links: Vec::new(),
+            dead_routers: Vec::new(),
+            random_dead_links: 0,
+            fault_seed: 0xFA17,
+            retransmit_timeout: 16,
+            resend_backoff: 8,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A transient-only fault scenario at the given corruption rate.
+    pub fn transient(rate: f64) -> Self {
+        FaultConfig {
+            transient_rate: rate,
+            ..FaultConfig::default()
+        }
+    }
+
+    /// True when any fault is configured; false means the simulator must be
+    /// bit-identical to a build without the fault layer.
+    pub fn enabled(&self) -> bool {
+        self.transient_rate > 0.0 || self.has_permanent()
+    }
+
+    /// True when any permanent (link/router kill) fault is configured.
+    pub fn has_permanent(&self) -> bool {
+        !self.dead_links.is_empty() || !self.dead_routers.is_empty() || self.random_dead_links > 0
+    }
+
+    /// Builder: kill the listed physical links.
+    #[must_use]
+    pub fn with_dead_links(mut self, links: Vec<(NodeId, Direction)>) -> Self {
+        self.dead_links = links;
+        self
+    }
+
+    /// Builder: kill the listed routers (all their links die with them).
+    #[must_use]
+    pub fn with_dead_routers(mut self, routers: Vec<NodeId>) -> Self {
+        self.dead_routers = routers;
+        self
+    }
+
+    /// Builder: kill `n` physical links drawn from the fault seed.
+    #[must_use]
+    pub fn with_random_dead_links(mut self, n: u8) -> Self {
+        self.random_dead_links = n;
+        self
+    }
+
+    /// Builder: replace the fault RNG seed.
+    #[must_use]
+    pub fn with_fault_seed(mut self, seed: u64) -> Self {
+        self.fault_seed = seed;
+        self
+    }
+
+    /// Canonical single-line rendering, used in checkpoint keys and dump
+    /// headers. Stable across runs: field order is fixed and floats are
+    /// printed through their bit pattern.
+    pub fn canonical(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = write!(s, "tr={:016x}", self.transient_rate.to_bits());
+        let _ = write!(s, ";dl=");
+        for (n, d) in &self.dead_links {
+            let _ = write!(s, "{}:{},", n.0, d.index());
+        }
+        let _ = write!(s, ";dr=");
+        for n in &self.dead_routers {
+            let _ = write!(s, "{},", n.0);
+        }
+        let _ = write!(
+            s,
+            ";rk={};fs={};to={};bo={}",
+            self.random_dead_links, self.fault_seed, self.retransmit_timeout, self.resend_backoff
+        );
+        s
+    }
+}
+
+/// FNV-1a hash of a byte string; used for stable config digests in
+/// checkpoint keys (no external hash crates in the workspace).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_disabled() {
+        let f = FaultConfig::default();
+        assert!(!f.enabled());
+        assert!(!f.has_permanent());
+    }
+
+    #[test]
+    fn transient_and_permanent_enable() {
+        assert!(FaultConfig::transient(0.01).enabled());
+        assert!(FaultConfig::default()
+            .with_dead_links(vec![(NodeId(3), Direction::East)])
+            .enabled());
+        assert!(FaultConfig::default().with_random_dead_links(2).enabled());
+    }
+
+    #[test]
+    fn canonical_is_stable_and_distinguishes() {
+        let a = FaultConfig::transient(0.05);
+        let b = FaultConfig::transient(0.05);
+        assert_eq!(a.canonical(), b.canonical());
+        let c = FaultConfig::transient(0.06);
+        assert_ne!(a.canonical(), c.canonical());
+        assert_ne!(
+            fnv1a(a.canonical().as_bytes()),
+            fnv1a(c.canonical().as_bytes())
+        );
+    }
+}

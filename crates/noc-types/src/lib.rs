@@ -10,12 +10,14 @@
 
 pub mod config;
 pub mod direction;
+pub mod fault;
 pub mod flit;
 pub mod geometry;
 pub mod message;
 
 pub use config::{BaseRouting, BufferOrg, NetConfig, RoutingAlgo, SchemeKind};
 pub use direction::{Direction, PortId, NUM_PORTS};
+pub use fault::FaultConfig;
 pub use flit::{Flit, FlitKind, Packet};
 pub use geometry::{Coord, NodeId};
 pub use message::{MessageClass, PacketId};

@@ -18,8 +18,9 @@
 //! normal→escape (west-first-legal directions only), escape→escape, and
 //! never escape→normal.
 
+use noc_sim::fault::{DeadSet, RouteMask};
 use noc_sim::routing::{candidates, west_first, Candidates};
-use noc_types::{Coord, Direction, NetConfig};
+use noc_types::{BaseRouting, Coord, Direction, NetConfig};
 
 /// The VC class a channel carries: which `VNet`, and whether these are the
 /// regular (adaptive) VCs or the Duato escape VC.
@@ -204,6 +205,136 @@ impl Cdg {
         g
     }
 
+    /// Builds the CDG of a *degraded* mesh: channels on dead links (or
+    /// touching dead routers) do not exist, normal-class legality follows
+    /// the masked routing relation the simulator actually uses
+    /// ([`RouteMask`] candidates intersected with the base algorithm's,
+    /// falling back to the mask alone — mirroring
+    /// `noc_sim::router::route_compute`), and escape-class legality follows
+    /// the degraded west-first mask `wf` when one survives the faults.
+    ///
+    /// Dead routers are excluded as sources *and* destinations: nothing is
+    /// routed to or from them, so they induce no dependencies.
+    pub fn build_degraded(
+        cfg: &NetConfig,
+        dead: &DeadSet,
+        mask: &RouteMask,
+        wf: Option<&RouteMask>,
+    ) -> Cdg {
+        let (cols, rows) = (cfg.cols, cfg.rows);
+        let vnets = cfg.vnets;
+        let has_escape = cfg.routing.has_escape() && wf.is_some();
+        let normal = cfg.routing.normal();
+        let kinds: usize = if has_escape { 2 } else { 1 };
+        let slots = cols as usize * rows as usize * 4 * vnets as usize * kinds;
+
+        let mut g = Cdg {
+            cols,
+            rows,
+            has_escape,
+            channels: Vec::new(),
+            succ: Vec::new(),
+            index: vec![None; slots],
+            vnets,
+        };
+
+        let live = |u: Coord, dir: Direction| -> bool {
+            let Some(v) = dir.step(u, cols, rows) else {
+                return false;
+            };
+            !dead.link_dead(u.to_node(cols).idx(), dir)
+                && !dead.router_dead(u.to_node(cols).idx())
+                && !dead.router_dead(v.to_node(cols).idx())
+        };
+
+        for y in 0..rows {
+            for x in 0..cols {
+                let u = Coord::new(x, y);
+                for dir in Direction::CARDINAL {
+                    if !live(u, dir) {
+                        continue;
+                    }
+                    for vnet in 0..vnets {
+                        g.insert(Channel {
+                            from: u,
+                            dir,
+                            class: VcClass::Normal(vnet),
+                        });
+                        if has_escape {
+                            g.insert(Channel {
+                                from: u,
+                                dir,
+                                class: VcClass::Escape(vnet),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut seen = vec![false; g.channels.len()];
+        for a in 0..g.channels.len() {
+            let ch = g.channels[a];
+            let u = ch.from;
+            let v = ch.to(cols, rows);
+            let mut out: Vec<usize> = Vec::new();
+            for dy in 0..rows {
+                for dx in 0..cols {
+                    let d = Coord::new(dx, dy);
+                    if d == u || d == v || dead.router_dead(d.to_node(cols).idx()) {
+                        continue;
+                    }
+                    let legal_here = match ch.class {
+                        VcClass::Normal(_) => masked_dirs(normal, mask, u, d).contains(ch.dir),
+                        VcClass::Escape(_) => wf
+                            .expect("escape channels only exist with a wf mask")
+                            .candidates(u, d)
+                            .contains(ch.dir),
+                    };
+                    if !legal_here {
+                        continue;
+                    }
+                    let vnet = ch.class.vnet();
+                    match ch.class {
+                        VcClass::Normal(_) => {
+                            g.push_edges(
+                                &mut out,
+                                &mut seen,
+                                v,
+                                masked_dirs(normal, mask, v, d),
+                                VcClass::Normal(vnet),
+                            );
+                            if let Some(wf) = wf {
+                                g.push_edges(
+                                    &mut out,
+                                    &mut seen,
+                                    v,
+                                    wf.candidates(v, d),
+                                    VcClass::Escape(vnet),
+                                );
+                            }
+                        }
+                        VcClass::Escape(_) => {
+                            g.push_edges(
+                                &mut out,
+                                &mut seen,
+                                v,
+                                wf.expect("escape channels only exist with a wf mask")
+                                    .candidates(v, d),
+                                VcClass::Escape(vnet),
+                            );
+                        }
+                    }
+                }
+            }
+            for &b in &out {
+                seen[b] = false;
+            }
+            g.succ[a] = out;
+        }
+        g
+    }
+
     fn insert(&mut self, ch: Channel) {
         let slot = self.slot(ch);
         let id = self.channels.len();
@@ -274,6 +405,11 @@ impl Cdg {
             .collect()
     }
 
+    /// Every channel, for iteration in reports.
+    pub fn channels(&self) -> &[Channel] {
+        &self.channels
+    }
+
     /// True if some edge leaves an escape channel for a normal channel —
     /// forbidden by Duato's condition and by construction; checked as a
     /// structural self-test.
@@ -284,5 +420,24 @@ impl Cdg {
                     .iter()
                     .any(|&j| !self.channels[j].class.is_escape())
         })
+    }
+}
+
+/// The candidate set the simulator uses on a degraded mesh: route-mask
+/// candidates intersected with the base algorithm's productive set, falling
+/// back to the mask alone when the intersection is empty (the detour case).
+/// Mirrors `noc_sim::router::route_compute` exactly.
+fn masked_dirs(normal: BaseRouting, mask: &RouteMask, u: Coord, d: Coord) -> Candidates {
+    let masked = mask.candidates(u, d);
+    let both: Candidates = candidates(normal, u, d)
+        .as_slice()
+        .iter()
+        .copied()
+        .filter(|dir| masked.contains(*dir))
+        .collect();
+    if both.is_empty() {
+        masked
+    } else {
+        both
     }
 }

@@ -1,0 +1,396 @@
+//! Degraded-mesh certification: re-runs the channel-dependency analysis
+//! against the mesh that remains after [`noc_types::FaultConfig`] permanent
+//! faults (dead links and routers) are applied.
+//!
+//! Permanent faults change the routing relation: the simulator switches to
+//! the [`RouteMask`] (shortest paths over the degraded graph, intersected
+//! with the base algorithm where possible), so the healthy mesh's
+//! certificate no longer says anything. This module answers three
+//! questions, in order:
+//!
+//! 1. **Is every pair still routable?** If the dead set disconnects the
+//!    live mesh, the configuration is [`DegradedVerdict::Unroutable`] and
+//!    the sweep runner must skip it (the simulator would panic at
+//!    construction).
+//! 2. **Does the escape layer survive?** West-first cannot detour, so an
+//!    escape-VC configuration whose required west-first path crosses a dead
+//!    link is [`DegradedVerdict::EscapeSevered`]: routable, but the Duato
+//!    certificate is gone.
+//! 3. **Is the degraded CDG still acyclic / Duato-certifiable?** The masked
+//!    routing admits detour turns the healthy algorithm forbade, so e.g. XY
+//!    with a dead link generally *loses* its acyclicity certificate — an
+//!    honest downgrade: on a degraded mesh, deadlock freedom must come from
+//!    a recovery mechanism (the paper's point), not the routing function.
+
+use crate::cdg::Cdg;
+use crate::scc;
+use crate::witness::Witness;
+use crate::{escape_subgraph, CdgGraph, ProtocolVerdict, RoutingVerdict};
+use noc_sim::fault::{DeadSet, RouteMask};
+use noc_types::{Direction, NetConfig, NodeId};
+
+/// Routing-level verdict for one configuration on its degraded mesh.
+#[derive(Clone, Debug)]
+pub enum DegradedVerdict {
+    /// The dead set disconnects the live mesh: `src` cannot reach `dest`.
+    /// The configuration cannot run at all.
+    Unroutable { src: NodeId, dest: NodeId },
+    /// Every pair is routable, but the west-first escape layer is not:
+    /// `src` has no live west-first path to `dest`. Escape-VC
+    /// configurations lose their Duato certificate.
+    EscapeSevered { src: NodeId, dest: NodeId },
+    /// The degraded CDG is acyclic.
+    CertifiedAcyclic { channels: usize, edges: usize },
+    /// The degraded CDG has cycles among regular VCs, but the (surviving)
+    /// escape subnetwork satisfies Duato's condition.
+    CertifiedEscape {
+        channels: usize,
+        edges: usize,
+        escape_channels: usize,
+    },
+    /// No certificate: a concrete cyclic wait exists on the degraded mesh.
+    Deadlockable {
+        witness: Witness,
+        channels: usize,
+        edges: usize,
+    },
+}
+
+impl DegradedVerdict {
+    /// True only for the two certificate variants.
+    pub fn certified(&self) -> bool {
+        matches!(
+            self,
+            DegradedVerdict::CertifiedAcyclic { .. } | DegradedVerdict::CertifiedEscape { .. }
+        )
+    }
+
+    /// True when the configuration can run at all (every pair routable).
+    pub fn routable(&self) -> bool {
+        !matches!(self, DegradedVerdict::Unroutable { .. })
+    }
+}
+
+/// Certification report for one configuration on its degraded mesh.
+#[derive(Clone, Debug)]
+pub struct DegradedReport {
+    /// One-line description of the analysed configuration.
+    pub config: String,
+    /// Dead physical links (each named once from its west/north endpoint).
+    pub dead_links: Vec<(NodeId, Direction)>,
+    /// Dead routers.
+    pub dead_routers: Vec<NodeId>,
+    /// Routing-level verdict on the degraded mesh.
+    pub verdict: DegradedVerdict,
+    /// Protocol-level verdict (unchanged by link faults: classes and `VNets`
+    /// are a property of the protocol, not the topology).
+    pub protocol: ProtocolVerdict,
+}
+
+impl DegradedReport {
+    /// True when both layers are certified on the degraded mesh.
+    pub fn certified(&self) -> bool {
+        self.verdict.certified() && self.protocol.certified()
+    }
+
+    /// Human-readable multi-line report.
+    pub fn render(&self) -> String {
+        let mut s = format!("config: {}\n", self.config);
+        let links: Vec<String> = self
+            .dead_links
+            .iter()
+            .map(|(n, d)| format!("{}→{d}", n.0))
+            .collect();
+        let routers: Vec<String> = self.dead_routers.iter().map(|n| n.0.to_string()).collect();
+        s.push_str(&format!(
+            "faults: {} dead link(s) [{}], {} dead router(s) [{}]\n",
+            links.len(),
+            links.join(", "),
+            routers.len(),
+            routers.join(", ")
+        ));
+        match &self.verdict {
+            DegradedVerdict::Unroutable { src, dest } => {
+                s.push_str(&format!(
+                    "degraded routing: UNROUTABLE — node {} cannot reach node {} \
+                     on the live mesh\n",
+                    src.0, dest.0
+                ));
+            }
+            DegradedVerdict::EscapeSevered { src, dest } => {
+                s.push_str(&format!(
+                    "degraded routing: ESCAPE SEVERED — no live west-first path \
+                     from node {} to node {}; the Duato escape certificate is void\n",
+                    src.0, dest.0
+                ));
+            }
+            DegradedVerdict::CertifiedAcyclic { channels, edges } => {
+                s.push_str(&format!(
+                    "degraded routing: CERTIFIED deadlock-free — degraded CDG acyclic \
+                     ({channels} channels, {edges} dependencies)\n"
+                ));
+            }
+            DegradedVerdict::CertifiedEscape {
+                channels,
+                edges,
+                escape_channels,
+            } => {
+                s.push_str(&format!(
+                    "degraded routing: CERTIFIED deadlock-free — Duato escape condition \
+                     holds on the degraded mesh ({channels} channels, {edges} \
+                     dependencies; escape subnetwork of {escape_channels} channels)\n"
+                ));
+            }
+            DegradedVerdict::Deadlockable {
+                witness,
+                channels,
+                edges,
+            } => {
+                s.push_str(&format!(
+                    "degraded routing: NOT certifiable — minimal cyclic witness of \
+                     {} channels (degraded CDG: {channels} channels, {edges} \
+                     dependencies); deadlock freedom must come from a recovery \
+                     mechanism\n",
+                    witness.cycle.len()
+                ));
+                s.push_str(&witness.describe());
+                s.push_str(&witness.render_ascii());
+            }
+        }
+        s.push_str(&crate::render_protocol(&self.protocol));
+        s.push_str(if self.certified() {
+            "verdict: CERTIFIED DEADLOCK-FREE (degraded)\n"
+        } else {
+            "verdict: NOT CERTIFIED (degraded)\n"
+        });
+        s
+    }
+}
+
+/// Resolves `cfg`'s permanent faults, checks routability of the live mesh,
+/// and certifies the degraded channel dependency graph. With no permanent
+/// faults this reduces exactly to [`crate::certify`] (same CDG, verdict
+/// mapped onto [`DegradedVerdict`]).
+pub fn certify_degraded(cfg: &NetConfig) -> DegradedReport {
+    if !cfg.fault.has_permanent() {
+        let report = crate::certify(cfg);
+        let verdict = match report.routing {
+            RoutingVerdict::CertifiedAcyclic { channels, edges } => {
+                DegradedVerdict::CertifiedAcyclic { channels, edges }
+            }
+            RoutingVerdict::CertifiedEscape {
+                channels,
+                edges,
+                escape_channels,
+            } => DegradedVerdict::CertifiedEscape {
+                channels,
+                edges,
+                escape_channels,
+            },
+            RoutingVerdict::Deadlockable {
+                witness,
+                channels,
+                edges,
+            } => DegradedVerdict::Deadlockable {
+                witness,
+                channels,
+                edges,
+            },
+        };
+        return DegradedReport {
+            config: report.config,
+            dead_links: Vec::new(),
+            dead_routers: Vec::new(),
+            verdict,
+            protocol: report.protocol,
+        };
+    }
+
+    let dead = DeadSet::resolve(cfg);
+    let (cols, rows) = (cfg.cols, cfg.rows);
+    let dead_links = dead.dead_link_list(cols, rows);
+    let dead_routers: Vec<NodeId> = (0..cfg.num_nodes())
+        .filter(|&i| dead.router_dead(i))
+        .map(|i| NodeId(i as u16))
+        .collect();
+    let config = format!(
+        "{} + {} dead link(s), {} dead router(s)",
+        crate::describe_config(cfg),
+        dead_links.len(),
+        dead_routers.len()
+    );
+    let protocol = crate::protocol::analyze(cfg);
+    let done = |verdict| DegradedReport {
+        config: config.clone(),
+        dead_links: dead_links.clone(),
+        dead_routers: dead_routers.clone(),
+        verdict,
+        protocol: protocol.clone(),
+    };
+
+    let mask = match RouteMask::build(cols, rows, &dead) {
+        Ok(m) => m,
+        Err(u) => {
+            return done(DegradedVerdict::Unroutable {
+                src: u.src,
+                dest: u.dest,
+            })
+        }
+    };
+    // The escape layer survives only if west-first still reaches everywhere
+    // over live links; since west-first cannot detour, a severed path voids
+    // the Duato certificate (the config still *runs* — on regular VCs).
+    let (wf, severed) = if cfg.routing.has_escape() {
+        match RouteMask::build_west_first(cols, rows, &dead) {
+            Ok(m) => (Some(m), None),
+            Err(u) => (None, Some((u.src, u.dest))),
+        }
+    } else {
+        (None, None)
+    };
+
+    let cdg = Cdg::build_degraded(cfg, &dead, &mask, wf.as_ref());
+    let g = CdgGraph(&cdg);
+    let channels = cdg.channel_count();
+    let edges = cdg.edge_count();
+
+    let verdict = if !scc::has_cycle(&g) {
+        DegradedVerdict::CertifiedAcyclic { channels, edges }
+    } else if let Some((src, dest)) = severed {
+        DegradedVerdict::EscapeSevered { src, dest }
+    } else if wf.is_some()
+        && !cdg.escape_leaks_to_normal()
+        && !scc::has_cycle(&escape_subgraph(&cdg))
+    {
+        DegradedVerdict::CertifiedEscape {
+            channels,
+            edges,
+            escape_channels: cdg.escape_channel_ids().len(),
+        }
+    } else {
+        let cycle_ids = scc::minimal_cycle(&g).expect("cyclic CDG must yield a minimal cycle");
+        DegradedVerdict::Deadlockable {
+            witness: Witness {
+                cycle: cycle_ids.into_iter().map(|i| cdg.channel(i)).collect(),
+                cols,
+                rows,
+            },
+            channels,
+            edges,
+        }
+    };
+    done(verdict)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_types::{BaseRouting, FaultConfig, RoutingAlgo};
+
+    fn cfg(routing: RoutingAlgo, fault: FaultConfig) -> NetConfig {
+        NetConfig::synth(4, 4)
+            .with_routing(routing)
+            .with_fault(fault)
+    }
+
+    #[test]
+    fn no_permanent_faults_reduces_to_the_healthy_certificate() {
+        let healthy = cfg(
+            RoutingAlgo::Uniform(BaseRouting::Xy),
+            FaultConfig::transient(0.01),
+        );
+        let report = certify_degraded(&healthy);
+        assert!(report.dead_links.is_empty());
+        assert!(matches!(
+            report.verdict,
+            DegradedVerdict::CertifiedAcyclic { .. }
+        ));
+        assert!(report.certified());
+    }
+
+    #[test]
+    fn disconnected_corner_is_unroutable() {
+        let report = certify_degraded(&cfg(
+            RoutingAlgo::Uniform(BaseRouting::AdaptiveMinimal),
+            FaultConfig::default().with_dead_links(vec![
+                (NodeId(0), Direction::East),
+                (NodeId(0), Direction::South),
+            ]),
+        ));
+        match report.verdict {
+            DegradedVerdict::Unroutable { src, dest } => {
+                assert!(src == NodeId(0) || dest == NodeId(0));
+            }
+            other => panic!("expected Unroutable, got {other:?}"),
+        }
+        assert!(!report.certified());
+    }
+
+    #[test]
+    fn dead_row_link_severs_the_escape_layer() {
+        // West-first must cross 1→2 for the (1, 2) pair; no detour exists.
+        let report = certify_degraded(&cfg(
+            RoutingAlgo::EscapeVc {
+                normal: BaseRouting::AdaptiveMinimal,
+            },
+            FaultConfig::default().with_dead_links(vec![(NodeId(1), Direction::East)]),
+        ));
+        assert!(
+            matches!(report.verdict, DegradedVerdict::EscapeSevered { .. }),
+            "got {:?}",
+            report.verdict
+        );
+        assert!(report.verdict.routable(), "mesh is still connected");
+        assert!(!report.certified());
+    }
+
+    #[test]
+    fn adaptive_on_a_degraded_mesh_yields_a_witness() {
+        let report = certify_degraded(&cfg(
+            RoutingAlgo::Uniform(BaseRouting::AdaptiveMinimal),
+            FaultConfig::default().with_dead_links(vec![(NodeId(5), Direction::East)]),
+        ));
+        match &report.verdict {
+            DegradedVerdict::Deadlockable { witness, .. } => {
+                assert!(witness.cycle.len() >= 2);
+            }
+            other => panic!("expected Deadlockable, got {other:?}"),
+        }
+        // The report names the dead link.
+        assert_eq!(report.dead_links, vec![(NodeId(5), Direction::East)]);
+        assert!(report.render().contains("NOT certifiable"));
+    }
+
+    #[test]
+    fn dead_router_in_the_interior_stays_routable() {
+        let report = certify_degraded(&cfg(
+            RoutingAlgo::Uniform(BaseRouting::AdaptiveMinimal),
+            FaultConfig::default().with_dead_routers(vec![NodeId(5)]),
+        ));
+        assert!(report.verdict.routable(), "got {:?}", report.verdict);
+        assert_eq!(report.dead_routers, vec![NodeId(5)]);
+        // All four of the router's links are dead with it.
+        assert_eq!(report.dead_links.len(), 4);
+    }
+
+    #[test]
+    fn degraded_cdg_omits_dead_channels() {
+        let fault = FaultConfig::default().with_dead_links(vec![(NodeId(5), Direction::East)]);
+        let c = cfg(RoutingAlgo::Uniform(BaseRouting::Xy), fault);
+        let dead = DeadSet::resolve(&c);
+        let mask = RouteMask::build(c.cols, c.rows, &dead).unwrap();
+        let cdg = Cdg::build_degraded(&c, &dead, &mask, None);
+        assert!(cdg
+            .channels()
+            .iter()
+            .all(|ch| !(ch.from.to_node(c.cols) == NodeId(5) && ch.dir == Direction::East)));
+        assert!(cdg
+            .channels()
+            .iter()
+            .all(|ch| !(ch.from.to_node(c.cols) == NodeId(6) && ch.dir == Direction::West)));
+        // The healthy build has exactly two more channels (one per lost
+        // direction, times one vnet).
+        let healthy = Cdg::build(&c);
+        assert_eq!(healthy.channel_count(), cdg.channel_count() + 2);
+    }
+}

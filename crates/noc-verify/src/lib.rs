@@ -22,11 +22,13 @@
 #![forbid(unsafe_code)]
 
 pub mod cdg;
+pub mod degraded;
 pub mod protocol;
 pub mod scc;
 pub mod witness;
 
 pub use cdg::{Cdg, Channel, VcClass};
+pub use degraded::{certify_degraded, DegradedReport, DegradedVerdict};
 pub use protocol::ProtocolVerdict;
 pub use witness::Witness;
 
@@ -127,26 +129,7 @@ impl Report {
                 s.push_str(&witness.render_ascii());
             }
         }
-        match &self.protocol {
-            ProtocolVerdict::NoProtocolTraffic => {
-                s.push_str("protocol: no resource-gated message classes\n");
-            }
-            ProtocolVerdict::Acyclic { vnets, deps } => {
-                s.push_str(&format!(
-                    "protocol: CERTIFIED — {deps} class dependencies map \
-                     acyclically onto {vnets} VNets\n"
-                ));
-            }
-            ProtocolVerdict::Cyclic { offending } => {
-                s.push_str("protocol: NOT certifiable — gated and gating classes share a VNet:\n");
-                for (a, b) in offending {
-                    s.push_str(&format!(
-                        "  consumption of class {} waits on delivery of class {} in the same VNet\n",
-                        a.0, b.0
-                    ));
-                }
-            }
-        }
+        s.push_str(&render_protocol(&self.protocol));
         s.push_str(if self.certified() {
             "verdict: CERTIFIED DEADLOCK-FREE\n"
         } else {
@@ -156,8 +139,35 @@ impl Report {
     }
 }
 
+/// Renders the protocol verdict lines shared by the healthy and degraded
+/// reports.
+pub(crate) fn render_protocol(p: &ProtocolVerdict) -> String {
+    let mut s = String::new();
+    match p {
+        ProtocolVerdict::NoProtocolTraffic => {
+            s.push_str("protocol: no resource-gated message classes\n");
+        }
+        ProtocolVerdict::Acyclic { vnets, deps } => {
+            s.push_str(&format!(
+                "protocol: CERTIFIED — {deps} class dependencies map \
+                 acyclically onto {vnets} VNets\n"
+            ));
+        }
+        ProtocolVerdict::Cyclic { offending } => {
+            s.push_str("protocol: NOT certifiable — gated and gating classes share a VNet:\n");
+            for (a, b) in offending {
+                s.push_str(&format!(
+                    "  consumption of class {} waits on delivery of class {} in the same VNet\n",
+                    a.0, b.0
+                ));
+            }
+        }
+    }
+    s
+}
+
 /// View of a [`Cdg`] as a [`scc::Digraph`].
-struct CdgGraph<'a>(&'a Cdg);
+pub(crate) struct CdgGraph<'a>(pub(crate) &'a Cdg);
 
 impl scc::Digraph for CdgGraph<'_> {
     fn len(&self) -> usize {
@@ -169,7 +179,7 @@ impl scc::Digraph for CdgGraph<'_> {
 }
 
 /// Escape-class subgraph of a [`Cdg`] (remapped to dense indices).
-fn escape_subgraph(cdg: &Cdg) -> scc::AdjGraph {
+pub(crate) fn escape_subgraph(cdg: &Cdg) -> scc::AdjGraph {
     let ids = cdg.escape_channel_ids();
     let remap: std::collections::HashMap<usize, usize> =
         ids.iter().enumerate().map(|(i, &id)| (id, i)).collect();
@@ -258,7 +268,7 @@ pub fn certify(cfg: &NetConfig) -> Report {
     }
 }
 
-fn describe_config(cfg: &NetConfig) -> String {
+pub(crate) fn describe_config(cfg: &NetConfig) -> String {
     let routing = match cfg.routing {
         RoutingAlgo::Uniform(b) => format!("{b:?}"),
         RoutingAlgo::EscapeVc { normal } => format!("EscapeVc({normal:?})"),

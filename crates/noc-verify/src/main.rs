@@ -6,8 +6,8 @@
 //! ```
 #![forbid(unsafe_code)]
 
-use noc_types::{BaseRouting, NetConfig, RoutingAlgo};
-use noc_verify::certify;
+use noc_types::{BaseRouting, Direction, FaultConfig, NetConfig, NodeId, RoutingAlgo};
+use noc_verify::{certify, certify_degraded};
 
 const USAGE: &str = "\
 noc-verify: static channel-dependency-graph deadlock certifier
@@ -23,6 +23,12 @@ OPTIONS:
     --vnets <N>           virtual networks (default 1)
     --vcs <N>             VCs per VNet (default 4)
     --classes <N>         message classes (default = vnets)
+    --dead-links <SPEC>   comma-separated dead links, each NODE:DIR with DIR
+                          one of N/E/S/W (e.g. 5:E,10:S); switches to
+                          degraded-mesh certification
+    --dead-routers <LIST> comma-separated dead router ids (e.g. 5,9)
+    --random-dead <N>     kill N random links drawn from the fault seed
+    --fault-seed <SEED>   fault RNG seed for --random-dead (default 0xFA17)
     --all-configs         check the expectation matrix over the paper's
                           configurations; exit nonzero on any mismatch
     -h, --help            show this help
@@ -71,6 +77,41 @@ fn parse_mesh(s: &str) -> Result<(u8, u8), String> {
     }
 }
 
+/// Parses a `--dead-links` spec: comma-separated `NODE:DIR` with DIR one of
+/// N/E/S/W (case-insensitive).
+fn parse_dead_links(s: &str) -> Result<Vec<(NodeId, Direction)>, String> {
+    s.split(',')
+        .filter(|t| !t.is_empty())
+        .map(|t| {
+            let (node, dir) = t
+                .split_once(':')
+                .ok_or_else(|| format!("bad dead-link '{t}' (want NODE:DIR)"))?;
+            let node: u16 = node
+                .parse()
+                .map_err(|_| format!("bad node id '{node}' in dead-link '{t}'"))?;
+            let dir = match dir.to_ascii_uppercase().as_str() {
+                "N" => Direction::North,
+                "E" => Direction::East,
+                "S" => Direction::South,
+                "W" => Direction::West,
+                other => return Err(format!("bad direction '{other}' (want N/E/S/W)")),
+            };
+            Ok((NodeId(node), dir))
+        })
+        .collect()
+}
+
+fn parse_dead_routers(s: &str) -> Result<Vec<NodeId>, String> {
+    s.split(',')
+        .filter(|t| !t.is_empty())
+        .map(|t| {
+            t.parse::<u16>()
+                .map(NodeId)
+                .map_err(|_| format!("bad router id '{t}'"))
+        })
+        .collect()
+}
+
 struct Args {
     cols: u8,
     rows: u8,
@@ -78,6 +119,7 @@ struct Args {
     vnets: u8,
     vcs: u8,
     classes: Option<u8>,
+    fault: FaultConfig,
     all_configs: bool,
 }
 
@@ -89,6 +131,7 @@ fn parse_args() -> Result<Args, String> {
         vnets: 1,
         vcs: 4,
         classes: None,
+        fault: FaultConfig::default(),
         all_configs: false,
     };
     let mut it = std::env::args().skip(1);
@@ -115,6 +158,22 @@ fn parse_args() -> Result<Args, String> {
                         .parse()
                         .map_err(|e| format!("--classes: {e}"))?,
                 );
+            }
+            "--dead-links" => {
+                args.fault.dead_links = parse_dead_links(&value("--dead-links")?)?;
+            }
+            "--dead-routers" => {
+                args.fault.dead_routers = parse_dead_routers(&value("--dead-routers")?)?;
+            }
+            "--random-dead" => {
+                args.fault.random_dead_links = value("--random-dead")?
+                    .parse()
+                    .map_err(|e| format!("--random-dead: {e}"))?;
+            }
+            "--fault-seed" => {
+                args.fault.fault_seed = value("--fault-seed")?
+                    .parse()
+                    .map_err(|e| format!("--fault-seed: {e}"))?;
             }
             "--all-configs" => args.all_configs = true,
             "-h" | "--help" => {
@@ -143,6 +202,7 @@ fn config_of(args: &Args) -> NetConfig {
     cfg.classes = args.classes.unwrap_or(args.vnets);
     cfg.vcs_per_vnet = args.vcs;
     cfg.with_routing(args.routing)
+        .with_fault(args.fault.clone())
 }
 
 /// The expectation matrix exercised by `--all-configs` (and CI): every
@@ -235,6 +295,10 @@ fn main() {
     };
     let code = if args.all_configs {
         run_all_configs()
+    } else if args.fault.has_permanent() {
+        let report = certify_degraded(&config_of(&args));
+        print!("{}", report.render());
+        i32::from(!report.certified())
     } else {
         let report = certify(&config_of(&args));
         print!("{}", report.render());

@@ -149,6 +149,32 @@ impl FfFlight {
     }
 }
 
+/// Whether the Free-Flow path from `from` to `dest` crosses only live
+/// links. Flights fly the fixed minimal path with no way to detour, so on a
+/// degraded mesh ([`noc_types::FaultConfig`] dead links) the seeker must
+/// skip candidates whose express path would cross a dead link — the packet
+/// stays reachable through the masked adaptive routing, it just cannot be
+/// express-channelled from that router. The seeker side band itself is
+/// modeled fault-free. Always `true` on a healthy mesh, at zero cost.
+pub fn ff_path_is_live(net: &Network, from: NodeId, dest: NodeId, column_first: bool) -> bool {
+    match &net.fault {
+        Some(f) if f.dead.any() => {}
+        _ => return true,
+    }
+    let cols = net.cfg.cols;
+    let mut cur = from.to_coord(cols);
+    for next in minimal_path(cur, dest.to_coord(cols), column_first) {
+        if net
+            .neighbor(cur.to_node(cols), hop_dir(cur, next))
+            .is_none()
+        {
+            return false;
+        }
+        cur = next;
+    }
+    true
+}
+
 /// Minimal path from `from` to `to`, XY (row-first) or YX (column-first)
 /// order; excludes `from`, includes `to`.
 pub fn minimal_path(from: Coord, to: Coord, column_first: bool) -> Vec<Coord> {
@@ -277,6 +303,24 @@ mod tests {
         assert_eq!(path[2], Coord::new(2, 3));
         assert_eq!(path[3], Coord::new(1, 3));
         assert_eq!(*path.last().unwrap(), Coord::new(0, 3));
+    }
+
+    #[test]
+    fn ff_path_liveness_reflects_dead_links() {
+        use noc_types::{Direction, FaultConfig};
+        let cfg = NetConfig::synth(4, 2)
+            .with_fault(FaultConfig::default().with_dead_links(vec![(NodeId(1), Direction::East)]));
+        let net = Network::new(cfg);
+        // XY paths along row 0 cross the dead 1 -> 2 link.
+        assert!(!ff_path_is_live(&net, NodeId(0), NodeId(3), false));
+        assert!(!ff_path_is_live(&net, NodeId(0), NodeId(7), false));
+        // Column-first drops to row 1 before heading east: alive.
+        assert!(ff_path_is_live(&net, NodeId(0), NodeId(7), true));
+        // Paths that never touch the dead link are unaffected.
+        assert!(ff_path_is_live(&net, NodeId(4), NodeId(12), false));
+        // A healthy mesh is always live.
+        let clean = Network::new(NetConfig::synth(4, 2));
+        assert!(ff_path_is_live(&clean, NodeId(0), NodeId(3), false));
     }
 
     #[test]

@@ -285,7 +285,11 @@ impl Mechanism for MSeecMechanism {
                     // routers belong to other engines' turf); the origin
                     // router itself is always searched.
                     let cur = s.pos;
-                    let searchable = cur.to_coord(cols).x == s.col || cur == origin;
+                    // Column-first flights cannot detour around dead links,
+                    // so a router whose express path to the origin is severed
+                    // has no valid candidates (see `flight::ff_path_is_live`).
+                    let searchable = (cur.to_coord(cols).x == s.col || cur == origin)
+                        && crate::flight::ff_path_is_live(net, cur, s.origin, true);
                     let found = if searchable {
                         search_router_for(net, cur, s.origin, s.class, now, s.search_queues)
                     } else {
@@ -384,5 +388,39 @@ impl Mechanism for MSeecMechanism {
                 e.class_cursor = 0;
             }
         }
+    }
+
+    fn debug_state(&self) -> String {
+        let engines: Vec<String> = self
+            .engines
+            .iter()
+            .map(|e| {
+                let st = match &e.state {
+                    EngState::StartClass => "start".to_string(),
+                    EngState::Seeking(s) => format!(
+                        "seeking origin={} class={} pos={} walk_left={}",
+                        s.origin.0,
+                        s.class.0,
+                        s.pos.0,
+                        s.walk.len()
+                    ),
+                    EngState::Flying(f) => {
+                        format!("flying depart={} links={}", f.depart(), f.links().len())
+                    }
+                    EngState::Streaming(_) => "streaming".to_string(),
+                    EngState::DoneStep => "done".to_string(),
+                };
+                format!("eng{}(cursor={}): {st}", e.j, e.class_cursor)
+            })
+            .collect();
+        format!(
+            "mseec phase={} step={} ff_ejections={} empty_seeks={} pending_reserves={} [{}]",
+            self.phase,
+            self.step,
+            self.ff_ejections,
+            self.empty_seeks,
+            self.pending_reserve.iter().filter(|&&b| b).count(),
+            engines.join("; ")
+        )
     }
 }

@@ -193,6 +193,12 @@ impl SeecMechanism {
     fn search_router(&mut self, net: &mut Network, s: &Seeker, now: Cycle) -> Option<Found> {
         let node = self.ring.at(s.pos);
         let r = node.idx();
+        // A flight from here flies the fixed minimal path and cannot detour
+        // around dead links; if that path is severed, nothing at this router
+        // is a valid Free-Flow candidate for this origin.
+        if !crate::flight::ff_path_is_live(net, node, s.origin, self.column_first()) {
+            return None;
+        }
         let wormhole = net.cfg.buffer_org == noc_types::BufferOrg::Wormhole;
         for port in 0..NUM_PORTS {
             for vc in 0..net.routers[r].inputs[port].vcs.len() {
@@ -375,5 +381,28 @@ impl Mechanism for SeecMechanism {
                 }
             }
         }
+    }
+
+    fn debug_state(&self) -> String {
+        let state = match &self.state {
+            State::Advance => "advance".to_string(),
+            State::Seeking(s) => format!(
+                "seeking origin={} class={} pos={} transit_left={} search_left={} queues={}",
+                s.origin.0, s.class.0, s.pos, s.transit_left, s.search_left, s.search_queues
+            ),
+            State::Flying(f) => {
+                format!("flying depart={} links={}", f.depart(), f.links().len())
+            }
+            State::Streaming(_) => "streaming".to_string(),
+        };
+        format!(
+            "seec token=(nic {}, class {}) state=[{state}] ff_ejections={} empty_seeks={} \
+             pending_reserves={}",
+            self.token.nic,
+            self.token.class,
+            self.ff_ejections,
+            self.empty_seeks,
+            self.pending_reserve.iter().filter(|&&b| b).count()
+        )
     }
 }
