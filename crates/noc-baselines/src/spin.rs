@@ -13,7 +13,7 @@
 use noc_sim::network::Network;
 use noc_sim::routing::candidates;
 use noc_sim::Mechanism;
-use noc_types::{Cycle, Direction, NodeId, PortId, SchemeKind};
+use noc_types::{Cycle, Direction, NodeId, PacketId, PortId, SchemeKind};
 
 /// One position in a dependency chain: a blocked packet's VC.
 type Slot = (NodeId, PortId, usize);
@@ -270,6 +270,14 @@ impl Mechanism for SpinMechanism {
                 }
             }
         }
+    }
+
+    fn on_recovery_drain(&mut self, _net: &mut Network, _victim: PacketId) {
+        // The drained victim may sit on the probe's recorded chain. The
+        // validation in `extend_chain` / `do_spin` would catch the ghost
+        // slot and abort, but the walk itself is stolen link bandwidth —
+        // restart from Idle and let the timeout refire if a cycle remains.
+        self.state = ProbeState::Idle;
     }
 }
 

@@ -15,7 +15,7 @@ use crate::runner::Scheme;
 use crate::sweep::{run_sweep, Checkpoint, FaultPoint, SweepOutcome};
 use crate::table::FigTable;
 use noc_traffic::TrafficPattern;
-use noc_types::FaultConfig;
+use noc_types::{FaultConfig, RecoveryConfig};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
@@ -58,6 +58,7 @@ pub fn points(quick: bool) -> Vec<FaultPoint> {
         cycles,
         seed: 0xA11CE,
         fault,
+        recovery: RecoveryConfig::default(),
     };
     let mut out = Vec::new();
     for scheme in transient_schemes() {

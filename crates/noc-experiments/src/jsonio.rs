@@ -1,11 +1,15 @@
-//! Minimal hand-rolled JSON for checkpoint rows (`results/*.ckpt.jsonl`).
+//! Minimal hand-rolled JSON for checkpoint rows (`results/*.ckpt.jsonl`)
+//! and watchdog black-box dumps (`results/blackbox_*.json`).
 //!
 //! The workspace's `serde` is a no-op compatibility marker, so the sweep
-//! runner writes and re-reads its own JSON. Only *flat* objects are needed:
-//! one checkpoint row is a single-line object whose values are strings,
-//! numbers or booleans. The parser is deliberately tolerant — an
-//! unparseable line in a checkpoint (e.g. a torn write from a killed
-//! process) is skipped, never fatal, so a crashed sweep can always resume.
+//! runner writes and re-reads its own JSON. Checkpoint rows are *flat*
+//! single-line objects (strings, numbers, booleans) handled by
+//! [`parse_flat`]; the parser is deliberately tolerant — an unparseable
+//! line in a checkpoint (e.g. a torn write from a killed process) is
+//! skipped, never fatal, so a crashed sweep can always resume. Black-box
+//! dumps are *nested* documents (arrays of per-VC objects, a wait-cycle
+//! witness, …) handled by [`parse_value`], which post-mortem tooling and
+//! the schema tests use to read a dump back.
 
 use std::collections::BTreeMap;
 
@@ -171,6 +175,205 @@ pub fn parse_flat(line: &str) -> Option<BTreeMap<String, String>> {
     }
 }
 
+/// A parsed JSON value, for reading *nested* documents (the watchdog
+/// black-box dumps). Checkpoint rows stay on the flat [`parse_flat`] path.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    Null,
+    Bool(bool),
+    /// All JSON numbers parse as `f64`; the dumps' counters are well within
+    /// the 2^53 exact-integer range.
+    Num(f64),
+    Str(String),
+    Arr(Vec<JsonValue>),
+    Obj(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// Object member lookup; `None` for non-objects and missing keys.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as an exactly-representable unsigned integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            JsonValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, JsonValue::Null)
+    }
+}
+
+/// Nesting cap for [`parse_value`]: deep enough for any dump this
+/// workspace writes (depth 3), shallow enough that a corrupt file cannot
+/// recurse the parser off the stack.
+const MAX_DEPTH: u32 = 64;
+
+/// Parses a complete JSON document (nested objects and arrays allowed)
+/// into a [`JsonValue`]. Returns `None` on malformed or truncated input —
+/// tolerant like [`parse_flat`], never panicking on a torn dump.
+pub fn parse_value(text: &str) -> Option<JsonValue> {
+    let mut p = ValueParser {
+        chars: text.chars().peekable(),
+    };
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.chars.peek().is_some() {
+        return None; // trailing garbage
+    }
+    Some(v)
+}
+
+struct ValueParser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+}
+
+impl ValueParser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.chars.peek(), Some(c) if c.is_whitespace()) {
+            self.chars.next();
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: JsonValue) -> Option<JsonValue> {
+        for expect in word.chars() {
+            if self.chars.next()? != expect {
+                return None;
+            }
+        }
+        Some(v)
+    }
+
+    /// Scans a string starting at the opening quote; same escape set the
+    /// writer produces.
+    fn string(&mut self) -> Option<String> {
+        if self.chars.next()? != '"' {
+            return None;
+        }
+        let mut out = String::new();
+        loop {
+            match self.chars.next()? {
+                '"' => return Some(out),
+                '\\' => match self.chars.next()? {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    '/' => out.push('/'),
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            code = code * 16 + self.chars.next()?.to_digit(16)?;
+                        }
+                        out.push(char::from_u32(code)?);
+                    }
+                    _ => return None,
+                },
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Option<JsonValue> {
+        let mut tok = String::new();
+        while let Some(c) = self.chars.peek() {
+            if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E') {
+                tok.push(*c);
+                self.chars.next();
+            } else {
+                break;
+            }
+        }
+        tok.parse::<f64>().ok().map(JsonValue::Num)
+    }
+
+    fn value(&mut self, depth: u32) -> Option<JsonValue> {
+        if depth > MAX_DEPTH {
+            return None;
+        }
+        self.skip_ws();
+        match *self.chars.peek()? {
+            'n' => self.literal("null", JsonValue::Null),
+            't' => self.literal("true", JsonValue::Bool(true)),
+            'f' => self.literal("false", JsonValue::Bool(false)),
+            '"' => self.string().map(JsonValue::Str),
+            '[' => {
+                self.chars.next();
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.chars.peek() == Some(&']') {
+                    self.chars.next();
+                    return Some(JsonValue::Arr(items));
+                }
+                loop {
+                    items.push(self.value(depth + 1)?);
+                    self.skip_ws();
+                    match self.chars.next()? {
+                        ']' => return Some(JsonValue::Arr(items)),
+                        ',' => {}
+                        _ => return None,
+                    }
+                }
+            }
+            '{' => {
+                self.chars.next();
+                let mut map = BTreeMap::new();
+                self.skip_ws();
+                if self.chars.peek() == Some(&'}') {
+                    self.chars.next();
+                    return Some(JsonValue::Obj(map));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    if self.chars.next()? != ':' {
+                        return None;
+                    }
+                    map.insert(key, self.value(depth + 1)?);
+                    self.skip_ws();
+                    match self.chars.next()? {
+                        '}' => return Some(JsonValue::Obj(map)),
+                        ',' => {}
+                        _ => return None,
+                    }
+                }
+            }
+            _ => self.number(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,6 +410,65 @@ mod tests {
         assert!(parse_flat("{\"a\": {\"b\": 1}}").is_none()); // nested
         assert!(parse_flat("not json at all").is_none());
         assert!(parse_flat("{\"a\"}").is_none());
+    }
+
+    #[test]
+    fn nested_parser_reads_objects_arrays_and_scalars() {
+        let doc = r#"{
+            "schema": "noc-blackbox-v1",
+            "cycle": 4096,
+            "ratio": -1.5e2,
+            "config": {"cols": 4, "rows": 4},
+            "occupancy": [
+                {"node": 0, "routed": false, "head_wait_since": null},
+                {"node": 1, "routed": true, "head_wait_since": 37}
+            ],
+            "wait_cycle": null,
+            "empty_arr": [],
+            "empty_obj": {}
+        }"#;
+        let v = parse_value(doc).expect("must parse");
+        assert_eq!(v.get("schema").unwrap().as_str(), Some("noc-blackbox-v1"));
+        assert_eq!(v.get("cycle").unwrap().as_u64(), Some(4096));
+        assert_eq!(v.get("ratio").unwrap().as_f64(), Some(-150.0));
+        assert_eq!(v.get("ratio").unwrap().as_u64(), None, "negative");
+        let cfg = v.get("config").unwrap();
+        assert_eq!(cfg.get("cols").unwrap().as_u64(), Some(4));
+        let occ = v.get("occupancy").unwrap().as_array().unwrap();
+        assert_eq!(occ.len(), 2);
+        assert_eq!(occ[0].get("routed"), Some(&JsonValue::Bool(false)));
+        assert!(occ[0].get("head_wait_since").unwrap().is_null());
+        assert_eq!(occ[1].get("head_wait_since").unwrap().as_u64(), Some(37));
+        assert!(v.get("wait_cycle").unwrap().is_null());
+        assert_eq!(v.get("empty_arr").unwrap().as_array(), Some(&[][..]));
+        assert_eq!(v.get("empty_obj"), Some(&JsonValue::Obj(BTreeMap::new())));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn nested_parser_rejects_torn_and_malformed_documents() {
+        assert!(parse_value("").is_none());
+        assert!(parse_value("{\"a\": [1, 2").is_none()); // torn mid-array
+        assert!(parse_value("{\"a\": 1} trailing").is_none());
+        assert!(parse_value("{\"a\" 1}").is_none()); // missing colon
+        assert!(parse_value("[1 2]").is_none()); // missing comma
+        assert!(parse_value("{\"a\": nul}").is_none());
+        // Recursion bomb: deeper than MAX_DEPTH must fail, not overflow.
+        let bomb = "[".repeat(1000) + &"]".repeat(1000);
+        assert!(parse_value(&bomb).is_none());
+    }
+
+    #[test]
+    fn nested_parser_roundtrips_flat_writer_output() {
+        let line = JsonObj::new()
+            .str_field("msg", "a\"b\\c\nd")
+            .u64_field("n", 42)
+            .raw_field("flag", "true")
+            .finish();
+        let v = parse_value(&line).expect("writer output must parse");
+        assert_eq!(v.get("msg").unwrap().as_str(), Some("a\"b\\c\nd"));
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(42));
+        assert_eq!(v.get("flag"), Some(&JsonValue::Bool(true)));
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub mod figs {
     pub mod fig14;
     pub mod fig15;
     pub mod footnote4;
+    pub mod recovery_sweep;
     pub mod table1;
     pub mod table3;
 }

@@ -19,13 +19,24 @@ use noc_types::{BaseRouting, NetConfig, RoutingAlgo, SchemeKind};
 pub enum Scheme {
     Xy,
     WestFirst,
+    /// Fully-adaptive minimal routing with **no** escape mechanism — the
+    /// statically deadlockable baseline the paper motivates SEEC with. Only
+    /// runnable behind `allow_unverified` or an armed (and certified)
+    /// runtime recovery channel.
+    Adaptive,
     Tfc,
-    EscapeVc { normal: BaseRouting },
+    EscapeVc {
+        normal: BaseRouting,
+    },
     Spin,
     Swap,
     Drain,
-    Seec { routing: BaseRouting },
-    MSeec { routing: BaseRouting },
+    Seec {
+        routing: BaseRouting,
+    },
+    MSeec {
+        routing: BaseRouting,
+    },
     MinBd,
     Chipper,
 }
@@ -67,7 +78,7 @@ impl Scheme {
 
     pub fn kind(self) -> SchemeKind {
         match self {
-            Scheme::Xy | Scheme::WestFirst => SchemeKind::None,
+            Scheme::Xy | Scheme::WestFirst | Scheme::Adaptive => SchemeKind::None,
             Scheme::Tfc => SchemeKind::Tfc,
             Scheme::EscapeVc { .. } => SchemeKind::EscapeVc,
             Scheme::Spin => SchemeKind::Spin,
@@ -85,6 +96,7 @@ impl Scheme {
         match self {
             Scheme::Xy => "XY".into(),
             Scheme::WestFirst => "WF".into(),
+            Scheme::Adaptive => "ADAPT".into(),
             Scheme::Tfc => "TFC".into(),
             Scheme::EscapeVc { normal } => match normal {
                 BaseRouting::ObliviousMinimal => "EscVC-obl".into(),
@@ -119,7 +131,7 @@ impl Scheme {
                 cfg.with_routing(RoutingAlgo::Uniform(BaseRouting::WestFirst))
             }
             Scheme::EscapeVc { normal } => escape_vc_config(cfg, normal),
-            Scheme::Spin | Scheme::Swap | Scheme::Drain => {
+            Scheme::Adaptive | Scheme::Spin | Scheme::Swap | Scheme::Drain => {
                 cfg.with_routing(RoutingAlgo::Uniform(BaseRouting::AdaptiveMinimal))
             }
             Scheme::Seec { routing } | Scheme::MSeec { routing } => {
@@ -371,6 +383,7 @@ mod tests {
     fn labels_are_unique() {
         let mut labels: Vec<String> = Scheme::HEADLINE.iter().map(|s| s.label()).collect();
         labels.push(Scheme::mseec().label());
+        labels.push(Scheme::Adaptive.label());
         labels.push(Scheme::MinBd.label());
         labels.push(Scheme::Chipper.label());
         let n = labels.len();

@@ -24,7 +24,7 @@ use crate::runner::Scheme;
 use noc_sim::{watchdog, Sim};
 use noc_traffic::{SyntheticWorkload, TrafficPattern};
 use noc_types::fault::fnv1a;
-use noc_types::{FaultConfig, NetConfig, SchemeKind};
+use noc_types::{FaultConfig, NetConfig, RecoveryConfig, SchemeKind};
 use rayon::prelude::*;
 use std::collections::{BTreeMap, HashSet};
 use std::io::Write as _;
@@ -51,6 +51,11 @@ pub struct FaultPoint {
     pub cycles: u64,
     pub seed: u64,
     pub fault: FaultConfig,
+    /// Runtime recovery arming for this point. Disabled by default; when
+    /// armed, the point may run scenarios the static certifier rejects —
+    /// provided the recovery channel itself certifies (see
+    /// [`noc_verify::certify_recovery`]).
+    pub recovery: RecoveryConfig,
 }
 
 impl FaultPoint {
@@ -60,6 +65,7 @@ impl FaultPoint {
             .configure(NetConfig::synth(self.k, self.vcs))
             .with_seed(self.seed)
             .with_fault(self.fault.clone())
+            .with_recovery(self.recovery.clone())
     }
 
     /// Short human identifier, also the match target for
@@ -224,10 +230,11 @@ fn execute_point(p: &FaultPoint, dump_dir: &Path) -> PointRun {
             };
         }
         V::Deadlockable { .. }
-            if matches!(
-                p.scheme.kind(),
-                SchemeKind::None | SchemeKind::EscapeVc | SchemeKind::Tfc
-            ) =>
+            if !p.recovery.enabled
+                && matches!(
+                    p.scheme.kind(),
+                    SchemeKind::None | SchemeKind::EscapeVc | SchemeKind::Tfc
+                ) =>
         {
             return PointRun::Skipped {
                 status: "uncertified",
@@ -237,6 +244,25 @@ fn execute_point(p: &FaultPoint, dump_dir: &Path) -> PointRun {
             };
         }
         _ => {}
+    }
+
+    // An armed recovery channel substitutes for the static certificate
+    // above, but only if it certifies itself: the drain channel must be
+    // acyclic/complete and its threshold must undercut the watchdog panic.
+    if p.recovery.any() {
+        let rec = noc_verify::certify_recovery(&cfg);
+        if !rec.certified() {
+            let rendered = rec.render();
+            let detail = rendered
+                .lines()
+                .find(|l| l.starts_with("recovery:"))
+                .unwrap_or("recovery channel refused")
+                .to_string();
+            return PointRun::Skipped {
+                status: "recovery-uncertified",
+                reason: detail,
+            };
+        }
     }
 
     let wl = SyntheticWorkload::new(p.pattern, p.rate, cfg.cols, cfg.rows, cfg.warmup, p.seed);
@@ -289,12 +315,15 @@ fn row_base(p: &FaultPoint, status: &str) -> JsonObj {
             p.fault.dead_links.len() as u64 + u64::from(p.fault.random_dead_links),
         )
         .u64_field("fault_seed", p.fault.fault_seed)
+        .str_field("recovery", &p.recovery.canonical())
         .u64_field("cycles", p.cycles)
         .u64_field("seed", p.seed)
         .str_field("status", status)
 }
 
-/// Renders the checkpoint row for a completed simulation.
+/// Renders the checkpoint row for a completed simulation. A run that only
+/// finished because the drain channel rescued wedged packets is reported as
+/// `"recovered"`, not `"ok"` — same data, different confidence.
 fn render_done(p: &FaultPoint, s: &noc_sim::Stats) -> String {
     let nodes = usize::from(p.k) * usize::from(p.k);
     let retx_overhead = if s.link_flit_hops > 0 {
@@ -302,8 +331,17 @@ fn render_done(p: &FaultPoint, s: &noc_sim::Stats) -> String {
     } else {
         0.0
     };
-    row_base(p, "ok")
+    let status = if s.drain_recoveries > 0 {
+        "recovered"
+    } else {
+        "ok"
+    };
+    let pct = |q: f64| s.percentile_latency_all(q).unwrap_or(0);
+    row_base(p, status)
         .f64_field("avg_latency", s.avg_total_latency(), 3)
+        .u64_field("p50_latency", pct(50.0))
+        .u64_field("p95_latency", pct(95.0))
+        .u64_field("p99_latency", pct(99.0))
         .f64_field("throughput", s.throughput(nodes), 6)
         .u64_field("ejected_packets", s.ejected_packets)
         .u64_field("corrupted_flits", s.corrupted_flits)
@@ -311,6 +349,12 @@ fn render_done(p: &FaultPoint, s: &noc_sim::Stats) -> String {
         .u64_field("link_acks", s.link_acks)
         .u64_field("link_nacks", s.link_nacks)
         .u64_field("recovery_events", s.recovery_events)
+        .u64_field("drain_recoveries", s.drain_recoveries)
+        .u64_field("recovery_victim_hops", s.recovery_victim_hops)
+        .u64_field("recovery_cycles_lost", s.recovery_cycles_lost)
+        .u64_field("e2e_retransmits", s.e2e_retransmits)
+        .u64_field("e2e_duplicates_dropped", s.e2e_duplicates_dropped)
+        .u64_field("e2e_abandoned", s.e2e_abandoned)
         .f64_field("retx_overhead", retx_overhead, 6)
         .finish()
 }
@@ -322,14 +366,24 @@ fn render_status(p: &FaultPoint, status: &str, reason: &str) -> String {
 
 /// Executes one point with panic isolation: a first panic is retried once
 /// (to shed one-off environmental noise), a second one becomes a
-/// `"status": "failed"` row. Returns the rendered row and whether it failed.
+/// `"status": "failed"` row. When the watchdog escalation left a black-box
+/// dump for this point, the failed row carries its path under `"blackbox"`,
+/// so post-mortem tooling can go from checkpoint straight to evidence.
+/// Returns the rendered row and whether it failed.
 fn run_isolated(p: &FaultPoint, dump_dir: &Path) -> (String, bool) {
     let attempt = || rayon::catch_panic(|| execute_point(p, dump_dir));
     let outcome = attempt().or_else(|_first| attempt());
     match outcome {
         Ok(PointRun::Done(stats)) => (render_done(p, &stats), false),
         Ok(PointRun::Skipped { status, reason }) => (render_status(p, status, &reason), false),
-        Err(msg) => (render_status(p, "failed", &msg), true),
+        Err(msg) => {
+            let mut row = row_base(p, "failed").str_field("reason", &msg);
+            let dump = dump_dir.join(format!("blackbox_{}.json", p.key()));
+            if dump.is_file() {
+                row = row.str_field("blackbox", &dump.display().to_string());
+            }
+            (row.finish(), true)
+        }
     }
 }
 
@@ -396,8 +450,13 @@ mod tests {
             cycles: 3_000,
             seed: 0xA11CE,
             fault: FaultConfig::transient(transient),
+            recovery: RecoveryConfig::default(),
         }
     }
+
+    /// `NOC_SWEEP_PANIC_KEY` is process-global; tests that set it must not
+    /// overlap or they would observe each other's needle.
+    static PANIC_KEY_LOCK: Mutex<()> = Mutex::new(());
 
     fn tmpdir(tag: &str) -> PathBuf {
         let d = std::env::temp_dir().join(format!("seec_sweep_{tag}_{}", std::process::id()));
@@ -415,6 +474,10 @@ mod tests {
         let mut b = a.clone();
         b.seed ^= 1;
         assert_ne!(a.key(), b.key());
+        // Arming recovery changes the design point, hence the key.
+        let mut c = a.clone();
+        c.recovery = RecoveryConfig::drain();
+        assert_ne!(a.key(), c.key());
     }
 
     #[test]
@@ -463,6 +526,54 @@ mod tests {
             r["retransmitted_flits"].parse::<u64>().unwrap() > 0,
             "5% corruption must force retransmissions: {r:?}"
         );
+        // Tail-latency and recovery columns are always present; a healthy
+        // run has nonzero percentiles and zero recoveries.
+        let p50 = r["p50_latency"].parse::<u64>().unwrap();
+        let p99 = r["p99_latency"].parse::<u64>().unwrap();
+        assert!(p50 > 0 && p99 >= p50, "p50={p50} p99={p99}");
+        assert_eq!(r["drain_recoveries"], "0");
+        assert_eq!(r["e2e_retransmits"], "0");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn misarmed_recovery_is_skipped_with_a_reason() {
+        // A drain threshold at/above the watchdog's panic threshold can
+        // never fire before the runner escalates — the recovery certifier
+        // refuses it and the sweep records a status row instead of running.
+        let dir = tmpdir("recovery_uncert");
+        let ckpt = Checkpoint::open(&dir.join("r.ckpt.jsonl")).unwrap();
+        let mut p = point(Scheme::seec(), 0.0);
+        p.recovery = RecoveryConfig::drain().with_stuck_threshold(1_000_000);
+        let o = run_sweep(&[p], &ckpt, None, &dir);
+        assert_eq!(o.failed, 0);
+        let rows = ckpt.rows();
+        assert_eq!(rows[0]["status"], "recovery-uncertified");
+        assert!(rows[0]["reason"].contains("recovery"), "{rows:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_rows_point_at_their_blackbox_dump() {
+        // Pre-plant a dump file under the point's deterministic name; an
+        // injected panic must then produce a failed row referencing it.
+        let _guard = PANIC_KEY_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let dir = tmpdir("blackbox_link");
+        let ckpt_path = dir.join("b.ckpt.jsonl");
+        let mut bad = point(Scheme::seec(), 0.0);
+        bad.series = "blackbox-link-test";
+        let dump = dir.join(format!("blackbox_{}.json", bad.key()));
+        std::fs::write(&dump, "{\"schema\": \"noc-blackbox-v1\"}").unwrap();
+        std::env::set_var("NOC_SWEEP_PANIC_KEY", "blackbox-link-test");
+        let ckpt = Checkpoint::open(&ckpt_path).unwrap();
+        let o = run_sweep(&[bad], &ckpt, None, &dir);
+        std::env::remove_var("NOC_SWEEP_PANIC_KEY");
+        assert_eq!(o.failed, 1);
+        let rows = ckpt.rows();
+        assert_eq!(rows[0]["status"], "failed");
+        assert_eq!(rows[0]["blackbox"], dump.display().to_string());
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -499,6 +610,9 @@ mod tests {
     fn panicking_point_is_recorded_as_failed_and_not_rerun() {
         // The injection hook is env-driven; isolate it in a child test by
         // matching a series tag no other test uses.
+        let _guard = PANIC_KEY_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let dir = tmpdir("panic");
         let ckpt_path = dir.join("p.ckpt.jsonl");
         let mut bad = point(Scheme::seec(), 0.0);

@@ -1,0 +1,163 @@
+//! Watchdog black-box schema tests.
+//!
+//! A seeded forced deadlock (the recovery sweep's ADAPT wedge point) is
+//! driven until the watchdog trips, the dump is captured, and then:
+//!
+//! * the nested JSON reader must parse it and find every field of the
+//!   `noc-blackbox-v1` schema (DESIGN.md §9) with the right shape;
+//! * writing it to disk and reading it back must round-trip;
+//! * the dump must be byte-identical to the golden copy in
+//!   `tests/golden/blackbox_wedge.json` — the sim is deterministic, so any
+//!   diff is either a schema change (regenerate with
+//!   `NOC_REGEN_GOLDEN=1 cargo test -p noc-experiments --test
+//!   blackbox_schema`) or a determinism regression (fix the sim).
+
+use noc_experiments::jsonio::{parse_value, JsonValue};
+use noc_experiments::Scheme;
+use noc_sim::{watchdog, Sim};
+use noc_traffic::{SyntheticWorkload, TrafficPattern};
+use noc_types::NetConfig;
+use std::path::PathBuf;
+
+/// Runs the seeded wedge scenario to a watchdog trip and returns the
+/// captured black box.
+fn wedged_blackbox() -> watchdog::BlackBox {
+    let scheme = Scheme::Adaptive;
+    let cfg = scheme.configure(NetConfig::synth(4, 1)).with_seed(0xA11CE);
+    let wl = SyntheticWorkload::new(
+        TrafficPattern::UniformRandom,
+        0.30,
+        cfg.cols,
+        cfg.rows,
+        cfg.warmup,
+        0xA11CE,
+    );
+    let mech = scheme.mechanism(&cfg);
+    let mut sim = Sim::new(cfg, Box::new(wl), mech);
+    sim.net.enable_flight_recorder(64);
+    for _ in 0..40 {
+        sim.run(256);
+        if watchdog::looks_stuck(&sim.net, watchdog::DEFAULT_STUCK_THRESHOLD) {
+            return watchdog::BlackBox::capture(&sim.net, "ADAPT", &sim.mech.debug_state());
+        }
+    }
+    panic!("seeded ADAPT wedge scenario failed to trip the watchdog in 10240 cycles");
+}
+
+fn u64_of(v: &JsonValue, key: &str) -> u64 {
+    v.get(key)
+        .and_then(JsonValue::as_u64)
+        .unwrap_or_else(|| panic!("field '{key}' missing or not an integer"))
+}
+
+#[test]
+fn forced_deadlock_dump_matches_the_v1_schema() {
+    let bb = wedged_blackbox();
+    let v = parse_value(bb.to_json()).expect("black-box dump must parse as nested JSON");
+
+    assert_eq!(
+        v.get("schema").and_then(JsonValue::as_str),
+        Some("noc-blackbox-v1")
+    );
+    let cycle = u64_of(&v, "cycle");
+    let last_progress = u64_of(&v, "last_progress");
+    let quiescent = u64_of(&v, "quiescent_for");
+    assert!(cycle > last_progress);
+    assert!(quiescent >= watchdog::DEFAULT_STUCK_THRESHOLD);
+    assert_eq!(cycle - last_progress, quiescent);
+
+    let cfg = v.get("config").expect("config object");
+    assert_eq!(u64_of(cfg, "cols"), 4);
+    assert_eq!(u64_of(cfg, "rows"), 4);
+    assert_eq!(cfg.get("scheme").and_then(JsonValue::as_str), Some("ADAPT"));
+    assert_eq!(
+        cfg.get("digest").and_then(JsonValue::as_str).map(str::len),
+        Some(16),
+        "digest is 16 hex chars"
+    );
+    assert!(cfg.get("fault").and_then(JsonValue::as_str).is_some());
+
+    assert!(u64_of(&v, "flits_in_network") > 0, "a wedge holds flits");
+
+    let occupancy = v
+        .get("occupancy")
+        .and_then(JsonValue::as_array)
+        .expect("occupancy array");
+    assert!(!occupancy.is_empty());
+    for slot in occupancy {
+        for key in ["node", "port", "vc", "len", "packet"] {
+            assert!(slot.get(key).is_some(), "occupancy entry missing '{key}'");
+        }
+    }
+
+    let blocked = v
+        .get("blocked_heads")
+        .and_then(JsonValue::as_array)
+        .expect("blocked_heads array");
+    assert!(!blocked.is_empty(), "a wedged network has blocked heads");
+
+    // A genuine deadlock carries its wait-for cycle witness: a closed chain
+    // of at least two VCs.
+    let wait = v
+        .get("wait_cycle")
+        .and_then(JsonValue::as_array)
+        .expect("wedge must yield a wait-cycle witness, not null");
+    assert!(wait.len() >= 2);
+    for w in wait {
+        for key in ["node", "port", "vc"] {
+            assert!(w.get(key).is_some(), "wait_cycle entry missing '{key}'");
+        }
+    }
+
+    assert!(v.get("mechanism").and_then(JsonValue::as_str).is_some());
+    assert!(
+        v.get("fault_counters").unwrap().is_null(),
+        "no fault layer in this scenario"
+    );
+    let moves = v
+        .get("recent_moves")
+        .and_then(JsonValue::as_array)
+        .expect("recent_moves array");
+    assert!(!moves.is_empty(), "flight recorder was enabled");
+}
+
+#[test]
+fn dump_roundtrips_through_disk() {
+    let bb = wedged_blackbox();
+    let dir = std::env::temp_dir().join(format!("seec_bb_schema_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    // `BlackBox::write` creates missing parents itself — point it at a
+    // nested path that does not exist yet, like the sweep's dump dir.
+    let path = dir.join("nested").join("bb.json");
+    bb.write(&path).expect("write must create parent dirs");
+    let reread = std::fs::read_to_string(&path).unwrap();
+    assert_eq!(reread, bb.to_json());
+    assert_eq!(parse_value(&reread), parse_value(bb.to_json()));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn dump_is_byte_identical_to_the_golden_file() {
+    let json = wedged_blackbox().to_json().to_string();
+    let golden = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("blackbox_wedge.json");
+    if std::env::var_os("NOC_REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden.parent().unwrap()).unwrap();
+        std::fs::write(&golden, &json).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&golden).unwrap_or_else(|e| {
+        panic!(
+            "golden file {} unreadable ({e}); regenerate with NOC_REGEN_GOLDEN=1",
+            golden.display()
+        )
+    });
+    assert_eq!(
+        json, want,
+        "black-box dump drifted from the golden copy — schema change or \
+         determinism regression; if intentional, regenerate with \
+         NOC_REGEN_GOLDEN=1 cargo test -p noc-experiments --test blackbox_schema"
+    );
+}

@@ -47,6 +47,26 @@ pub struct ProtocolConfig {
     pub wb_prob: f64,
     /// Number of "hot" home nodes the skewed fraction of requests target.
     pub hot_homes: usize,
+    /// Livelock guard: consumption refusals a single Request/WbData message
+    /// endures before the directory stops bouncing it. A refused message
+    /// parks in its ejection VC and retries every cycle; past this bound a
+    /// Request is consumed and nacked back to the requestor, a `WbData` is
+    /// force-accepted (serviced from a reserved overflow slot). `0`
+    /// disables both guards (a starving message retries forever — the
+    /// pre-guard behaviour).
+    pub nack_after: u32,
+    /// Livelock guard: NACK-and-retry rounds a transaction endures before
+    /// the requestor abandons it (frees the MSHR and lets the core re-issue
+    /// fresh).
+    pub max_retries: u32,
+    /// Base backoff (cycles) before a nacked request re-issues; scaled
+    /// linearly by the retry count so colliding requestors spread out.
+    pub retry_backoff: Cycle,
+    /// Anti-starvation rotation period for the hot home set: every this many
+    /// cycles the set shifts by one node, so no directory slice absorbs the
+    /// skewed traffic forever. `0` keeps the hot set fixed (the pre-guard
+    /// behaviour).
+    pub hot_rotation_period: Cycle,
 }
 
 impl Default for ProtocolConfig {
@@ -57,6 +77,10 @@ impl Default for ProtocolConfig {
             txns_per_core: None,
             wb_prob: 0.2,
             hot_homes: 4,
+            nack_after: 8,
+            max_retries: 8,
+            retry_backoff: 64,
+            hot_rotation_period: 0,
         }
     }
 }
@@ -64,18 +88,38 @@ impl Default for ProtocolConfig {
 /// What a packet means to the protocol.
 #[derive(Clone, Copy, Debug)]
 enum Msg {
-    Request { txn: u64 },
-    Forward { txn: u64 },
-    Invalidate { txn: u64 },
-    Data { txn: u64 },
-    InvAck { txn: u64 },
-    TransferAck { txn: u64 },
-    Unblock { _txn: u64 },
+    Request {
+        txn: u64,
+    },
+    Forward {
+        txn: u64,
+    },
+    Invalidate {
+        txn: u64,
+    },
+    Data {
+        txn: u64,
+    },
+    InvAck {
+        txn: u64,
+    },
+    TransferAck {
+        txn: u64,
+    },
+    Unblock {
+        _txn: u64,
+    },
     WbData,
     WbAck,
+    /// Directory → requestor: the request bounced off a full TBE pool past
+    /// the refusal bound; retry (or abandon) at the requestor. ACK class —
+    /// always consumable, so the NACK itself can never starve.
+    Nack {
+        txn: u64,
+    },
 }
 
-/// An outstanding transaction.
+/// An outstanding transaction (one MSHR entry).
 #[derive(Clone, Copy, Debug)]
 struct Txn {
     requestor: NodeId,
@@ -84,6 +128,11 @@ struct Txn {
     acks_needed: u32,
     acks_got: u32,
     got_data: bool,
+    /// Cycle the MSHR was allocated (age tracking for the livelock guards).
+    issued_at: Cycle,
+    /// NACK-and-retry rounds so far; past `ProtocolConfig::max_retries` the
+    /// requestor abandons.
+    retries: u32,
 }
 
 /// Per-core state.
@@ -118,9 +167,20 @@ pub struct ProtocolWorkload {
     dirs: Vec<Dir>,
     /// Messages to inject next `generate` (follow-ups and loopback).
     outbox: VecDeque<(NodeId, NodeId, MessageClass, u8, Msg)>,
+    /// Messages held back until a release cycle (NACK retry backoff); moved
+    /// into the outbox by `generate` once due, in queue order.
+    delayed: VecDeque<(Cycle, NodeId, NodeId, MessageClass, u8, Msg)>,
+    /// Consumption refusals per parked message (livelock guard input).
+    refusal_counts: HashMap<noc_types::PacketId, u32>,
     /// Diagnostics.
     pub txns_completed: u64,
     pub consumption_refusals: u64,
+    /// Requests bounced back to their requestor past the refusal bound.
+    pub nacks_sent: u64,
+    /// Transactions abandoned after exhausting their NACK retry budget.
+    pub txns_abandoned: u64,
+    /// Writebacks force-accepted past the refusal bound.
+    pub wb_forced_accepts: u64,
 }
 
 impl ProtocolWorkload {
@@ -152,9 +212,23 @@ impl ProtocolWorkload {
             ],
             dirs: vec![Dir { tbes_in_use: 0 }; nodes as usize],
             outbox: VecDeque::new(),
+            delayed: VecDeque::new(),
+            refusal_counts: HashMap::new(),
             txns_completed: 0,
             consumption_refusals: 0,
+            nacks_sent: 0,
+            txns_abandoned: 0,
+            wb_forced_accepts: 0,
         }
+    }
+
+    /// Age (cycles) of the oldest outstanding transaction, if any — the
+    /// per-MSHR starvation signal surfaced to harnesses and tests.
+    pub fn oldest_txn_age(&self, now: Cycle) -> Option<Cycle> {
+        self.txns
+            .values()
+            .map(|t| now.saturating_sub(t.issued_at))
+            .max()
     }
 
     /// Exponential think time with the profile's mean.
@@ -165,13 +239,20 @@ impl ProtocolWorkload {
 
     /// Picks a home directory, skewed toward the hot set; never the
     /// requestor itself (self-homed lines are serviced without the network).
-    fn pick_home(&mut self, requestor: NodeId) -> NodeId {
+    /// With `hot_rotation_period` set, the hot set's base node advances one
+    /// position per period so the skewed load sweeps the mesh instead of
+    /// starving a fixed set of directories.
+    fn pick_home(&mut self, requestor: NodeId, cycle: Cycle) -> NodeId {
         let h = if self.rng.gen_bool(self.profile.home_skew) {
-            NodeId(
-                self.rng
-                    .gen_range(0..self.pcfg.hot_homes.min(self.nodes as usize))
-                    as u16,
-            )
+            let hot = self
+                .rng
+                .gen_range(0..self.pcfg.hot_homes.min(self.nodes as usize))
+                as u16;
+            let base = match self.pcfg.hot_rotation_period {
+                0 => 0,
+                period => ((cycle / period) % u64::from(self.nodes)) as u16,
+            };
+            NodeId((base + hot) % self.nodes)
         } else {
             NodeId(self.rng.gen_range(0..self.nodes))
         };
@@ -251,6 +332,18 @@ impl ProtocolWorkload {
 
 impl Workload for ProtocolWorkload {
     fn generate(&mut self, cycle: Cycle, inject: &mut dyn FnMut(NodeId, Packet)) {
+        // Release backed-off retries whose time has come (in queue order).
+        for _ in 0..self.delayed.len() {
+            let Some(entry) = self.delayed.pop_front() else {
+                break;
+            };
+            if cycle >= entry.0 {
+                let (_, from, to, class, len, msg) = entry;
+                self.outbox.push_back((from, to, class, len, msg));
+            } else {
+                self.delayed.push_back(entry);
+            }
+        }
         // Drain follow-up messages first (loopback-safe: same-node messages
         // are handled synchronously below).
         let measured = cycle >= self.warmup;
@@ -300,7 +393,7 @@ impl Workload for ProtocolWorkload {
                 continue;
             }
             let requestor = NodeId(i as u16);
-            let home = self.pick_home(requestor);
+            let home = self.pick_home(requestor, cycle);
             debug_assert_ne!(home, requestor);
             let is_write = !self.rng.gen_bool(self.profile.read_frac);
             let txn_id = self.next_txn;
@@ -314,6 +407,8 @@ impl Workload for ProtocolWorkload {
                     acks_needed: 0,
                     acks_got: 0,
                     got_data: false,
+                    issued_at: cycle,
+                    retries: 0,
                 },
             );
             self.cores[i].mshrs_in_use += 1;
@@ -325,7 +420,7 @@ impl Workload for ProtocolWorkload {
         }
     }
 
-    fn deliver(&mut self, _cycle: Cycle, p: &DeliveredPacket) -> bool {
+    fn deliver(&mut self, cycle: Cycle, p: &DeliveredPacket) -> bool {
         let Some(&msg) = self.meta.get(&p.id) else {
             debug_assert!(false, "unknown packet delivered");
             return true;
@@ -336,9 +431,25 @@ impl Workload for ProtocolWorkload {
                 let dir = &mut self.dirs[p.dest.idx()];
                 if dir.tbes_in_use >= self.pcfg.tbes {
                     self.consumption_refusals += 1;
+                    // Livelock guard: a refused request parks in its
+                    // ejection VC and retries every cycle; past the bound
+                    // the directory consumes it and bounces a NACK instead
+                    // of letting it starve (and hold the VC) forever.
+                    if self.pcfg.nack_after > 0 {
+                        let n = self.refusal_counts.entry(p.id).or_insert(0);
+                        *n += 1;
+                        if *n >= self.pcfg.nack_after {
+                            self.refusal_counts.remove(&p.id);
+                            self.meta.remove(&p.id);
+                            self.nacks_sent += 1;
+                            self.queue_msg(p.dest, p.src, ACK, 1, Msg::Nack { txn });
+                            return true;
+                        }
+                    }
                     return false;
                 }
                 dir.tbes_in_use += 1;
+                self.refusal_counts.remove(&p.id);
                 self.meta.remove(&p.id);
                 self.dir_accept_request(txn);
                 true
@@ -395,8 +506,20 @@ impl Workload for ProtocolWorkload {
                 let dir = &mut self.dirs[p.dest.idx()];
                 if dir.tbes_in_use >= self.pcfg.tbes {
                     self.consumption_refusals += 1;
-                    return false;
+                    // Livelock guard: dirty data has nowhere else to go (no
+                    // NACK path — the line must land), so past the bound the
+                    // directory services it from a reserved overflow slot.
+                    let forced = self.pcfg.nack_after > 0 && {
+                        let n = self.refusal_counts.entry(p.id).or_insert(0);
+                        *n += 1;
+                        *n >= self.pcfg.nack_after
+                    };
+                    if !forced {
+                        return false;
+                    }
+                    self.wb_forced_accepts += 1;
                 }
+                self.refusal_counts.remove(&p.id);
                 self.meta.remove(&p.id);
                 // WB is serviced without holding the TBE across the network
                 // round trip: ack straight back.
@@ -405,6 +528,34 @@ impl Workload for ProtocolWorkload {
             }
             Msg::WbAck => {
                 self.meta.remove(&p.id);
+                true
+            }
+            Msg::Nack { txn } => {
+                self.meta.remove(&p.id);
+                if let Some(t) = self.txns.get_mut(&txn) {
+                    t.retries += 1;
+                }
+                if let Some(&t) = self.txns.get(&txn) {
+                    if t.retries > self.pcfg.max_retries {
+                        // Retry budget exhausted: free the MSHR and let the
+                        // core issue a fresh transaction (new home draw)
+                        // instead of hammering the same saturated directory.
+                        self.txns.remove(&txn);
+                        self.cores[t.requestor.idx()].mshrs_in_use -= 1;
+                        self.txns_abandoned += 1;
+                    } else {
+                        // Linear backoff spreads colliding requestors out.
+                        let delay = self.pcfg.retry_backoff * Cycle::from(t.retries);
+                        self.delayed.push_back((
+                            cycle + delay,
+                            t.requestor,
+                            t.home,
+                            REQ,
+                            1,
+                            Msg::Request { txn },
+                        ));
+                    }
+                }
                 true
             }
         }
@@ -524,10 +675,157 @@ mod tests {
         let mut w = workload(1.0);
         for i in 0..16u16 {
             for _ in 0..200 {
-                let h = w.pick_home(NodeId(i));
+                let h = w.pick_home(NodeId(i), 0);
                 assert_ne!(h, NodeId(i));
                 assert!(h.0 < 16);
             }
         }
+    }
+
+    /// Delivers `victim` against a full TBE pool `n` times, returning the
+    /// result of the last attempt.
+    fn bounce(w: &mut ProtocolWorkload, victim: &Packet, n: u32) -> bool {
+        let d = DeliveredPacket {
+            id: victim.id,
+            src: victim.src,
+            dest: victim.dest,
+            class: victim.class,
+            len_flits: victim.len_flits,
+            birth: 0,
+            inject: 1,
+            eject: 9,
+            hops: 2,
+            ff_upgrade: None,
+            measured: true,
+        };
+        let mut last = true;
+        for _ in 0..n {
+            last = w.deliver(9, &d);
+        }
+        last
+    }
+
+    #[test]
+    fn starving_request_is_nacked_past_the_bound() {
+        let mut w = workload(1.0);
+        let mut injected = Vec::new();
+        w.generate(0, &mut |n, p| injected.push((n, p)));
+        let victim = injected[0].1;
+        w.dirs[victim.dest.idx()].tbes_in_use = w.pcfg.tbes;
+        let bound = w.pcfg.nack_after;
+        // The first nack_after - 1 refusals bounce as before...
+        assert!(!bounce(&mut w, &victim, bound - 1));
+        assert_eq!(w.nacks_sent, 0);
+        // ...then the directory consumes the request and NACKs it back.
+        assert!(bounce(&mut w, &victim, 1));
+        assert_eq!(w.nacks_sent, 1);
+        assert!(w
+            .outbox
+            .iter()
+            .any(|(from, to, class, _, m)| *from == victim.dest
+                && *to == victim.src
+                && *class == ACK
+                && matches!(m, Msg::Nack { .. })));
+    }
+
+    #[test]
+    fn nacked_request_retries_with_backoff_then_abandons() {
+        let mut w = workload(1e6);
+        let mut injected = Vec::new();
+        w.generate(0, &mut |n, p| injected.push((n, p)));
+        let victim = injected[0].1;
+        let Msg::Request { txn } = w.meta[&victim.id] else {
+            panic!("request packet carries non-request meta");
+        };
+        let requestor = victim.src;
+        assert_eq!(w.cores[requestor.idx()].mshrs_in_use, 1);
+        // Deliver NACKs until one past the retry budget: each retry is
+        // scheduled with backoff, the last one abandons the transaction.
+        let max = w.pcfg.max_retries;
+        for round in 1..=max + 1 {
+            let nack = w.factory.make(victim.dest, requestor, ACK, 1, 10, true);
+            w.meta.insert(nack.id, Msg::Nack { txn });
+            let d = DeliveredPacket {
+                id: nack.id,
+                src: nack.src,
+                dest: nack.dest,
+                class: ACK,
+                len_flits: 1,
+                birth: 10,
+                inject: 11,
+                eject: 20,
+                hops: 2,
+                ff_upgrade: None,
+                measured: true,
+            };
+            assert!(w.deliver(20, &d), "NACKs must always be consumable");
+            if round <= max {
+                assert_eq!(w.delayed.len() as u32, round);
+                let (release, .., last) = *w.delayed.back().unwrap();
+                assert_eq!(release, 20 + w.pcfg.retry_backoff * u64::from(round));
+                assert!(matches!(last, Msg::Request { .. }));
+            }
+        }
+        assert_eq!(w.txns_abandoned, 1);
+        assert_eq!(w.cores[requestor.idx()].mshrs_in_use, 0);
+        assert!(!w.txns.contains_key(&txn), "abandoned txn must free state");
+    }
+
+    #[test]
+    fn starving_writeback_is_force_accepted() {
+        let mut w = workload(1.0);
+        let wb = w.factory.make(NodeId(3), NodeId(7), WB, 5, 0, true);
+        w.meta.insert(wb.id, Msg::WbData);
+        w.dirs[7].tbes_in_use = w.pcfg.tbes;
+        let bound = w.pcfg.nack_after;
+        assert!(!bounce(&mut w, &wb, bound - 1));
+        assert!(bounce(&mut w, &wb, 1), "WB must land past the bound");
+        assert_eq!(w.wb_forced_accepts, 1);
+        assert!(w
+            .outbox
+            .iter()
+            .any(|(_, to, _, _, m)| *to == NodeId(3) && matches!(m, Msg::WbAck)));
+    }
+
+    #[test]
+    fn guards_disabled_keep_refusing_forever() {
+        let mut w = workload(1.0);
+        w.pcfg.nack_after = 0;
+        let mut injected = Vec::new();
+        w.generate(0, &mut |n, p| injected.push((n, p)));
+        let victim = injected[0].1;
+        w.dirs[victim.dest.idx()].tbes_in_use = w.pcfg.tbes;
+        assert!(!bounce(&mut w, &victim, 100));
+        assert_eq!(w.nacks_sent, 0);
+    }
+
+    #[test]
+    fn hot_home_set_rotates_with_the_period() {
+        let mut prof = *apps::by_name("canneal").unwrap();
+        prof.think_time = 1.0;
+        prof.home_skew = 1.0; // every request targets the hot set
+        let pcfg = ProtocolConfig {
+            hot_homes: 2,
+            hot_rotation_period: 100,
+            ..ProtocolConfig::default()
+        };
+        let mut w = ProtocolWorkload::new(prof, pcfg, 16, 0, 7);
+        for _ in 0..50 {
+            let h = w.pick_home(NodeId(15), 0);
+            assert!(h.0 < 2, "cycle 0 hot set is {{0, 1}}, got {h}");
+            let h = w.pick_home(NodeId(15), 850);
+            assert!(
+                (8..10).contains(&h.0),
+                "cycle 850 hot set is {{8, 9}}, got {h}"
+            );
+        }
+    }
+
+    #[test]
+    fn oldest_txn_age_tracks_outstanding_mshrs() {
+        let mut w = workload(1e6);
+        assert_eq!(w.oldest_txn_age(50), None);
+        w.generate(0, &mut |_, _| {});
+        assert_eq!(w.oldest_txn_age(50), Some(50));
     }
 }

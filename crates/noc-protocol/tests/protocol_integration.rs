@@ -68,16 +68,24 @@ fn seec_breaks_protocol_deadlock_on_one_vnet() {
     assert!(s.ff_packets > 0, "expected some FF rescues under pressure");
 }
 
-/// Control: the same 1-VNet configuration without any mechanism wedges.
-/// (XY routing keeps it *routing*-deadlock-free, so a wedge here is a
-/// *protocol* deadlock: terminating messages stuck behind requests that the
-/// directory refuses to consume.)
+/// Control: the same 1-VNet configuration without any mechanism — and with
+/// the protocol livelock guards disabled — wedges. (XY routing keeps it
+/// *routing*-deadlock-free, so a wedge here is a *protocol* deadlock:
+/// terminating messages stuck behind requests that the directory refuses to
+/// consume.)
 #[test]
 fn one_vnet_without_mechanism_protocol_deadlocks() {
     let cfg = NetConfig::full_system(4, 1, 2)
         .with_routing(RoutingAlgo::Uniform(BaseRouting::Xy))
         .with_seed(13);
-    let wl = proto(&cfg, 20.0, 2, 13);
+    let mut prof = *apps::by_name("canneal").unwrap();
+    prof.think_time = 20.0;
+    let pcfg = ProtocolConfig {
+        tbes: 2,
+        nack_after: 0, // pre-guard behaviour: refused requests park forever
+        ..ProtocolConfig::default()
+    };
+    let wl = ProtocolWorkload::new(prof, pcfg, cfg.num_nodes() as u16, cfg.warmup, 13);
     let mut sim = Sim::new(cfg, Box::new(wl), Box::new(NoMechanism));
     let mut wedged = false;
     for _ in 0..50 {
@@ -91,6 +99,33 @@ fn one_vnet_without_mechanism_protocol_deadlocks() {
         wedged,
         "expected a protocol deadlock; {} delivered",
         sim.net.stats.ejected_packets
+    );
+}
+
+/// The same configuration with the default livelock guards armed stays live
+/// with *no* mechanism at all: requests that starve behind the full TBE pool
+/// are nacked off the network instead of parking in ejection VCs, so the
+/// terminating messages behind them keep draining.
+#[test]
+fn livelock_guards_keep_one_vnet_live_without_mechanism() {
+    let cfg = NetConfig::full_system(4, 1, 2)
+        .with_routing(RoutingAlgo::Uniform(BaseRouting::Xy))
+        .with_seed(13);
+    let wl = proto(&cfg, 20.0, 2, 13); // default guards: nack_after = 8
+    let mut sim = Sim::new(cfg, Box::new(wl), Box::new(NoMechanism));
+    for _ in 0..50 {
+        sim.run(1000);
+        assert!(
+            !watchdog::looks_stuck(&sim.net, watchdog::DEFAULT_STUCK_THRESHOLD),
+            "guards failed to keep the network live at cycle {}",
+            sim.net.cycle
+        );
+    }
+    let s = sim.finish();
+    assert!(
+        s.ejected_packets_all > 300,
+        "only {}",
+        s.ejected_packets_all
     );
 }
 

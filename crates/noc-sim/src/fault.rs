@@ -673,6 +673,9 @@ impl FaultLayer {
         if !cfg.fault.enabled() {
             return None;
         }
+        if let Err(e) = cfg.fault.validate(cfg.cols, cfg.rows) {
+            panic!("{e}");
+        }
         let dead = DeadSet::resolve(cfg);
         let mask = if dead.any() {
             match RouteMask::build(cfg.cols, cfg.rows, &dead) {

@@ -23,6 +23,7 @@ pub mod invariants;
 pub mod mechanism;
 pub mod network;
 pub mod nic;
+pub mod recovery;
 pub mod reorder;
 pub mod reservation;
 pub mod router;
@@ -37,6 +38,7 @@ pub use inbox::Inbox;
 pub use mechanism::{Mechanism, NoMechanism};
 pub use network::{Network, NocModel, Sim, HOP_LATENCY, LOCAL_LATENCY};
 pub use nic::{EjReserve, EjVc, Nic};
+pub use recovery::RecoveryState;
 pub use reorder::ReorderBuffer;
 pub use reservation::ReservationTable;
 pub use router::{DownFree, Router};

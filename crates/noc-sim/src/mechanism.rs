@@ -7,7 +7,7 @@
 //! them elsewhere, reserve ejection VCs and link slots, and feed statistics.
 
 use crate::network::Network;
-use noc_types::SchemeKind;
+use noc_types::{PacketId, SchemeKind};
 
 /// A deadlock-freedom / flow-control scheme.
 pub trait Mechanism {
@@ -38,6 +38,16 @@ pub trait Mechanism {
     /// [`Network::credit_touch`] itself.
     fn touches_credits(&self) -> bool {
         true
+    }
+
+    /// Called by the runtime recovery layer immediately after it has drained
+    /// `victim` out of its VC into the recovery channel. The packet no longer
+    /// exists anywhere in router buffers; any mechanism state that names it —
+    /// a pending escape reservation, an in-flight probe targeting its VC —
+    /// must be dropped or reset here, or the mechanism will act on a ghost.
+    /// The default assumes the mechanism keeps no per-packet state.
+    fn on_recovery_drain(&mut self, net: &mut Network, victim: PacketId) {
+        let _ = (net, victim);
     }
 
     /// A human-readable snapshot of the mechanism's internal state (seeker

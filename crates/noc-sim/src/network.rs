@@ -68,6 +68,10 @@ pub struct Network {
     /// Optional flight recorder feeding black-box dumps (`None` by default:
     /// zero overhead). Enable with [`Network::enable_flight_recorder`].
     pub recorder: Option<crate::watchdog::FlightRecorder>,
+    /// Runtime recovery layer (`None` when `cfg.recovery` is fully disabled;
+    /// the engine then takes no recovery branches and is bit-identical to a
+    /// build without it).
+    pub recovery: Option<Box<crate::recovery::RecoveryState>>,
     /// Invariant-layer counters and findings (`check-invariants` feature).
     #[cfg(feature = "check-invariants")]
     pub inv: crate::invariants::InvariantState,
@@ -96,6 +100,9 @@ impl Network {
     pub fn new(cfg: NetConfig) -> Network {
         let n = cfg.num_nodes();
         assert!(n >= 2, "a network needs at least two nodes");
+        if let Err(e) = cfg.recovery.validate() {
+            panic!("{e}");
+        }
         let mut routers: Vec<Router> = (0..n)
             .map(|i| Router::new(NodeId(i as u16), &cfg))
             .collect();
@@ -128,6 +135,10 @@ impl Network {
             downfree.push(d);
         }
         let rng = SmallRng::seed_from_u64(cfg.seed);
+        let recovery = cfg
+            .recovery
+            .any()
+            .then(|| Box::new(crate::recovery::RecoveryState::new(cfg.recovery.clone())));
         Network {
             cycle: 0,
             routers,
@@ -141,6 +152,7 @@ impl Network {
             last_progress: 0,
             fault,
             recorder: None,
+            recovery,
             #[cfg(feature = "check-invariants")]
             inv: crate::invariants::InvariantState::default(),
             moves: Vec::new(),
@@ -463,6 +475,7 @@ impl Network {
             inbox_router,
             stats,
             last_progress,
+            recovery,
             ..
         } = self;
         let lp = Direction::Local.index();
@@ -519,6 +532,11 @@ impl Network {
                 *last_progress = now;
                 prog.next_seq += 1;
                 if prog.next_seq == prog.packet.len_flits {
+                    if let Some(rec) = recovery {
+                        // End-to-end layer: the delivery timer starts when
+                        // the whole packet has left the NIC.
+                        rec.register_sent(&prog.packet, now);
+                    }
                     // The claim on the local input VC clears when the tail
                     // *arrives* (see deliver_arrivals), not here.
                     nic.inj_active = None;
@@ -537,9 +555,35 @@ impl Network {
         for i in 0..self.nics.len() {
             for ej in 0..self.nics[i].ejection.len() {
                 if self.nics[i].ejection[ej].complete_packet() {
-                    let d = self.nics[i].consume_peek(ej, now);
+                    let mut d = self.nics[i].consume_peek(ej, now);
+                    let raw = d.id;
+                    if let Some(rec) = &self.recovery {
+                        // The workload must see the original id; retry
+                        // copies carry a distinct wire id (claims and
+                        // residency are keyed by it) that is unmasked here.
+                        let (logical, dup) = rec.classify_delivery(raw);
+                        d.id = logical;
+                        if dup {
+                            // Exactly-once delivery: a copy of this packet
+                            // already reached the workload. Discard silently;
+                            // the flits still count as consumed for
+                            // conservation.
+                            self.nics[i].consume_commit(ej);
+                            self.stats.e2e_duplicates_dropped += 1;
+                            self.last_progress = now;
+                            self.credit_dirty[i] = true;
+                            #[cfg(feature = "check-invariants")]
+                            {
+                                self.inv.consumed_flits += u64::from(d.len_flits);
+                            }
+                            continue;
+                        }
+                    }
                     if workload.deliver(now, &d) {
                         self.nics[i].consume_commit(ej);
+                        if let Some(rec) = &mut self.recovery {
+                            rec.on_delivered(raw);
+                        }
                         self.stats.record_delivery(&d);
                         self.last_progress = now;
                         // Freeing an ejection VC changes this node's
@@ -623,7 +667,10 @@ impl Network {
             .as_ref()
             .and_then(|f| f.retrans.as_ref())
             .map_or(0, crate::fault::Retrans::in_flight_total);
-        buffered + flying + in_protocol
+        // A victim in the recovery channel is in the network too, just not
+        // in any router buffer or inbox.
+        let in_recovery = self.recovery.as_ref().map_or(0, |r| r.custody_flits());
+        buffered + flying + in_protocol + in_recovery
     }
 
     /// Turns on the flight recorder keeping the last `cap` switch-traversal
@@ -912,6 +959,11 @@ impl Sim {
             // only touch inbox timing, opt out via `touches_credits`.
             net.credit_mark_all();
             net.recount_buffered();
+        }
+        if net.recovery.is_some() {
+            // Runtime recovery observes the same end-of-cycle state the
+            // watchdog would; on a healthy network it does nothing.
+            crate::recovery::tick(net, self.mech.as_mut());
         }
         #[cfg(feature = "check-invariants")]
         net.check_invariants();

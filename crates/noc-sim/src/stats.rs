@@ -120,6 +120,29 @@ pub struct Stats {
     /// Deadlock-recovery events triggered (SPIN spins, timeouts fired).
     pub recovery_events: u64,
 
+    /// Victim packets drained through the serialized recovery channel by the
+    /// runtime recovery layer (`noc-sim::recovery`). Distinct from
+    /// [`Stats::recovery_events`], which counts *detections* (SPIN probe
+    /// launches, link-layer timeouts); a drain is a detection converted into
+    /// forward progress.
+    pub drain_recoveries: u64,
+    /// Recovery-channel link hops taken by drained victims (head-flit hops;
+    /// the recovery cost axis of `recovery_sweep`).
+    pub recovery_victim_hops: u64,
+    /// Cycles victims spent in transit through the recovery channel
+    /// (serialized one-flit-deep escape path; the latency cost of recovery).
+    pub recovery_cycles_lost: u64,
+    /// Whole-packet copies re-injected by the NIC end-to-end retransmission
+    /// layer after a delivery timeout.
+    pub e2e_retransmits: u64,
+    /// Duplicate deliveries suppressed at ejection (an original and its
+    /// end-to-end retransmission copy both arrived; exactly one was
+    /// delivered).
+    pub e2e_duplicates_dropped: u64,
+    /// Packets the end-to-end layer gave up on after exhausting its retry
+    /// budget.
+    pub e2e_abandoned: u64,
+
     /// Link traversals the fault layer corrupted (detectable checksum
     /// damage; each corruption forces at least one retransmission).
     pub corrupted_flits: u64,
@@ -145,6 +168,11 @@ pub struct Stats {
     pub measure_start: Cycle,
     /// Cycle the run finished.
     pub end_cycle: Cycle,
+
+    /// Per-message-class total-latency samples of measured deliveries
+    /// (grown lazily per class; sorted by [`Stats::finish`] so the
+    /// percentile accessors are exact, not streaming approximations).
+    latency_samples: Vec<Vec<u32>>,
 }
 
 impl Stats {
@@ -210,6 +238,11 @@ impl Stats {
         self.sum_network_latency += p.network_latency();
         self.sum_queue_latency += p.queue_latency();
         self.max_total_latency = self.max_total_latency.max(total);
+        let cls = p.class.idx();
+        if cls >= self.latency_samples.len() {
+            self.latency_samples.resize(cls + 1, Vec::new());
+        }
+        self.latency_samples[cls].push(u32::try_from(total).unwrap_or(u32::MAX));
         self.sum_hops += p.hops as u64;
         if let Some(up) = p.ff_upgrade {
             self.ff_packets += 1;
@@ -271,11 +304,53 @@ impl Stats {
         self.ejected_flits_all as f64 / (nodes as f64 * cycles as f64)
     }
 
-    /// Finalizes the peak window tracker at the end of a run.
+    /// Finalizes the peak window tracker at the end of a run and sorts the
+    /// latency samples so the percentile accessors are exact.
     pub fn finish(&mut self, end: Cycle) {
         self.end_cycle = end;
         self.peak_window_link_hops = self.peak_window_link_hops.max(self.window_hops);
+        for samples in &mut self.latency_samples {
+            samples.sort_unstable();
+        }
     }
+
+    /// Nearest-rank `q`-th percentile (`0 < q <= 100`) of total latency over
+    /// measured deliveries of `class`; `None` when the class saw no measured
+    /// delivery. Exact once [`Stats::finish`] has sorted the samples.
+    pub fn percentile_latency(&self, class: MessageClass, q: f64) -> Option<u64> {
+        let s = self.latency_samples.get(class.idx())?;
+        percentile_sorted(s, q)
+    }
+
+    /// Nearest-rank `q`-th percentile of total latency over *all* measured
+    /// deliveries, merged across classes.
+    pub fn percentile_latency_all(&self, q: f64) -> Option<u64> {
+        let mut all: Vec<u32> = self
+            .latency_samples
+            .iter()
+            .flat_map(|s| s.iter().copied())
+            .collect();
+        all.sort_unstable();
+        percentile_sorted(&all, q)
+    }
+
+    /// Message classes that recorded at least one measured delivery.
+    pub fn classes_with_latency(&self) -> impl Iterator<Item = MessageClass> + '_ {
+        self.latency_samples
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.is_empty())
+            .map(|(c, _)| MessageClass(c as u8))
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample set.
+fn percentile_sorted(sorted: &[u32], q: f64) -> Option<u64> {
+    if sorted.is_empty() || !(0.0..=100.0).contains(&q) {
+        return None;
+    }
+    let rank = ((q / 100.0 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    Some(u64::from(sorted[rank - 1]))
 }
 
 fn ratio(num: u64, den: u64) -> f64 {
@@ -350,6 +425,49 @@ mod tests {
         s.finish(2 * ACTIVITY_WINDOW);
         assert_eq!(s.peak_window_link_hops, 500);
         assert_eq!(s.link_flit_hops, 510);
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank_per_class() {
+        let mut s = Stats::default();
+        // Class 0: total latencies 10, 20, ..., 100.
+        for k in 1..=10u64 {
+            s.record_delivery(&pkt(0, 2, 10 * k, None));
+        }
+        // Class 2: a single delivery of latency 7.
+        let mut p = pkt(0, 2, 7, None);
+        p.class = MessageClass(2);
+        s.record_delivery(&p);
+        s.finish(1000);
+        let c0 = MessageClass(0);
+        assert_eq!(s.percentile_latency(c0, 50.0), Some(50));
+        assert_eq!(s.percentile_latency(c0, 95.0), Some(100));
+        assert_eq!(s.percentile_latency(c0, 99.0), Some(100));
+        assert_eq!(s.percentile_latency(c0, 100.0), Some(100));
+        // Out-of-range quantiles and empty classes return None.
+        assert_eq!(s.percentile_latency(c0, 0.0), Some(10));
+        assert_eq!(s.percentile_latency(c0, 101.0), None);
+        assert_eq!(s.percentile_latency(MessageClass(1), 50.0), None);
+        assert_eq!(s.percentile_latency(MessageClass(9), 50.0), None);
+        // Single-sample class: every quantile is that sample.
+        assert_eq!(s.percentile_latency(MessageClass(2), 50.0), Some(7));
+        assert_eq!(s.percentile_latency(MessageClass(2), 99.0), Some(7));
+        // Merged percentile covers both classes (7 is the new minimum).
+        assert_eq!(s.percentile_latency_all(1.0), Some(7));
+        assert_eq!(s.percentile_latency_all(99.0), Some(100));
+        let classes: Vec<u8> = s.classes_with_latency().map(|c| c.0).collect();
+        assert_eq!(classes, vec![0, 2]);
+    }
+
+    #[test]
+    fn percentiles_ignore_unmeasured_deliveries() {
+        let mut s = Stats::default();
+        let mut p = pkt(0, 2, 500, None);
+        p.measured = false;
+        s.record_delivery(&p);
+        s.finish(1000);
+        assert_eq!(s.percentile_latency(MessageClass(0), 50.0), None);
+        assert_eq!(s.classes_with_latency().count(), 0);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::fault::{fnv1a, FaultConfig};
 use crate::message::MessageClass;
+use crate::recovery::RecoveryConfig;
 use serde::{Deserialize, Serialize};
 use std::ops::Range;
 
@@ -138,6 +139,10 @@ pub struct NetConfig {
     /// Fault-injection scenario. Defaults to fully disabled, in which case
     /// the simulator is bit-identical to a build without the fault layer.
     pub fault: FaultConfig,
+    /// Runtime recovery scenario (drain recovery + end-to-end
+    /// retransmission). Defaults to fully disabled, in which case the
+    /// simulator is bit-identical to a build without the recovery layer.
+    pub recovery: RecoveryConfig,
 }
 
 impl NetConfig {
@@ -159,6 +164,7 @@ impl NetConfig {
             warmup: 1000,
             seed: 1,
             fault: FaultConfig::default(),
+            recovery: RecoveryConfig::default(),
         }
     }
 
@@ -181,6 +187,7 @@ impl NetConfig {
             warmup: 1000,
             seed: 1,
             fault: FaultConfig::default(),
+            recovery: RecoveryConfig::default(),
         }
     }
 
@@ -217,6 +224,20 @@ impl NetConfig {
         self
     }
 
+    /// Builder-style override of the recovery scenario.
+    pub fn with_recovery(mut self, recovery: RecoveryConfig) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Validates the fault and recovery sub-configurations against this
+    /// mesh, returning a descriptive error instead of letting a malformed
+    /// scenario panic somewhere deep in network construction.
+    pub fn validate(&self) -> Result<(), String> {
+        self.fault.validate(self.cols, self.rows)?;
+        self.recovery.validate()
+    }
+
     /// Stable 64-bit digest of every behaviour-affecting field, used to key
     /// checkpoint rows so a resumed sweep never mixes incompatible configs.
     pub fn digest(&self) -> u64 {
@@ -240,6 +261,8 @@ impl NetConfig {
             self.seed,
         );
         s.push_str(&self.fault.canonical());
+        s.push(';');
+        s.push_str(&self.recovery.canonical());
         fnv1a(s.as_bytes())
     }
 

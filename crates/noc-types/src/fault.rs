@@ -116,6 +116,69 @@ impl FaultConfig {
         self
     }
 
+    /// Validates the scenario against a `cols`×`rows` mesh, returning a
+    /// descriptive error for configurations that could only fail later as a
+    /// panic deep inside network construction: corruption rates outside
+    /// [0, 1], dead links/routers that are not on the mesh, more random
+    /// kills than physical links, and retransmission windows of zero (the
+    /// go-back-N sender would spin-resend every cycle).
+    pub fn validate(&self, cols: u8, rows: u8) -> Result<(), String> {
+        let n = usize::from(cols) * usize::from(rows);
+        if !self.transient_rate.is_finite() || !(0.0..=1.0).contains(&self.transient_rate) {
+            return Err(format!(
+                "fault config: transient_rate {} is not a probability in [0, 1]",
+                self.transient_rate
+            ));
+        }
+        for &(node, d) in &self.dead_links {
+            if !d.is_cardinal() {
+                return Err(format!(
+                    "fault config: dead link ({node}, {d:?}) is not a mesh link \
+                     (only cardinal directions name links)"
+                ));
+            }
+            if node.idx() >= n {
+                return Err(format!(
+                    "fault config: dead link ({node}, {d:?}) names node {} outside \
+                     the {cols}x{rows} mesh ({n} nodes)",
+                    node.0
+                ));
+            }
+            if d.step(node.to_coord(cols), cols, rows).is_none() {
+                return Err(format!(
+                    "fault config: dead link ({node}, {d:?}) points off the edge of \
+                     the {cols}x{rows} mesh"
+                ));
+            }
+        }
+        for &node in &self.dead_routers {
+            if node.idx() >= n {
+                return Err(format!(
+                    "fault config: dead router {} is outside the {cols}x{rows} mesh \
+                     ({n} nodes)",
+                    node.0
+                ));
+            }
+        }
+        let physical_links = usize::from(cols) * usize::from(rows.saturating_sub(1))
+            + usize::from(rows) * usize::from(cols.saturating_sub(1));
+        if usize::from(self.random_dead_links) > physical_links {
+            return Err(format!(
+                "fault config: {} random dead links requested but the {cols}x{rows} \
+                 mesh only has {physical_links} physical links",
+                self.random_dead_links
+            ));
+        }
+        if self.transient_rate > 0.0 && self.retransmit_timeout == 0 {
+            return Err(
+                "fault config: retransmit_timeout of 0 with transient faults enabled \
+                 would resend every cycle; use a window of at least 1"
+                    .to_string(),
+            );
+        }
+        Ok(())
+    }
+
     /// Canonical single-line rendering, used in checkpoint keys and dump
     /// headers. Stable across runs: field order is fixed and floats are
     /// printed through their bit pattern.
@@ -169,6 +232,81 @@ mod tests {
             .with_dead_links(vec![(NodeId(3), Direction::East)])
             .enabled());
         assert!(FaultConfig::default().with_random_dead_links(2).enabled());
+    }
+
+    #[test]
+    fn validate_accepts_sane_scenarios() {
+        assert!(FaultConfig::default().validate(4, 4).is_ok());
+        assert!(FaultConfig::transient(0.1).validate(4, 4).is_ok());
+        assert!(FaultConfig::default()
+            .with_dead_links(vec![(NodeId(5), Direction::East)])
+            .validate(4, 4)
+            .is_ok());
+        assert!(FaultConfig::default()
+            .with_random_dead_links(3)
+            .validate(4, 4)
+            .is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_rates() {
+        for rate in [-0.1, 1.5, f64::NAN, f64::INFINITY] {
+            let err = FaultConfig::transient(rate).validate(4, 4).unwrap_err();
+            assert!(err.contains("transient_rate"), "{err}");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_off_mesh_hardware() {
+        let err = FaultConfig::default()
+            .with_dead_links(vec![(NodeId(99), Direction::East)])
+            .validate(4, 4)
+            .unwrap_err();
+        assert!(err.contains("outside the 4x4 mesh"), "{err}");
+
+        // Node 3 is the NE corner of a 4x4 mesh: East points off the edge.
+        let err = FaultConfig::default()
+            .with_dead_links(vec![(NodeId(3), Direction::East)])
+            .validate(4, 4)
+            .unwrap_err();
+        assert!(err.contains("off the edge"), "{err}");
+
+        let err = FaultConfig::default()
+            .with_dead_links(vec![(NodeId(3), Direction::Local)])
+            .validate(4, 4)
+            .unwrap_err();
+        assert!(err.contains("not a mesh link"), "{err}");
+
+        let err = FaultConfig::default()
+            .with_dead_routers(vec![NodeId(16)])
+            .validate(4, 4)
+            .unwrap_err();
+        assert!(err.contains("dead router"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_windows_and_overkill() {
+        let bad = FaultConfig {
+            retransmit_timeout: 0,
+            ..FaultConfig::transient(0.01)
+        };
+        assert!(bad
+            .validate(4, 4)
+            .unwrap_err()
+            .contains("retransmit_timeout"));
+        // ...but a zero window is fine when transients are off.
+        let off = FaultConfig {
+            retransmit_timeout: 0,
+            ..FaultConfig::default()
+        };
+        assert!(off.validate(4, 4).is_ok());
+
+        // A 2x2 mesh has 4 physical links.
+        let err = FaultConfig::default()
+            .with_random_dead_links(5)
+            .validate(2, 2)
+            .unwrap_err();
+        assert!(err.contains("4 physical links"), "{err}");
     }
 
     #[test]

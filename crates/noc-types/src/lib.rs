@@ -14,6 +14,7 @@ pub mod fault;
 pub mod flit;
 pub mod geometry;
 pub mod message;
+pub mod recovery;
 
 pub use config::{BaseRouting, BufferOrg, NetConfig, RoutingAlgo, SchemeKind};
 pub use direction::{Direction, PortId, NUM_PORTS};
@@ -21,6 +22,7 @@ pub use fault::FaultConfig;
 pub use flit::{Flit, FlitKind, Packet};
 pub use geometry::{Coord, NodeId};
 pub use message::{MessageClass, PacketId};
+pub use recovery::RecoveryConfig;
 
 /// Simulation time, in router clock cycles.
 pub type Cycle = u64;

@@ -1,0 +1,163 @@
+//! Runtime recovery configuration.
+//!
+//! A [`RecoveryConfig`] rides on [`crate::NetConfig`] and arms the runtime
+//! recovery layer in `noc-sim::recovery`: instead of the watchdog dumping a
+//! black box and panicking when the network wedges, the recovery layer
+//! selects a victim packet from the wait-for cycle (or, for livelock, the
+//! oldest blocked head), drains it through a reserved serialized XY recovery
+//! channel, and lets the dependents make progress. The default value is
+//! fully disabled; the engine promises bit-identical behaviour to a build
+//! without the recovery layer whenever [`RecoveryConfig::enabled`] is false.
+//!
+//! Two independent sub-layers are configured here:
+//!
+//! * **Drain recovery** (`enabled` + `stuck_threshold`) — the in-network
+//!   escape path for deadlock/livelock victims. The threshold must sit well
+//!   below the watchdog's panic threshold so recovery fires first; the
+//!   watchdog stays armed as the backstop for a recovery layer that cannot
+//!   find a viable victim.
+//! * **End-to-end retransmission** (`e2e_timeout` > 0) — NIC-level
+//!   per-packet timeout retransmission with duplicate suppression at
+//!   ejection, covering losses no link-layer protocol can heal (a router
+//!   dying mid-flight with flits buffered inside it). Off by default: near
+//!   saturation, honest queueing delay exceeds any fixed timeout, so e2e
+//!   retransmission is a fault-scenario tool, not a general-traffic one.
+
+use serde::{Deserialize, Serialize};
+
+/// Runtime-recovery knobs carried by [`crate::NetConfig`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryConfig {
+    /// Arms drain recovery. When false the whole layer is compiled out of
+    /// the run: no recovery state is allocated and the cycle loop takes no
+    /// recovery branches.
+    pub enabled: bool,
+    /// Cycles without global progress before the recovery layer looks for a
+    /// victim. Must be below the watchdog's stuck threshold (the watchdog
+    /// panics; recovery pre-empts it).
+    pub stuck_threshold: u64,
+    /// Base timeout (cycles) for NIC-level end-to-end retransmission of a
+    /// whole packet; `0` disables the end-to-end layer.
+    pub e2e_timeout: u64,
+    /// Retransmission attempts per packet before the source NIC gives up
+    /// and records the packet as abandoned.
+    pub e2e_max_retries: u32,
+}
+
+impl Default for RecoveryConfig {
+    /// Fully disabled. The thresholds keep sane values so arming recovery
+    /// later needs only the `enabled` flag.
+    fn default() -> Self {
+        RecoveryConfig {
+            enabled: false,
+            stuck_threshold: 512,
+            e2e_timeout: 0,
+            e2e_max_retries: 4,
+        }
+    }
+}
+
+impl RecoveryConfig {
+    /// Drain recovery armed at the default threshold, end-to-end layer off.
+    pub fn drain() -> Self {
+        RecoveryConfig {
+            enabled: true,
+            ..RecoveryConfig::default()
+        }
+    }
+
+    /// True when any recovery machinery must be built for the run.
+    pub fn any(&self) -> bool {
+        self.enabled || self.e2e_timeout > 0
+    }
+
+    /// Builder: arm or disarm drain recovery.
+    #[must_use]
+    pub fn with_enabled(mut self, enabled: bool) -> Self {
+        self.enabled = enabled;
+        self
+    }
+
+    /// Builder: replace the drain stuck threshold.
+    #[must_use]
+    pub fn with_stuck_threshold(mut self, cycles: u64) -> Self {
+        self.stuck_threshold = cycles;
+        self
+    }
+
+    /// Builder: arm end-to-end retransmission with the given base timeout.
+    #[must_use]
+    pub fn with_e2e(mut self, timeout: u64, max_retries: u32) -> Self {
+        self.e2e_timeout = timeout;
+        self.e2e_max_retries = max_retries;
+        self
+    }
+
+    /// Rejects configurations that would arm the layer with degenerate
+    /// knobs (they would spin every cycle or retransmit forever).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.enabled && self.stuck_threshold == 0 {
+            return Err("recovery config: stuck_threshold must be > 0 when drain \
+                 recovery is enabled"
+                .to_string());
+        }
+        if self.e2e_timeout > 0 && self.e2e_max_retries == 0 {
+            return Err("recovery config: e2e_max_retries must be > 0 when the \
+                 end-to-end layer is enabled"
+                .to_string());
+        }
+        Ok(())
+    }
+
+    /// Canonical single-line rendering, folded into the config digest so
+    /// checkpoint keys distinguish recovery-armed runs. Stable across runs.
+    pub fn canonical(&self) -> String {
+        format!(
+            "re={};st={};et={};er={}",
+            u8::from(self.enabled),
+            self.stuck_threshold,
+            self.e2e_timeout,
+            self.e2e_max_retries
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_disabled() {
+        let r = RecoveryConfig::default();
+        assert!(!r.enabled);
+        assert!(!r.any());
+        assert!(r.validate().is_ok());
+    }
+
+    #[test]
+    fn drain_arms_only_the_drain_layer() {
+        let r = RecoveryConfig::drain();
+        assert!(r.enabled && r.any());
+        assert_eq!(r.e2e_timeout, 0);
+        assert!(r.validate().is_ok());
+    }
+
+    #[test]
+    fn degenerate_knobs_are_rejected() {
+        let r = RecoveryConfig::drain().with_stuck_threshold(0);
+        assert!(r.validate().unwrap_err().contains("stuck_threshold"));
+        let r = RecoveryConfig::default().with_e2e(32, 0);
+        assert!(r.validate().unwrap_err().contains("e2e_max_retries"));
+    }
+
+    #[test]
+    fn canonical_is_stable_and_distinguishes() {
+        let a = RecoveryConfig::drain();
+        assert_eq!(a.canonical(), RecoveryConfig::drain().canonical());
+        assert_ne!(a.canonical(), RecoveryConfig::default().canonical());
+        assert_ne!(
+            a.canonical(),
+            RecoveryConfig::drain().with_e2e(64, 4).canonical()
+        );
+    }
+}

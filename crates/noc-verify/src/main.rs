@@ -6,8 +6,10 @@
 //! ```
 #![forbid(unsafe_code)]
 
-use noc_types::{BaseRouting, Direction, FaultConfig, NetConfig, NodeId, RoutingAlgo};
-use noc_verify::{certify, certify_degraded};
+use noc_types::{
+    BaseRouting, Direction, FaultConfig, NetConfig, NodeId, RecoveryConfig, RoutingAlgo,
+};
+use noc_verify::{certify, certify_degraded, certify_recovery};
 
 const USAGE: &str = "\
 noc-verify: static channel-dependency-graph deadlock certifier
@@ -29,6 +31,8 @@ OPTIONS:
     --dead-routers <LIST> comma-separated dead router ids (e.g. 5,9)
     --random-dead <N>     kill N random links drawn from the fault seed
     --fault-seed <SEED>   fault RNG seed for --random-dead (default 0xFA17)
+    --recovery[=<T>]      additionally certify the runtime recovery channel,
+                          armed at drain stuck-threshold T (default 512)
     --all-configs         check the expectation matrix over the paper's
                           configurations; exit nonzero on any mismatch
     -h, --help            show this help
@@ -120,6 +124,7 @@ struct Args {
     vcs: u8,
     classes: Option<u8>,
     fault: FaultConfig,
+    recovery: Option<RecoveryConfig>,
     all_configs: bool,
 }
 
@@ -132,6 +137,7 @@ fn parse_args() -> Result<Args, String> {
         vcs: 4,
         classes: None,
         fault: FaultConfig::default(),
+        recovery: None,
         all_configs: false,
     };
     let mut it = std::env::args().skip(1);
@@ -175,6 +181,13 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--fault-seed: {e}"))?;
             }
+            "--recovery" => args.recovery = Some(RecoveryConfig::drain()),
+            arg if arg.starts_with("--recovery=") => {
+                let t = arg["--recovery=".len()..]
+                    .parse()
+                    .map_err(|e| format!("--recovery: {e}"))?;
+                args.recovery = Some(RecoveryConfig::drain().with_stuck_threshold(t));
+            }
             "--all-configs" => args.all_configs = true,
             "-h" | "--help" => {
                 print!("{USAGE}");
@@ -201,8 +214,13 @@ fn config_of(args: &Args) -> NetConfig {
     cfg.vnets = args.vnets;
     cfg.classes = args.classes.unwrap_or(args.vnets);
     cfg.vcs_per_vnet = args.vcs;
-    cfg.with_routing(args.routing)
-        .with_fault(args.fault.clone())
+    cfg = cfg
+        .with_routing(args.routing)
+        .with_fault(args.fault.clone());
+    if let Some(rec) = &args.recovery {
+        cfg = cfg.with_recovery(rec.clone());
+    }
+    cfg
 }
 
 /// The expectation matrix exercised by `--all-configs` (and CI): every
@@ -248,33 +266,54 @@ fn all_configs() -> Vec<(NetConfig, bool, &'static str)> {
     out
 }
 
+/// The recovery-channel expectation matrix: armed meshes must certify,
+/// degenerate arrangements must be refused.
+fn all_recovery_configs() -> Vec<(NetConfig, bool, &'static str)> {
+    let mut out = Vec::new();
+    for k in [4u8, 8] {
+        out.push((
+            NetConfig::synth(k, 4).with_recovery(RecoveryConfig::drain()),
+            true,
+            "armed recovery channel must certify",
+        ));
+    }
+    out.push((
+        NetConfig::synth(8, 4)
+            .with_recovery(RecoveryConfig::drain().with_stuck_threshold(1_000_000)),
+        false,
+        "a drain threshold above the watchdog's must be refused",
+    ));
+    out
+}
+
 fn run_all_configs() -> i32 {
     let mut mismatches = 0usize;
-    let configs = all_configs();
-    let total = configs.len();
-    for (cfg, expect_certified, why) in configs {
-        let report = certify(&cfg);
-        let got = report.certified();
-        let status = if got == expect_certified {
-            "ok "
-        } else {
-            "FAIL"
-        };
+    let mut total = 0usize;
+    let mut check = |config: String, got: bool, expect: bool, why: &str, rendered: String| {
+        total += 1;
+        let status = if got == expect { "ok " } else { "FAIL" };
         println!(
-            "[{status}] {:<60} expected {:<13} got {}",
-            report.config,
-            if expect_certified {
-                "certified"
-            } else {
-                "not-certified"
-            },
+            "[{status}] {config:<60} expected {:<13} got {}",
+            if expect { "certified" } else { "not-certified" },
             if got { "certified" } else { "not-certified" },
         );
-        if got != expect_certified {
+        if got != expect {
             mismatches += 1;
             eprintln!("--- expectation: {why} ---");
-            eprint!("{}", report.render());
+            eprint!("{rendered}");
         }
+    };
+    for (cfg, expect_certified, why) in all_configs() {
+        let report = certify(&cfg);
+        let got = report.certified();
+        let rendered = report.render();
+        check(report.config, got, expect_certified, why, rendered);
+    }
+    for (cfg, expect_certified, why) in all_recovery_configs() {
+        let report = certify_recovery(&cfg);
+        let got = report.certified();
+        let rendered = report.render();
+        check(report.config, got, expect_certified, why, rendered);
     }
     if mismatches == 0 {
         println!("all {total} configurations match their expected verdicts");
@@ -295,14 +334,23 @@ fn main() {
     };
     let code = if args.all_configs {
         run_all_configs()
-    } else if args.fault.has_permanent() {
-        let report = certify_degraded(&config_of(&args));
-        print!("{}", report.render());
-        i32::from(!report.certified())
     } else {
-        let report = certify(&config_of(&args));
-        print!("{}", report.render());
-        i32::from(!report.certified())
+        let cfg = config_of(&args);
+        let mut failed = if args.fault.has_permanent() {
+            let report = certify_degraded(&cfg);
+            print!("{}", report.render());
+            !report.certified()
+        } else {
+            let report = certify(&cfg);
+            print!("{}", report.render());
+            !report.certified()
+        };
+        if args.recovery.is_some() {
+            let report = certify_recovery(&cfg);
+            print!("{}", report.render());
+            failed |= !report.certified();
+        }
+        i32::from(failed)
     };
     std::process::exit(code);
 }
