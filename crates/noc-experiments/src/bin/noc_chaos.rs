@@ -1,0 +1,135 @@
+//! `noc-chaos`: time-boxed differential chaos soak over randomized fault
+//! schedules, with delta-debugged repros.
+//!
+//! ```text
+//! noc_chaos [--budget 300s] [--seed N] [--cases N] [--out DIR] [--full]
+//! noc_chaos --quick              # deterministic smoke set (CI, every push)
+//! noc_chaos --replay FILE.json   # re-run a minimized repro byte-for-byte
+//! ```
+//!
+//! Exit status is 0 when every executed case passes its oracles (skipped
+//! cases — refused by the certification gate — do not fail the run), 1 when
+//! any failure was found or a replay did not reproduce. Failures leave a
+//! minimized `repro_<key>.json` and, for wedges, a `blackbox_<key>.json`
+//! next to the `chaos.jsonl` log in the output directory.
+
+use noc_experiments::chaos::{replay, run_soak, GenPool, SoakOpts};
+use noc_experiments::cli;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Parses `300`, `300s`, or `5m` into a duration.
+fn parse_budget(s: &str) -> Result<Duration, String> {
+    let (num, mult) = match s.strip_suffix('m') {
+        Some(n) => (n, 60),
+        None => (s.strip_suffix('s').unwrap_or(s), 1),
+    };
+    num.parse::<u64>()
+        .map(|n| Duration::from_secs(n * mult))
+        .map_err(|_| format!("bad --budget '{s}' (want e.g. 300s or 5m)"))
+}
+
+fn main() {
+    let args = cli::args();
+    let mut budget = Duration::from_secs(300);
+    let mut seed: u64 = 0x5EEC_C4A0;
+    let mut max_cases: Option<usize> = None;
+    let mut out_dir = PathBuf::from("target/chaos");
+    let mut pool = GenPool::Full;
+    let mut replay_path: Option<PathBuf> = None;
+    let mut quick = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut val = |flag: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("{flag} needs a value");
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match arg.as_str() {
+            "--budget" => match parse_budget(&val("--budget")) {
+                Ok(d) => budget = d,
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }
+            },
+            "--seed" => seed = parse_or_die(&val("--seed"), "--seed"),
+            "--cases" => max_cases = Some(parse_or_die(&val("--cases"), "--cases")),
+            "--out" => out_dir = PathBuf::from(val("--out")),
+            "--full" => pool = GenPool::Full,
+            "--quick" => quick = true,
+            "--replay" => replay_path = Some(PathBuf::from(val("--replay"))),
+            "--help" | "-h" => {
+                println!(
+                    "usage: noc_chaos [--budget 300s] [--seed N] [--cases N] \
+                     [--out DIR] [--quick | --full] [--replay FILE]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown flag '{other}' (see --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(path) = replay_path {
+        match replay(&path, &out_dir) {
+            Ok(msg) => println!("replay {}: {msg}", path.display()),
+            Err(e) => {
+                eprintln!("replay {}: FAILED — {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    if quick {
+        // Deterministic smoke set: fixed seed, mechanism-free pool, small
+        // case count. Running this twice must produce identical logs.
+        seed = 0x5EEC_0001;
+        pool = GenPool::Smoke;
+        max_cases = max_cases.or(Some(8));
+    }
+
+    let opts = SoakOpts {
+        seed,
+        budget,
+        max_cases,
+        out_dir,
+        pool,
+    };
+    let summary = match run_soak(&opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("soak failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "noc-chaos: {} cases — {} passed, {} skipped, {} failed (seed {:#x}, log {})",
+        summary.cases,
+        summary.passed,
+        summary.skipped,
+        summary.failed,
+        opts.seed,
+        opts.out_dir.join("chaos.jsonl").display(),
+    );
+    for r in &summary.repros {
+        println!("  minimized repro: {}", r.display());
+    }
+    if summary.failed > 0 {
+        std::process::exit(1);
+    }
+}
+
+fn parse_or_die<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("bad value for {flag}: '{s}'");
+        std::process::exit(2);
+    })
+}

@@ -12,6 +12,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod cli;
 pub mod jsonio;
 pub mod runner;
@@ -37,6 +38,10 @@ pub mod figs {
     pub mod table3;
 }
 
+pub use chaos::{
+    minimize, precheck, replay, run_case, run_soak, CaseGen, CaseOutcome, ChaosCase, FailureKind,
+    GenPool, SoakOpts, SoakSummary,
+};
 pub use runner::{run_app, run_synth, AppSpec, Scheme, SynthSpec};
 pub use saturation::find_saturation;
 pub use sweep::{run_sweep, Checkpoint, FaultPoint, SweepOutcome};

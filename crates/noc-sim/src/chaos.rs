@@ -1,0 +1,477 @@
+//! Dynamic fault schedules: epoch reconfiguration of a running network.
+//!
+//! The static fault layer (`crate::fault`) freezes its dead set at
+//! construction. This module executes a [`noc_types::FaultSchedule`] — a
+//! validated timeline of link/router kill and heal events — against a *live*
+//! network, reconfiguring it at every event ("epoch"):
+//!
+//! * **Kill link** — the link disappears from the routing mask immediately
+//!   (no new VC claims target it; `refresh_one_downfree` reports its VCs
+//!   un-free while the dead flag is up), but the wiring is severed only once
+//!   the link is *quiet*: all claimed worms finished streaming, all credits
+//!   returned, and — under link-layer retransmission — both windows empty.
+//!   This drain-cut discipline means a kill never truncates a packet
+//!   mid-worm; the cost is that the physical cut trails the logical one by
+//!   the drain time (recorded per epoch as
+//!   [`EpochRecord::cut_done_at`](crate::stats::EpochRecord)).
+//! * **Heal link** — wiring is restored from geometry on both sides, the
+//!   retransmission state of the link is reset to a fresh sequence space
+//!   (generation-stamped so wire events from before the heal are inert), and
+//!   the mask is rebuilt so traffic starts using the link again.
+//! * **Kill router** — the router's links go down (drain-cut each), its NIC
+//!   stops picking new packets and stops consuming, and the per-cycle purge
+//!   removes what ends up marooned there: fully-buffered packets that can no
+//!   longer route, and complete packets in ejection VCs no one will consume.
+//!   Switch allocation keeps running at a dead router so in-flight worms
+//!   finish (graceful drain, not instant power-off).
+//! * **Heal router** — the router and every link of it that is not
+//!   independently down (and whose far endpoint is alive) come back.
+//!
+//! After every event the mask is rebuilt *partially*
+//! ([`RouteMask::build_partial`]): a mid-run kill may legitimately
+//! disconnect pairs. While any pair is disconnected (or any router is dead)
+//! the **stranded purge** runs each cycle: fully-buffered, unrouted packets
+//! whose source→destination pair has no surviving path are lifted out of
+//! their VCs and dropped, counted in `Stats::chaos_purged_flits`. The
+//! end-to-end retransmission layer (when armed) re-sends them once their
+//! delivery timeout fires — or counts them abandoned — so "purge" is a
+//! drop at the network layer, not at the protocol layer. Flit conservation
+//! under `check-invariants` accounts purged flits explicitly.
+//!
+//! Determinism: events fire at fixed cycles, scans run in fixed node order,
+//! and nothing here touches any RNG — chaos runs are bit-identical across
+//! `NOC_THREADS` settings like every other run.
+
+use crate::fault::RouteMask;
+use crate::network::Network;
+use noc_types::{Direction, FaultAction, FaultEvent, NetConfig, NodeId};
+
+/// A kill whose wiring cut is still waiting for the link to drain.
+#[derive(Clone, Copy, Debug)]
+struct PendingCut {
+    node: usize,
+    dir: Direction,
+    /// Index into `Stats::epochs` of the event that requested the cut.
+    epoch: usize,
+}
+
+/// Runtime state of a fault schedule, hung off
+/// [`FaultLayer::chaos`](crate::fault::FaultLayer) when the config carries
+/// one.
+pub struct ChaosState {
+    /// The merged (cycle-ordered) event timeline.
+    events: Vec<FaultEvent>,
+    /// Next event to apply.
+    next_event: usize,
+    /// Links the schedule (or the initial config) killed *independently* of
+    /// any router death — healing an adjacent router must not revive them.
+    link_down: Vec<[bool; 4]>,
+    /// Routers currently down.
+    router_down: Vec<bool>,
+    /// Links whose wiring is currently severed (`neighbor` nulled). A kill
+    /// sets this only once the drain-cut completes; a heal clears it.
+    cut: Vec<[bool; 4]>,
+    /// Kills still draining toward their cut.
+    pending: Vec<PendingCut>,
+    /// True while some live pair is unroutable or some router is down — the
+    /// per-cycle stranded purge runs only then.
+    scan_stranded: bool,
+    cols: u8,
+    rows: u8,
+}
+
+impl ChaosState {
+    /// Builds the schedule runtime over the construction-time dead set
+    /// (initially dead hardware is already cut by `Network::new`).
+    pub fn new(cfg: &NetConfig, dead: &crate::fault::DeadSet) -> ChaosState {
+        let n = cfg.num_nodes();
+        let (cols, rows) = (cfg.cols, cfg.rows);
+        let router_down: Vec<bool> = (0..n).map(|i| dead.router_dead(i)).collect();
+        let mut link_down = vec![[false; 4]; n];
+        let mut cut = vec![[false; 4]; n];
+        for (i, (ld, ct)) in link_down.iter_mut().zip(cut.iter_mut()).enumerate() {
+            let c = NodeId(i as u16).to_coord(cols);
+            for d in Direction::CARDINAL {
+                let Some(peer) = d.step(c, cols, rows) else {
+                    continue;
+                };
+                if dead.link_dead(i, d) {
+                    // Initially dead wiring is nulled at construction.
+                    ct[d.index()] = true;
+                    // Attribute the kill to the routers where possible; a
+                    // link listed explicitly *and* adjacent to a dead router
+                    // is treated as router-caused (healing the router
+                    // revives it — schedules needing finer control list the
+                    // link as a schedule kill instead).
+                    let peer_down = router_down[peer.to_node(cols).idx()];
+                    if !router_down[i] && !peer_down {
+                        ld[d.index()] = true;
+                    }
+                }
+            }
+        }
+        // Events fire in timeline order; the stable sort keeps same-cycle
+        // events in their authored order (validation already checked the
+        // kill/heal state machine against exactly this ordering).
+        let mut events = cfg.fault.schedule.events.clone();
+        events.sort_by_key(|e| e.at);
+        ChaosState {
+            events,
+            next_event: 0,
+            link_down,
+            router_down,
+            cut,
+            pending: Vec::new(),
+            scan_stranded: false,
+            cols,
+            rows,
+        }
+    }
+
+    /// Whether the schedule has been fully applied and every pending cut has
+    /// completed (soak-harness stopping condition).
+    pub fn settled(&self) -> bool {
+        self.next_event >= self.events.len() && self.pending.is_empty()
+    }
+
+    /// Events applied so far.
+    pub fn events_applied(&self) -> usize {
+        self.next_event
+    }
+}
+
+/// The per-cycle chaos hook, called at the top of
+/// [`Sim::step`](crate::Sim::step) before delivery. Applies every schedule
+/// event due at the current cycle, advances pending drain-cuts, and runs the
+/// stranded purge while the mesh is partitioned or a router is down. The
+/// state is taken out of the network for the duration (same borrow pattern
+/// as `recovery::tick`).
+pub fn tick(net: &mut Network) {
+    let Some(fl) = &mut net.fault else {
+        return;
+    };
+    let Some(mut chaos) = fl.chaos.take() else {
+        return;
+    };
+    let now = net.cycle;
+    let mut batch = 0usize;
+    while chaos
+        .events
+        .get(chaos.next_event)
+        .is_some_and(|e| e.at <= now)
+    {
+        let ev = chaos.events[chaos.next_event];
+        chaos.next_event += 1;
+        let record = net.stats.epochs.len() + batch;
+        apply_event(&mut chaos, net, &ev, record);
+        batch += 1;
+    }
+    if batch > 0 {
+        rebuild(&mut chaos, net, batch);
+    }
+    advance_cuts(&mut chaos, net);
+    if chaos.scan_stranded {
+        purge_stranded(&chaos, net);
+    }
+    if let Some(fl) = &mut net.fault {
+        fl.chaos = Some(chaos);
+    }
+}
+
+/// Applies one schedule event to the dead set and the chaos bookkeeping
+/// (mask rebuild and epoch recording happen once per batch in `rebuild`;
+/// `record` is the `Stats::epochs` index this event's record will occupy).
+fn apply_event(chaos: &mut ChaosState, net: &mut Network, ev: &FaultEvent, record: usize) {
+    let (cols, rows) = (chaos.cols, chaos.rows);
+    let fl = net
+        .fault
+        .as_mut()
+        .expect("chaos ticks only with a fault layer");
+    match ev.action {
+        FaultAction::KillLink(node, d) => {
+            let i = node.idx();
+            chaos.link_down[i][d.index()] = true;
+            if let Some(peer) = d.step(node.to_coord(cols), cols, rows) {
+                chaos.link_down[peer.to_node(cols).idx()][d.opposite().index()] = true;
+            }
+            fl.dead.set_link(i, d, cols, rows, true);
+            net.stats.chaos_links_killed += 1;
+            chaos.pending.push(PendingCut {
+                node: i,
+                dir: d,
+                epoch: record,
+            });
+        }
+        FaultAction::HealLink(node, d) => {
+            let i = node.idx();
+            chaos.link_down[i][d.index()] = false;
+            if let Some(peer) = d.step(node.to_coord(cols), cols, rows) {
+                chaos.link_down[peer.to_node(cols).idx()][d.opposite().index()] = false;
+            }
+            fl.dead.set_link(i, d, cols, rows, false);
+            net.stats.chaos_links_healed += 1;
+            revive_link(chaos, net, i, d);
+        }
+        FaultAction::KillRouter(node) => {
+            let i = node.idx();
+            chaos.router_down[i] = true;
+            let fl = net.fault.as_mut().expect("fault layer present");
+            fl.dead.set_router(i, true);
+            net.stats.chaos_routers_killed += 1;
+            let c = node.to_coord(cols);
+            for d in Direction::CARDINAL {
+                if d.step(c, cols, rows).is_none() {
+                    continue;
+                }
+                let fl = net.fault.as_mut().expect("fault layer present");
+                if fl.dead.link_dead(i, d) {
+                    continue; // already down (independently or via the peer)
+                }
+                fl.dead.set_link(i, d, cols, rows, true);
+                chaos.pending.push(PendingCut {
+                    node: i,
+                    dir: d,
+                    epoch: record,
+                });
+            }
+        }
+        FaultAction::HealRouter(node) => {
+            let i = node.idx();
+            chaos.router_down[i] = false;
+            let fl = net.fault.as_mut().expect("fault layer present");
+            fl.dead.set_router(i, false);
+            net.stats.chaos_routers_healed += 1;
+            let c = node.to_coord(cols);
+            for d in Direction::CARDINAL {
+                let Some(peer) = d.step(c, cols, rows) else {
+                    continue;
+                };
+                let peer = peer.to_node(cols).idx();
+                // A link revives with its router unless it is independently
+                // down or its far endpoint is still a dead router.
+                if chaos.link_down[i][d.index()] || chaos.router_down[peer] {
+                    continue;
+                }
+                let fl = net.fault.as_mut().expect("fault layer present");
+                fl.dead.set_link(i, d, cols, rows, false);
+                revive_link(chaos, net, i, d);
+            }
+        }
+    }
+}
+
+/// Brings the physical link `(node, d)` back into service: cancels a pending
+/// cut, or — when the wiring was actually severed — restores it from
+/// geometry on both sides and resets the link-layer retransmission state to
+/// a fresh, generation-bumped sequence space.
+fn revive_link(chaos: &mut ChaosState, net: &mut Network, node: usize, d: Direction) {
+    chaos
+        .pending
+        .retain(|p| !same_link(p.node, p.dir, node, d, chaos.cols, chaos.rows));
+    if !chaos.cut[node][d.index()] {
+        return; // never severed: the wiring (and protocol state) is intact
+    }
+    let peer = d
+        .step(
+            NodeId(node as u16).to_coord(chaos.cols),
+            chaos.cols,
+            chaos.rows,
+        )
+        .expect("validated schedules never heal off-mesh links")
+        .to_node(chaos.cols);
+    chaos.cut[node][d.index()] = false;
+    chaos.cut[peer.idx()][d.opposite().index()] = false;
+    net.routers[node].outputs[d.index()].neighbor = Some(peer);
+    net.routers[peer.idx()].outputs[d.opposite().index()].neighbor = Some(NodeId(node as u16));
+    if let Some(rt) = net.fault.as_mut().and_then(|f| f.retrans.as_mut()) {
+        rt.reset_link(node, d);
+    }
+    net.credit_touch(node);
+    net.credit_touch(peer.idx());
+}
+
+/// Whether `(a, da)` and `(b, db)` name the same physical link.
+fn same_link(a: usize, da: Direction, b: usize, db: Direction, cols: u8, rows: u8) -> bool {
+    if a == b && da == db {
+        return true;
+    }
+    match da.step(NodeId(a as u16).to_coord(cols), cols, rows) {
+        Some(p) => p.to_node(cols).idx() == b && da.opposite() == db,
+        None => false,
+    }
+}
+
+/// Post-event reconfiguration: rebuild the routing mask (partially — kills
+/// may disconnect pairs), re-check the escape layer, drop stale sticky port
+/// choices, refresh credit snapshots, and append the epoch records.
+fn rebuild(chaos: &mut ChaosState, net: &mut Network, batch: usize) {
+    let now = net.cycle;
+    let (cols, rows) = (chaos.cols, chaos.rows);
+    let fl = net.fault.as_mut().expect("fault layer present");
+    let mask = RouteMask::build_partial(cols, rows, &fl.dead);
+    let routable = mask.fully_routable(&fl.dead);
+    // Re-arm the escape layer: the west-first mask either rebuilds cleanly
+    // on the degraded mesh or the escape layer is (for now) severed and
+    // escape-resident packets fall to the recovery layer if they wedge.
+    let escape_ok =
+        !net.cfg.routing.has_escape() || RouteMask::build_west_first(cols, rows, &fl.dead).is_ok();
+    fl.mask = Some(mask);
+    chaos.scan_stranded = !routable || chaos.router_down.iter().any(|&r| r);
+    // Sticky (non-adaptive) port choices were computed against the old
+    // topology; clear them so waiting heads re-route under the new mask.
+    // Allocated routes (claims held) are left alone — claimed worms drain.
+    for r in &mut net.routers {
+        for port in &mut r.inputs {
+            for vc in &mut port.vcs {
+                if vc.route.is_none() {
+                    vc.pending_port = None;
+                }
+            }
+        }
+    }
+    net.credit_mark_all();
+    // One epoch record per event applied this cycle (same-cycle events
+    // share the rebuild; each gets its own trace row).
+    for k in 0..batch {
+        let ev = &chaos.events[chaos.next_event - batch + k];
+        net.stats.epochs.push(crate::stats::EpochRecord {
+            cycle: now,
+            action: render_event(ev),
+            routable,
+            escape_ok,
+            purged_flits: 0,
+            cut_done_at: None,
+            recert: None,
+        });
+    }
+    net.stats.chaos_epochs += batch as u64;
+}
+
+/// Canonical one-event rendering (matches `FaultSchedule::canonical`'s
+/// per-event form).
+fn render_event(ev: &FaultEvent) -> String {
+    match ev.action {
+        FaultAction::KillLink(n, d) => format!("{}:kl:{}:{}", ev.at, n.0, d.index()),
+        FaultAction::HealLink(n, d) => format!("{}:hl:{}:{}", ev.at, n.0, d.index()),
+        FaultAction::KillRouter(n) => format!("{}:kr:{}", ev.at, n.0),
+        FaultAction::HealRouter(n) => format!("{}:hr:{}", ev.at, n.0),
+    }
+}
+
+/// Severs the wiring of every pending kill whose link has gone quiet: no
+/// claims, no in-flight credits, empty retransmission windows — both
+/// directions. Quiet-before-cut keeps the upstream credit-return lookup in
+/// `deliver_arrivals` sound (it resolves the upstream router through the
+/// receiver's own wiring).
+fn advance_cuts(chaos: &mut ChaosState, net: &mut Network) {
+    if chaos.pending.is_empty() {
+        return;
+    }
+    let now = net.cycle;
+    let (cols, rows) = (chaos.cols, chaos.rows);
+    let mut k = 0;
+    while k < chaos.pending.len() {
+        let p = chaos.pending[k];
+        let Some(peer) = p.dir.step(NodeId(p.node as u16).to_coord(cols), cols, rows) else {
+            chaos.pending.swap_remove(k);
+            continue;
+        };
+        let peer = peer.to_node(cols).idx();
+        let quiet = link_half_quiet(net, p.node, p.dir)
+            && link_half_quiet(net, peer, p.dir.opposite())
+            && net
+                .fault
+                .as_ref()
+                .and_then(|f| f.retrans.as_ref())
+                .is_none_or(|rt| rt.link_quiet(p.node, p.dir));
+        if !quiet {
+            k += 1;
+            continue;
+        }
+        net.routers[p.node].outputs[p.dir.index()].neighbor = None;
+        net.routers[peer].outputs[p.dir.opposite().index()].neighbor = None;
+        chaos.cut[p.node][p.dir.index()] = true;
+        chaos.cut[peer][p.dir.opposite().index()] = true;
+        net.credit_touch(p.node);
+        net.credit_touch(peer);
+        if let Some(rec) = net.stats.epochs.get_mut(p.epoch) {
+            rec.cut_done_at = Some(now);
+        }
+        chaos.pending.swap_remove(k);
+    }
+}
+
+/// One direction of the quiet test: the sender at `node` holds no claim and
+/// counts no in-flight flit toward `dir`.
+fn link_half_quiet(net: &Network, node: usize, dir: Direction) -> bool {
+    let out = &net.routers[node].outputs[dir.index()];
+    out.neighbor.is_some()
+        && out.vc_claimed.iter().all(Option::is_none)
+        && out.inflight.iter().all(|&c| c == 0)
+}
+
+/// The stranded purge: removes packets that the new topology can never
+/// deliver — fully-buffered, unrouted packets whose pair has no surviving
+/// path (which includes everything buffered at or addressed to a dead
+/// router), and complete packets sitting in the ejection VCs of dead
+/// routers. Purged flits are counted, attributed to the newest epoch, and
+/// recovered (or abandoned) by the end-to-end retransmission layer.
+fn purge_stranded(chaos: &ChaosState, net: &mut Network) {
+    let now = net.cycle;
+    let cols = net.cfg.cols;
+    let mut purged: u64 = 0;
+    let n = net.routers.len();
+    for i in 0..n {
+        // Router input VCs: fully-buffered, unrouted, uncaptured packets
+        // with no surviving path. Streaming or moving packets are never
+        // touched — worms always finish (drain semantics).
+        for p in 0..noc_types::NUM_PORTS {
+            for v in 0..net.routers[i].inputs[p].vcs.len() {
+                let vc = &net.routers[i].inputs[p].vcs[v];
+                let Some(front) = vc.front() else { continue };
+                if vc.route.is_some() || vc.ff_capture || !vc.packet_fully_buffered() {
+                    continue;
+                }
+                let dest = front.dest;
+                if dest.idx() == i && !chaos.router_down[i] {
+                    continue; // at destination, router alive: it will eject
+                }
+                let unroutable = chaos.router_down[i]
+                    || chaos.router_down[dest.idx()]
+                    || net.fault.as_ref().is_some_and(|f| {
+                        f.mask.as_ref().is_some_and(|m| {
+                            dest.idx() != i
+                                && m.allowed(NodeId(i as u16).to_coord(cols), dest.to_coord(cols))
+                                    == 0
+                        })
+                    });
+                if !unroutable {
+                    continue;
+                }
+                let flits = net.drain_packet(NodeId(i as u16), p, v);
+                purged += flits.len() as u64;
+            }
+        }
+        // Ejection VCs of dead routers: the NIC no longer consumes, so
+        // complete packets are lifted out (partial packets wait — their
+        // remaining flits are still arriving and worms always finish).
+        if chaos.router_down[i] {
+            for ej in 0..net.nics[i].ejection.len() {
+                if net.nics[i].ejection[ej].complete_packet() {
+                    purged += net.nics[i].ejection[ej].buf.len() as u64;
+                    net.nics[i].consume_commit(ej);
+                    net.credit_touch(i);
+                }
+            }
+        }
+    }
+    if purged > 0 {
+        net.stats.chaos_purged_flits += purged;
+        if let Some(rec) = net.stats.epochs.last_mut() {
+            rec.purged_flits += purged;
+        }
+        // Purging is progress: the stall it resolves must not also trip the
+        // watchdog while end-to-end retransmission takes over.
+        net.last_progress = now;
+    }
+}

@@ -162,6 +162,38 @@ impl DeadSet {
         self.routers.iter().any(|&r| r) || self.links.iter().any(|l| l.iter().any(|&d| d))
     }
 
+    /// An all-alive dead set for an `n`-node mesh (chaos runs that start
+    /// healthy and only kill hardware mid-run).
+    pub fn all_alive(n: usize) -> DeadSet {
+        DeadSet {
+            links: vec![[false; 4]; n],
+            routers: vec![false; n],
+        }
+    }
+
+    /// Sets the liveness of the physical link leaving `node` in direction
+    /// `d`, symmetrically (both endpoints). Epoch reconfiguration only; the
+    /// caller rebuilds the routing mask afterwards.
+    ///
+    /// # Panics
+    /// Panics when the link points off the mesh.
+    pub fn set_link(&mut self, node: usize, d: Direction, cols: u8, rows: u8, dead: bool) {
+        let c = NodeId(node as u16).to_coord(cols);
+        let nb = d
+            .step(c, cols, rows)
+            .unwrap_or_else(|| panic!("set_link on off-mesh link ({node}, {d})"))
+            .to_node(cols);
+        self.links[node][d.index()] = dead;
+        self.links[nb.idx()][d.opposite().index()] = dead;
+    }
+
+    /// Sets the liveness of router `node` (the flag only; its links are
+    /// killed/restored individually by the epoch logic, which knows which of
+    /// them are independently dead).
+    pub fn set_router(&mut self, node: usize, dead: bool) {
+        self.routers[node] = dead;
+    }
+
     /// Every dead physical link once, named from its west/north endpoint
     /// (reporting and the degraded-CDG build).
     pub fn dead_link_list(&self, cols: u8, rows: u8) -> Vec<(NodeId, Direction)> {
@@ -208,6 +240,49 @@ pub struct RouteMask {
 impl RouteMask {
     /// Builds the degraded-graph shortest-path mask (see type docs).
     pub fn build(cols: u8, rows: u8, dead: &DeadSet) -> Result<RouteMask, Unroutable> {
+        match RouteMask::build_impl(cols, rows, dead, false) {
+            Ok(m) => Ok(m),
+            Err(u) => Err(u),
+        }
+    }
+
+    /// Builds the mask like [`RouteMask::build`] but tolerates disconnected
+    /// pairs: their mask bits stay zero instead of failing the build. Epoch
+    /// reconfiguration uses this — a mid-run kill may legitimately strand a
+    /// pair, and the chaos layer purges (then e2e-retransmits) the affected
+    /// packets rather than refusing the topology.
+    pub fn build_partial(cols: u8, rows: u8, dead: &DeadSet) -> RouteMask {
+        match RouteMask::build_impl(cols, rows, dead, true) {
+            Ok(m) => m,
+            Err(_) => unreachable!("partial build never fails"),
+        }
+    }
+
+    /// Whether every live source can reach every live destination under this
+    /// mask (false only for partial builds over a disconnected mesh).
+    pub fn fully_routable(&self, dead: &DeadSet) -> bool {
+        for u in 0..self.n {
+            if dead.router_dead(u) {
+                continue;
+            }
+            for t in 0..self.n {
+                if u == t || dead.router_dead(t) {
+                    continue;
+                }
+                if self.bits[u * self.n + t] == 0 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn build_impl(
+        cols: u8,
+        rows: u8,
+        dead: &DeadSet,
+        partial: bool,
+    ) -> Result<RouteMask, Unroutable> {
         let n = cols as usize * rows as usize;
         let mut bits = vec![0u8; n * n];
         let mut dist = vec![u32::MAX; n];
@@ -241,6 +316,9 @@ impl RouteMask {
                     continue;
                 }
                 if dist[u] == u32::MAX {
+                    if partial {
+                        continue;
+                    }
                     return Err(Unroutable {
                         src: NodeId(u as u16),
                         dest: NodeId(t as u16),
@@ -356,6 +434,11 @@ enum Wire {
     Data {
         /// Input port at the receiver (the direction the flit arrives from).
         in_port: u8,
+        /// Link generation the event belongs to (bumped by
+        /// [`Retrans::reset_link`]; stale-generation events are dropped so an
+        /// in-flight ack or duplicate from before a heal can never touch the
+        /// fresh sequence space).
+        gen: u32,
         seq: u32,
         csum: u64,
         flit: Flit,
@@ -363,11 +446,13 @@ enum Wire {
     Ack {
         /// Output port at the receiving *sender* this ack belongs to.
         out_dir: u8,
+        gen: u32,
         /// Cumulative: everything `<= seq` is acknowledged.
         seq: u32,
     },
     Nack {
         out_dir: u8,
+        gen: u32,
         /// The receiver's next expected sequence number; the sender re-sends
         /// everything from here (go-back-N).
         seq: u32,
@@ -378,6 +463,7 @@ enum Wire {
 #[derive(Clone, Debug, Default)]
 struct LinkTx {
     next_seq: u32,
+    gen: u32,
     unacked: VecDeque<TxEntry>,
 }
 
@@ -393,6 +479,7 @@ struct TxEntry {
 #[derive(Clone, Copy, Debug, Default)]
 struct LinkRx {
     next_expected: u32,
+    gen: u32,
     /// Sequence number already nacked (suppresses duplicate nacks for the
     /// same gap; after a nacked resend arrives corrupted again, recovery
     /// falls to the sender's timeout).
@@ -461,6 +548,7 @@ impl Retrans {
     ) {
         let l = from * 4 + out_dir;
         let seq = self.tx[l].next_seq;
+        let gen = self.tx[l].gen;
         self.tx[l].next_seq += 1;
         let nb = usize::from(self.nbr[from][out_dir].expect("send over off-mesh link"));
         let mut csum = flit_checksum(&flit);
@@ -479,6 +567,7 @@ impl Retrans {
             now + self.hop,
             Wire::Data {
                 in_port,
+                gen,
                 seq,
                 csum,
                 flit,
@@ -523,6 +612,7 @@ impl Retrans {
         match e {
             Wire::Data {
                 in_port,
+                gen,
                 seq,
                 csum,
                 flit,
@@ -531,13 +621,18 @@ impl Retrans {
                 let sender = usize::from(self.nbr[node][p].expect("data from off-mesh"));
                 let out_dir = Direction::from_index(p).opposite().index() as u8;
                 let rx = &mut self.rx[node * 4 + p];
+                if gen != rx.gen {
+                    // In flight across a heal's link reset: its sequence
+                    // number is meaningless in the fresh space. Drop.
+                    return;
+                }
                 let good = csum == flit_checksum(&flit);
                 if good && seq == rx.next_expected {
                     rx.next_expected += 1;
                     rx.nacked = None;
                     self.accepted[node].push((p, flit));
                     stats.link_acks += 1;
-                    self.wire[sender].push(now + 1, Wire::Ack { out_dir, seq });
+                    self.wire[sender].push(now + 1, Wire::Ack { out_dir, gen, seq });
                 } else if seq >= rx.next_expected {
                     // Corrupted, or a gap (an earlier flit was dropped):
                     // nack the first missing sequence number, once.
@@ -545,19 +640,25 @@ impl Retrans {
                         rx.nacked = Some(rx.next_expected);
                         let seq = rx.next_expected;
                         stats.link_nacks += 1;
-                        self.wire[sender].push(now + 1, Wire::Nack { out_dir, seq });
+                        self.wire[sender].push(now + 1, Wire::Nack { out_dir, gen, seq });
                     }
                 }
                 // seq < next_expected: stale duplicate from a resend race —
                 // already accepted and acked; drop silently.
             }
-            Wire::Ack { out_dir, seq } => {
+            Wire::Ack { out_dir, gen, seq } => {
                 let tx = &mut self.tx[node * 4 + usize::from(out_dir)];
+                if gen != tx.gen {
+                    return;
+                }
                 while tx.unacked.front().is_some_and(|e| e.seq <= seq) {
                     tx.unacked.pop_front();
                 }
             }
-            Wire::Nack { out_dir, seq } => {
+            Wire::Nack { out_dir, gen, seq } => {
+                if gen != self.tx[node * 4 + usize::from(out_dir)].gen {
+                    return;
+                }
                 self.resend_from(now, node, usize::from(out_dir), seq, stats);
             }
         }
@@ -570,6 +671,7 @@ impl Retrans {
         let l = node * 4 + d;
         let nb = usize::from(self.nbr[node][d].expect("resend over off-mesh link"));
         let in_port = Direction::from_index(d).opposite().index() as u8;
+        let gen = self.tx[l].gen;
         for k in 0..self.tx[l].unacked.len() {
             let (seq, flit) = {
                 let e = &mut self.tx[l].unacked[k];
@@ -591,11 +693,50 @@ impl Retrans {
                 now + self.hop,
                 Wire::Data {
                     in_port,
+                    gen,
                     seq,
                     csum,
                     flit,
                 },
             );
+        }
+    }
+
+    /// Whether the physical link `(node, d)` is quiet: no unacknowledged
+    /// flit on either directed half. Epoch reconfiguration waits for this
+    /// before cutting a link's wiring so no accepted-but-unacked flit is
+    /// stranded inside the protocol.
+    pub fn link_quiet(&self, node: usize, d: Direction) -> bool {
+        let Some(nb) = self.nbr[node][d.index()] else {
+            return true;
+        };
+        self.tx[node * 4 + d.index()].unacked.is_empty()
+            && self.tx[usize::from(nb) * 4 + d.opposite().index()]
+                .unacked
+                .is_empty()
+    }
+
+    /// Resets both directed halves of the physical link `(node, d)` to a
+    /// fresh sequence space and bumps their generation, invalidating every
+    /// wire event still in flight from before the reset. Called on link heal
+    /// (the link was cut quiet, so nothing undelivered is discarded).
+    pub fn reset_link(&mut self, node: usize, d: Direction) {
+        let Some(nb) = self.nbr[node][d.index()] else {
+            return;
+        };
+        let nb = usize::from(nb);
+        for (tx_node, dir) in [(node, d), (nb, d.opposite())] {
+            let rx_node = if tx_node == node { nb } else { node };
+            let tx = &mut self.tx[tx_node * 4 + dir.index()];
+            let gen = tx.gen.wrapping_add(1);
+            *tx = LinkTx {
+                gen,
+                ..LinkTx::default()
+            };
+            self.rx[rx_node * 4 + dir.opposite().index()] = LinkRx {
+                gen,
+                ..LinkRx::default()
+            };
         }
     }
 
@@ -652,12 +793,18 @@ impl Retrans {
 /// when `FaultConfig` is disabled — the engine then takes none of the fault
 /// branches and stays bit-identical to a fault-free build).
 pub struct FaultLayer {
-    /// Resolved permanent faults.
+    /// The *currently effective* dead set. With a fault schedule this is
+    /// mutated at each epoch (kills and heals); without one it is the
+    /// construction-time resolution and never changes.
     pub dead: DeadSet,
-    /// Degraded-mesh routing mask; `Some` iff anything is permanently dead.
+    /// Degraded-mesh routing mask; `Some` iff anything is permanently dead
+    /// or a fault schedule can make it so mid-run.
     pub mask: Option<RouteMask>,
     /// Link-layer retransmission; `Some` iff `transient_rate > 0`.
     pub retrans: Option<Retrans>,
+    /// Dynamic-schedule state; `Some` iff the config carries a
+    /// [`noc_types::FaultSchedule`].
+    pub chaos: Option<Box<crate::chaos::ChaosState>>,
 }
 
 impl FaultLayer {
@@ -688,14 +835,24 @@ impl FaultLayer {
                     dead.dead_link_list(cfg.cols, cfg.rows)
                 ),
             }
+        } else if cfg.fault.has_schedule() {
+            // Schedule but nothing initially dead: start from the
+            // full-connectivity mask so the routed path never changes shape
+            // when the first kill arrives — only the mask contents do.
+            Some(RouteMask::build_partial(cfg.cols, cfg.rows, &dead))
         } else {
             None
         };
         let retrans = (cfg.fault.transient_rate > 0.0).then(|| Retrans::new(cfg));
+        let chaos = cfg
+            .fault
+            .has_schedule()
+            .then(|| Box::new(crate::chaos::ChaosState::new(cfg, &dead)));
         Some(Box::new(FaultLayer {
             dead,
             mask,
             retrans,
+            chaos,
         }))
     }
 }

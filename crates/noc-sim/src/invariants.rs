@@ -218,6 +218,7 @@ impl Network {
                 &mut fresh,
                 wormhole,
                 self.cfg.vc_depth,
+                self.fault.as_ref().map(|f| &f.dead),
             );
             if fresh != self.downfree[i] {
                 found.push(format!(
@@ -235,11 +236,18 @@ impl Network {
                     .flat_map(|n| n.ejection.iter())
                     .map(|e| e.buf.len() as u64)
                     .sum::<u64>();
-            let accounted = self.inv.consumed_flits + in_network;
+            // Flits removed by the chaos stranded-purge left the network by
+            // design (their route was severed); they are accounted for
+            // explicitly rather than silently lost.
+            let accounted = self.inv.consumed_flits + in_network + self.stats.chaos_purged_flits;
             if self.inv.injected_flits != accounted {
                 found.push(format!(
-                    "conservation: injected {} but consumed {} + in-network {} = {accounted}",
-                    self.inv.injected_flits, self.inv.consumed_flits, in_network
+                    "conservation: injected {} but consumed {} + in-network {} + purged {} \
+                     = {accounted}",
+                    self.inv.injected_flits,
+                    self.inv.consumed_flits,
+                    in_network,
+                    self.stats.chaos_purged_flits
                 ));
             }
         }

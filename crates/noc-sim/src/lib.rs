@@ -16,6 +16,7 @@
 // `expect` with the invariant spelled out. Unit tests are exempt.
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod chaos;
 pub mod fault;
 pub mod inbox;
 #[cfg(feature = "check-invariants")]
@@ -33,6 +34,7 @@ pub mod vc;
 pub mod watchdog;
 pub mod workload;
 
+pub use chaos::ChaosState;
 pub use fault::{DeadSet, FaultLayer, RouteMask, Unroutable};
 pub use inbox::Inbox;
 pub use mechanism::{Mechanism, NoMechanism};

@@ -336,16 +336,18 @@ impl Network {
             nics,
             downfree,
             credit_dirty,
+            fault,
             ..
         } = self;
         let wormhole = self.cfg.buffer_org == noc_types::BufferOrg::Wormhole;
         let depth = self.cfg.vc_depth;
+        let dead = fault.as_ref().map(|f| &f.dead);
         for (i, d) in downfree.iter_mut().enumerate() {
             if !credit_dirty[i] {
                 continue;
             }
             credit_dirty[i] = false;
-            refresh_one_downfree(routers, nics, i, d, wormhole, depth);
+            refresh_one_downfree(routers, nics, i, d, wormhole, depth, dead);
         }
     }
 
@@ -476,11 +478,16 @@ impl Network {
             stats,
             last_progress,
             recovery,
+            fault,
             ..
         } = self;
         let lp = Direction::Local.index();
         for (i, nic) in nics.iter_mut().enumerate() {
-            if nic.inj_active.is_none() {
+            // A dead router's NIC picks no new packets (its queues hold);
+            // an in-progress injection still finishes streaming so the
+            // local input VC is never wedged with a partial packet.
+            let router_dead = fault.as_ref().is_some_and(|f| f.dead.router_dead(i));
+            if nic.inj_active.is_none() && !router_dead {
                 // Pick the next packet: round-robin over classes, allocate a
                 // free local-input VC in the packet's VNet.
                 let classes = nic.inj_queues.len();
@@ -553,6 +560,12 @@ impl Network {
     fn consume(&mut self, workload: &mut dyn Workload) {
         let now = self.cycle;
         for i in 0..self.nics.len() {
+            // A dead router's NIC delivers nothing; complete ejection
+            // packets sit until the stranded purge lifts them (or the
+            // router heals and delivery resumes).
+            if self.fault.as_ref().is_some_and(|f| f.dead.router_dead(i)) {
+                continue;
+            }
             for ej in 0..self.nics[i].ejection.len() {
                 if self.nics[i].ejection[ej].complete_packet() {
                     let mut d = self.nics[i].consume_peek(ej, now);
@@ -694,16 +707,24 @@ pub(crate) fn refresh_one_downfree(
     d: &mut DownFree,
     wormhole: bool,
     depth: u8,
+    dead: Option<&crate::fault::DeadSet>,
 ) {
     let r = &routers[i];
     for dir in Direction::CARDINAL {
         let p = dir.index();
         match r.outputs[p].neighbor {
             Some(nb) => {
+                // A link flagged dead but still wired is draining towards a
+                // quiescence cut: no *new* VC claims may form on it (the
+                // escape fallback in `try_alloc` consults `free` without the
+                // routing mask), but in-flight worms keep their credit view
+                // so they can finish streaming.
+                let closing = dead.is_some_and(|ds| ds.link_dead(i, dir));
                 let their_in = dir.opposite().index();
                 let down = &routers[nb.idx()].inputs[their_in];
                 for (v, slot) in d.free[p].iter_mut().enumerate() {
-                    *slot = down.vcs[v].is_free() && r.outputs[p].vc_claimed[v].is_none();
+                    *slot =
+                        !closing && down.vcs[v].is_free() && r.outputs[p].vc_claimed[v].is_none();
                 }
                 if wormhole {
                     for (v, slot) in d.slots[p].iter_mut().enumerate() {
@@ -926,6 +947,9 @@ impl Sim {
         if net.cycle == net.cfg.warmup {
             net.stats.measure_start = net.cycle;
         }
+        // Dynamic fault schedules reconfigure the topology before anything
+        // moves this cycle (no-op without a schedule).
+        crate::chaos::tick(net);
         net.deliver_arrivals();
         {
             let Network {

@@ -202,9 +202,12 @@ impl RecoveryState {
             }
             entry.attempts += 1;
             let attempt = u64::from(entry.attempts);
-            // Back off linearly in the attempt number so a congestion-delayed
-            // (not lost) packet is not hammered with copies.
-            entry.deadline = now + self.cfg.e2e_timeout * (attempt + 1);
+            // Back off exponentially (capped at 64x) so a congestion-delayed
+            // (not lost) packet is not hammered with copies: with a fixed or
+            // linearly-growing retry interval, a saturated network receives
+            // retry copies faster than it delivers packets and the source
+            // backlogs diverge instead of draining (found by the chaos soak).
+            entry.deadline = now + (self.cfg.e2e_timeout << attempt.min(6));
             let mut copy = entry.packet;
             copy.id = PacketId(key | RETRY_BIT | (attempt << ATTEMPT_SHIFT));
             copy.birth = now;

@@ -50,6 +50,36 @@ impl DeliveredPacket {
 /// link energy is the busiest window).
 pub const ACTIVITY_WINDOW: u64 = 1000;
 
+/// One epoch of a dynamic fault schedule as the engine executed it: the
+/// event that opened the epoch and what reconfiguration found. Appended to
+/// [`Stats::epochs`] by the chaos layer so a run's fault timeline is fully
+/// reconstructable from its statistics.
+#[derive(Clone, Debug)]
+pub struct EpochRecord {
+    /// Cycle the schedule event was applied.
+    pub cycle: Cycle,
+    /// Canonical event rendering (`at:code:node[:dir]`, matching
+    /// `FaultSchedule::canonical`).
+    pub action: String,
+    /// Whether every live source/destination pair remained routable after
+    /// the rebuild (false ⇒ the stranded-packet purge was armed).
+    pub routable: bool,
+    /// Whether the west-first escape layer survived intact (always true for
+    /// schemes without escape VCs).
+    pub escape_ok: bool,
+    /// Flits purged from severed routes while this epoch was the newest one
+    /// (recovered by end-to-end retransmission or counted abandoned).
+    pub purged_flits: u64,
+    /// Cycle a kill's drain-cut actually severed the wiring (in-flight
+    /// traffic finished first); `None` for heals and for cuts still pending
+    /// at run end.
+    pub cut_done_at: Option<Cycle>,
+    /// Degraded-CDG certifier verdict for this epoch's topology, filled in
+    /// by harnesses that re-certify online (`noc-verify` cannot be called
+    /// from the engine — it depends on this crate).
+    pub recert: Option<String>,
+}
+
 /// Aggregate statistics for one simulation run.
 #[derive(Clone, Debug, Default)]
 pub struct Stats {
@@ -154,6 +184,23 @@ pub struct Stats {
     pub link_acks: u64,
     /// Nack events on the link-layer control wires.
     pub link_nacks: u64,
+
+    /// Fault-schedule events applied (each opens a reconfiguration epoch).
+    pub chaos_epochs: u64,
+    /// Links killed / healed by the schedule.
+    pub chaos_links_killed: u64,
+    pub chaos_links_healed: u64,
+    /// Routers killed / healed by the schedule.
+    pub chaos_routers_killed: u64,
+    pub chaos_routers_healed: u64,
+    /// Flits purged off severed routes by epoch reconfiguration (stranded
+    /// packets with no surviving path, and traffic marooned at dead
+    /// routers). Purged flits leave the network without being consumed;
+    /// flit conservation accounts for them separately, and the end-to-end
+    /// retransmission layer re-sends their packets (or abandons them).
+    pub chaos_purged_flits: u64,
+    /// The epoch trace: one record per applied schedule event.
+    pub epochs: Vec<EpochRecord>,
 
     /// Per-directed-link traversal counts, indexed `node * NUM_PORTS + port`
     /// (filled lazily; see [`Stats::count_link_hop_at`]). Feeds utilization
@@ -334,6 +381,23 @@ impl Stats {
         percentile_sorted(&all, q)
     }
 
+    /// Median total latency over all measured deliveries; `None` when the
+    /// run delivered nothing measured (empty sample sets never panic —
+    /// nearest-rank indexing is guarded end to end).
+    pub fn p50(&self) -> Option<u64> {
+        self.percentile_latency_all(50.0)
+    }
+
+    /// 95th-percentile total latency; `None` on an empty sample set.
+    pub fn p95(&self) -> Option<u64> {
+        self.percentile_latency_all(95.0)
+    }
+
+    /// 99th-percentile total latency; `None` on an empty sample set.
+    pub fn p99(&self) -> Option<u64> {
+        self.percentile_latency_all(99.0)
+    }
+
     /// Message classes that recorded at least one measured delivery.
     pub fn classes_with_latency(&self) -> impl Iterator<Item = MessageClass> + '_ {
         self.latency_samples
@@ -457,6 +521,31 @@ mod tests {
         assert_eq!(s.percentile_latency_all(99.0), Some(100));
         let classes: Vec<u8> = s.classes_with_latency().map(|c| c.0).collect();
         assert_eq!(classes, vec![0, 2]);
+    }
+
+    #[test]
+    fn percentile_accessors_survive_empty_sample_sets() {
+        // A fresh Stats has no samples at all: every accessor must return
+        // None instead of panicking on a nearest-rank index underflow.
+        let mut s = Stats::default();
+        assert_eq!(s.p50(), None);
+        assert_eq!(s.p95(), None);
+        assert_eq!(s.p99(), None);
+        assert_eq!(s.percentile_latency_all(50.0), None);
+        // Still None after finish() (sorting empty sets is a no-op), and
+        // still None when only unmeasured traffic flowed.
+        s.finish(100);
+        assert_eq!(s.p99(), None);
+        let mut p = pkt(0, 2, 40, None);
+        p.measured = false;
+        s.record_delivery(&p);
+        assert_eq!(s.p50(), None);
+        // One measured delivery: every percentile is that sample.
+        s.record_delivery(&pkt(0, 2, 40, None));
+        s.finish(100);
+        assert_eq!(s.p50(), Some(40));
+        assert_eq!(s.p95(), Some(40));
+        assert_eq!(s.p99(), Some(40));
     }
 
     #[test]

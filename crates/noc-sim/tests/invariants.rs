@@ -75,7 +75,7 @@ fn run_and_check(cfg: NetConfig, transpose: bool, seed: u64) {
     let mut drained = false;
     for _ in 0..40 {
         sim.run(5_000);
-        let backlog: usize = sim.net.nics.iter().map(|n| n.backlog()).sum();
+        let backlog: usize = sim.net.nics.iter().map(noc_sim::Nic::backlog).sum();
         let ejecting: usize = sim
             .net
             .nics

@@ -24,6 +24,7 @@
 
 use crate::direction::Direction;
 use crate::geometry::NodeId;
+use crate::schedule::FaultSchedule;
 use serde::{Deserialize, Serialize};
 
 /// Fault-injection knobs carried by [`crate::NetConfig`].
@@ -49,6 +50,9 @@ pub struct FaultConfig {
     /// Extra wait cycles added per further resend of the same flit, so a
     /// persistently unlucky flit backs off instead of hammering the link.
     pub resend_backoff: u32,
+    /// Deterministic timeline of mid-run kill/heal events (fault epochs).
+    /// Empty by default; see [`crate::schedule::FaultSchedule`].
+    pub schedule: FaultSchedule,
 }
 
 impl Default for FaultConfig {
@@ -64,6 +68,7 @@ impl Default for FaultConfig {
             fault_seed: 0xFA17,
             retransmit_timeout: 16,
             resend_backoff: 8,
+            schedule: FaultSchedule::none(),
         }
     }
 }
@@ -80,12 +85,17 @@ impl FaultConfig {
     /// True when any fault is configured; false means the simulator must be
     /// bit-identical to a build without the fault layer.
     pub fn enabled(&self) -> bool {
-        self.transient_rate > 0.0 || self.has_permanent()
+        self.transient_rate > 0.0 || self.has_permanent() || self.has_schedule()
     }
 
     /// True when any permanent (link/router kill) fault is configured.
     pub fn has_permanent(&self) -> bool {
         !self.dead_links.is_empty() || !self.dead_routers.is_empty() || self.random_dead_links > 0
+    }
+
+    /// True when a dynamic fault schedule (mid-run kill/heal events) is set.
+    pub fn has_schedule(&self) -> bool {
+        !self.schedule.is_empty()
     }
 
     /// Builder: kill the listed physical links.
@@ -116,12 +126,20 @@ impl FaultConfig {
         self
     }
 
+    /// Builder: attach a dynamic kill/heal schedule.
+    #[must_use]
+    pub fn with_schedule(mut self, schedule: FaultSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
     /// Validates the scenario against a `cols`×`rows` mesh, returning a
     /// descriptive error for configurations that could only fail later as a
     /// panic deep inside network construction: corruption rates outside
-    /// [0, 1], dead links/routers that are not on the mesh, more random
-    /// kills than physical links, and retransmission windows of zero (the
-    /// go-back-N sender would spin-resend every cycle).
+    /// [0, 1], dead links/routers that are not on the mesh (or listed twice),
+    /// more random kills than physical links, retransmission windows of zero
+    /// (the go-back-N sender would spin-resend every cycle), and inconsistent
+    /// kill/heal schedules.
     pub fn validate(&self, cols: u8, rows: u8) -> Result<(), String> {
         let n = usize::from(cols) * usize::from(rows);
         if !self.transient_rate.is_finite() || !(0.0..=1.0).contains(&self.transient_rate) {
@@ -130,6 +148,12 @@ impl FaultConfig {
                 self.transient_rate
             ));
         }
+        // Canonical physical-link ids seen so far, endpoint-normalized so the
+        // same link named from either side — (u, East) vs (u+1, West) —
+        // collides. Duplicates are configuration bugs, not requests to kill
+        // harder; reject them here instead of silently deduping when the
+        // routing mask is built.
+        let mut seen_links: Vec<(u16, u8)> = Vec::with_capacity(self.dead_links.len());
         for &(node, d) in &self.dead_links {
             if !d.is_cardinal() {
                 return Err(format!(
@@ -144,13 +168,33 @@ impl FaultConfig {
                     node.0
                 ));
             }
-            if d.step(node.to_coord(cols), cols, rows).is_none() {
+            let Some(to) = d.step(node.to_coord(cols), cols, rows) else {
                 return Err(format!(
                     "fault config: dead link ({node}, {d:?}) points off the edge of \
                      the {cols}x{rows} mesh"
                 ));
+            };
+            let peer = to.to_node(cols);
+            if peer == node {
+                return Err(format!(
+                    "fault config: dead link ({node}, {d:?}) is a self-loop"
+                ));
             }
+            let id = if peer.0 < node.0 {
+                (peer.0, d.opposite().index() as u8)
+            } else {
+                (node.0, d.index() as u8)
+            };
+            if seen_links.contains(&id) {
+                return Err(format!(
+                    "fault config: dead link ({node}, {d:?}) names a physical link \
+                     already listed (a dead link is dead in both directions; list \
+                     each link once)"
+                ));
+            }
+            seen_links.push(id);
         }
+        let mut seen_routers: Vec<NodeId> = Vec::with_capacity(self.dead_routers.len());
         for &node in &self.dead_routers {
             if node.idx() >= n {
                 return Err(format!(
@@ -159,6 +203,24 @@ impl FaultConfig {
                     node.0
                 ));
             }
+            if seen_routers.contains(&node) {
+                return Err(format!(
+                    "fault config: dead router {} is listed twice",
+                    node.0
+                ));
+            }
+            seen_routers.push(node);
+        }
+        if self.has_schedule() {
+            if self.random_dead_links > 0 {
+                return Err("fault config: a fault schedule cannot be combined with \
+                     random_dead_links (the schedule's kill/heal consistency cannot \
+                     be checked against random initial kills); list the initial dead \
+                     links explicitly"
+                    .to_string());
+            }
+            self.schedule
+                .validate(cols, rows, &self.dead_links, &self.dead_routers)?;
         }
         let physical_links = usize::from(cols) * usize::from(rows.saturating_sub(1))
             + usize::from(rows) * usize::from(cols.saturating_sub(1));
@@ -199,6 +261,11 @@ impl FaultConfig {
             ";rk={};fs={};to={};bo={}",
             self.random_dead_links, self.fault_seed, self.retransmit_timeout, self.resend_backoff
         );
+        // Schedules extend the digest; empty schedules keep pre-schedule
+        // renderings (and therefore existing checkpoint keys) unchanged.
+        if self.has_schedule() {
+            let _ = write!(s, ";ev={}", self.schedule.canonical());
+        }
         s
     }
 }
@@ -307,6 +374,120 @@ mod tests {
             .validate(2, 2)
             .unwrap_err();
         assert!(err.contains("4 physical links"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_and_aliased_dead_links() {
+        // Exact duplicate.
+        let err = FaultConfig::default()
+            .with_dead_links(vec![
+                (NodeId(5), Direction::East),
+                (NodeId(5), Direction::East),
+            ])
+            .validate(4, 4)
+            .unwrap_err();
+        assert!(err.contains("already listed"), "{err}");
+
+        // Same physical link named from the other endpoint.
+        let err = FaultConfig::default()
+            .with_dead_links(vec![
+                (NodeId(5), Direction::East),
+                (NodeId(6), Direction::West),
+            ])
+            .validate(4, 4)
+            .unwrap_err();
+        assert!(err.contains("already listed"), "{err}");
+
+        // Vertical alias: (1, South) and (5, North) are one link.
+        let err = FaultConfig::default()
+            .with_dead_links(vec![
+                (NodeId(1), Direction::South),
+                (NodeId(5), Direction::North),
+            ])
+            .validate(4, 4)
+            .unwrap_err();
+        assert!(err.contains("already listed"), "{err}");
+
+        // Two genuinely different links are fine.
+        assert!(FaultConfig::default()
+            .with_dead_links(vec![
+                (NodeId(5), Direction::East),
+                (NodeId(5), Direction::South),
+            ])
+            .validate(4, 4)
+            .is_ok());
+
+        // Duplicate dead routers.
+        let err = FaultConfig::default()
+            .with_dead_routers(vec![NodeId(3), NodeId(3)])
+            .validate(4, 4)
+            .unwrap_err();
+        assert!(err.contains("listed twice"), "{err}");
+    }
+
+    #[test]
+    fn validate_checks_schedules() {
+        use crate::schedule::FaultSchedule;
+
+        let ok = FaultConfig::default().with_schedule(FaultSchedule::link_flap(
+            NodeId(5),
+            Direction::East,
+            100,
+            200,
+        ));
+        assert!(ok.enabled());
+        assert!(!ok.has_permanent());
+        assert!(ok.has_schedule());
+        assert!(ok.validate(4, 4).is_ok());
+
+        // Schedule inconsistent with the initial dead set.
+        let bad = FaultConfig::default()
+            .with_dead_links(vec![(NodeId(5), Direction::East)])
+            .with_schedule(FaultSchedule::link_flap(
+                NodeId(5),
+                Direction::East,
+                100,
+                200,
+            ));
+        assert!(bad.validate(4, 4).unwrap_err().contains("already-dead"));
+
+        // Schedules cannot ride on random kills.
+        let bad = FaultConfig::default()
+            .with_random_dead_links(1)
+            .with_schedule(FaultSchedule::link_flap(
+                NodeId(5),
+                Direction::East,
+                100,
+                200,
+            ));
+        assert!(bad
+            .validate(4, 4)
+            .unwrap_err()
+            .contains("random_dead_links"));
+    }
+
+    #[test]
+    fn canonical_folds_in_schedule() {
+        use crate::schedule::FaultSchedule;
+
+        let plain = FaultConfig::default();
+        let flap = FaultConfig::default().with_schedule(FaultSchedule::link_flap(
+            NodeId(5),
+            Direction::East,
+            100,
+            200,
+        ));
+        assert!(!plain.canonical().contains(";ev="));
+        assert!(flap.canonical().contains(";ev="));
+        assert_ne!(plain.canonical(), flap.canonical());
+
+        let other = FaultConfig::default().with_schedule(FaultSchedule::link_flap(
+            NodeId(5),
+            Direction::East,
+            100,
+            201,
+        ));
+        assert_ne!(flap.canonical(), other.canonical());
     }
 
     #[test]

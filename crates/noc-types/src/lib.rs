@@ -15,6 +15,7 @@ pub mod flit;
 pub mod geometry;
 pub mod message;
 pub mod recovery;
+pub mod schedule;
 
 pub use config::{BaseRouting, BufferOrg, NetConfig, RoutingAlgo, SchemeKind};
 pub use direction::{Direction, PortId, NUM_PORTS};
@@ -23,6 +24,7 @@ pub use flit::{Flit, FlitKind, Packet};
 pub use geometry::{Coord, NodeId};
 pub use message::{MessageClass, PacketId};
 pub use recovery::RecoveryConfig;
+pub use schedule::{FaultAction, FaultEvent, FaultSchedule};
 
 /// Simulation time, in router clock cycles.
 pub type Cycle = u64;

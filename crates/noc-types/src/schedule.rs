@@ -1,0 +1,508 @@
+//! Dynamic fault schedules: a deterministic timeline of kill/heal events.
+//!
+//! A [`FaultSchedule`] rides on [`crate::fault::FaultConfig`] and turns the
+//! static fault model of PR 3 (hardware dead at construction time, forever)
+//! into a time-varying one: links and routers can die *and heal* mid-run at
+//! pre-declared cycles. The engine applies each event at the start of its
+//! cycle, opening a new **fault epoch** — routing masks are rebuilt, escape
+//! paths re-armed, and (under `check-invariants`) the degraded mesh can be
+//! re-certified online by the chaos harness.
+//!
+//! Schedules are plain data: ordered, validated against the mesh and against
+//! the initial dead set, and folded into the config digest via
+//! [`FaultSchedule::canonical`], so two runs with the same digest replay the
+//! same timeline bit-for-bit. All the *choice* of what to kill lives in the
+//! harness (noc-experiments' chaos generator); this type only records and
+//! checks the outcome.
+
+use crate::direction::Direction;
+use crate::geometry::NodeId;
+use crate::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// One reconfiguration action applied at a scheduled cycle.
+///
+/// Link actions name a *physical* (bidirectional) link from one endpoint,
+/// exactly like `FaultConfig::dead_links`; killing `(n, East)` severs both
+/// directions between `n` and its eastern neighbour. Router actions take the
+/// router's four links down (or restore them) together with its NIC.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum FaultAction {
+    /// Sever a live physical link (both directions).
+    KillLink(NodeId, Direction),
+    /// Restore a previously-killed physical link.
+    HealLink(NodeId, Direction),
+    /// Take a live router (and its four links + NIC) offline.
+    KillRouter(NodeId),
+    /// Restore a previously-killed router.
+    HealRouter(NodeId),
+}
+
+impl FaultAction {
+    /// Short stable code used in canonical renderings and trace rows.
+    pub fn code(&self) -> &'static str {
+        match self {
+            FaultAction::KillLink(..) => "kl",
+            FaultAction::HealLink(..) => "hl",
+            FaultAction::KillRouter(_) => "kr",
+            FaultAction::HealRouter(_) => "hr",
+        }
+    }
+
+    /// True for the two kill variants.
+    pub fn is_kill(&self) -> bool {
+        matches!(self, FaultAction::KillLink(..) | FaultAction::KillRouter(_))
+    }
+}
+
+/// A single timed event in a fault schedule.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Cycle the action takes effect (applied at the start of this cycle,
+    /// before any flit moves). Must be ≥ 1: cycle-0 state belongs to the
+    /// static `FaultConfig` lists.
+    pub at: Cycle,
+    pub action: FaultAction,
+}
+
+/// A deterministic timeline of kill/heal events.
+///
+/// Events must be ordered by cycle (ties allowed — e.g. a brownout killing
+/// several links in the same cycle — and applied in list order), and must
+/// describe a *consistent* state machine: no killing dead hardware, no
+/// healing live hardware. [`FaultSchedule::validate`] enforces both against
+/// the initial dead set.
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule (no dynamic events; static fault model only).
+    pub fn none() -> Self {
+        FaultSchedule::default()
+    }
+
+    /// A schedule from an explicit event list.
+    pub fn new(events: Vec<FaultEvent>) -> Self {
+        FaultSchedule { events }
+    }
+
+    /// True when the schedule contains no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Cycle of the last event, or `None` for an empty schedule.
+    pub fn last_event_cycle(&self) -> Option<Cycle> {
+        self.events.last().map(|e| e.at)
+    }
+
+    /// A single kill + heal *flap* of one physical link.
+    pub fn link_flap(node: NodeId, dir: Direction, kill_at: Cycle, heal_at: Cycle) -> Self {
+        FaultSchedule::new(vec![
+            FaultEvent {
+                at: kill_at,
+                action: FaultAction::KillLink(node, dir),
+            },
+            FaultEvent {
+                at: heal_at,
+                action: FaultAction::HealLink(node, dir),
+            },
+        ])
+    }
+
+    /// A periodic flap train: `count` kill/heal pairs on one link, each kill
+    /// lasting `down` cycles with `up` live cycles between pairs.
+    pub fn flap_train(
+        node: NodeId,
+        dir: Direction,
+        start: Cycle,
+        down: Cycle,
+        up: Cycle,
+        count: u32,
+    ) -> Self {
+        let mut events = Vec::with_capacity(count as usize * 2);
+        let period = down + up;
+        for i in 0..u64::from(count) {
+            let kill = start + i * period;
+            events.push(FaultEvent {
+                at: kill,
+                action: FaultAction::KillLink(node, dir),
+            });
+            events.push(FaultEvent {
+                at: kill + down,
+                action: FaultAction::HealLink(node, dir),
+            });
+        }
+        FaultSchedule::new(events)
+    }
+
+    /// A brownout window: every listed link dies at `start` and heals at
+    /// `start + duration` (all in the same pair of epochs).
+    pub fn brownout(links: &[(NodeId, Direction)], start: Cycle, duration: Cycle) -> Self {
+        let mut events = Vec::with_capacity(links.len() * 2);
+        for &(n, d) in links {
+            events.push(FaultEvent {
+                at: start,
+                action: FaultAction::KillLink(n, d),
+            });
+        }
+        for &(n, d) in links {
+            events.push(FaultEvent {
+                at: start + duration,
+                action: FaultAction::HealLink(n, d),
+            });
+        }
+        FaultSchedule::new(events)
+    }
+
+    /// Merges another schedule into this one, re-sorting by cycle (stable, so
+    /// same-cycle events keep their relative order: self's first).
+    #[must_use]
+    pub fn merged(mut self, other: FaultSchedule) -> Self {
+        self.events.extend(other.events);
+        self.events.sort_by_key(|e| e.at);
+        self
+    }
+
+    /// Validates the schedule against a `cols`×`rows` mesh and the initial
+    /// dead set, returning a descriptive error for:
+    ///
+    /// * events at cycle 0 (initial state belongs to the static lists),
+    /// * out-of-order events,
+    /// * link events that are non-cardinal, off-mesh, off-edge, or self-loops,
+    /// * router events off the mesh,
+    /// * state-machine violations: killing already-dead hardware, healing
+    ///   live hardware, or touching a link whose endpoint router is down.
+    ///
+    /// `initial_links` / `initial_routers` are the statically-dead lists from
+    /// the surrounding `FaultConfig` (assumed already validated). Schedules
+    /// cannot be checked against *random* initial kills, so the caller must
+    /// reject `random_dead_links > 0` alongside a non-empty schedule.
+    pub fn validate(
+        &self,
+        cols: u8,
+        rows: u8,
+        initial_links: &[(NodeId, Direction)],
+        initial_routers: &[NodeId],
+    ) -> Result<(), String> {
+        let n = usize::from(cols) * usize::from(rows);
+        // Live-state tracking over canonical physical link ids and routers.
+        let canon = |node: NodeId, d: Direction| -> Result<(u16, u8), String> {
+            if !d.is_cardinal() {
+                return Err(format!(
+                    "fault schedule: link event ({node}, {d:?}) is not a mesh link \
+                     (only cardinal directions name links)"
+                ));
+            }
+            if node.idx() >= n {
+                return Err(format!(
+                    "fault schedule: link event ({node}, {d:?}) names node {} outside \
+                     the {cols}x{rows} mesh ({n} nodes)",
+                    node.0
+                ));
+            }
+            let Some(to) = d.step(node.to_coord(cols), cols, rows) else {
+                return Err(format!(
+                    "fault schedule: link event ({node}, {d:?}) points off the edge \
+                     of the {cols}x{rows} mesh"
+                ));
+            };
+            let peer = to.to_node(cols);
+            if peer == node {
+                return Err(format!(
+                    "fault schedule: link event ({node}, {d:?}) is a self-loop"
+                ));
+            }
+            // Canonical id: the lower endpoint plus the direction leading to
+            // the higher one, so (u, East) and (u+1, West) collide.
+            if peer.0 < node.0 {
+                Ok((peer.0, d.opposite().index() as u8))
+            } else {
+                Ok((node.0, d.index() as u8))
+            }
+        };
+
+        let mut dead_links: Vec<(u16, u8)> = Vec::new();
+        for &(node, d) in initial_links {
+            let id = canon(node, d)?;
+            if !dead_links.contains(&id) {
+                dead_links.push(id);
+            }
+        }
+        let mut dead_routers: Vec<NodeId> = initial_routers.to_vec();
+
+        let mut prev_at: Cycle = 0;
+        for ev in &self.events {
+            if ev.at == 0 {
+                return Err(format!(
+                    "fault schedule: event {:?} at cycle 0; initial faults belong in \
+                     dead_links/dead_routers",
+                    ev.action
+                ));
+            }
+            if ev.at < prev_at {
+                return Err(format!(
+                    "fault schedule: event {:?} at cycle {} is out of order (previous \
+                     event was at cycle {prev_at}); sort events by cycle",
+                    ev.action, ev.at
+                ));
+            }
+            prev_at = ev.at;
+            match ev.action {
+                FaultAction::KillLink(node, d) | FaultAction::HealLink(node, d) => {
+                    let id = canon(node, d)?;
+                    let peer = d
+                        .step(node.to_coord(cols), cols, rows)
+                        .expect("canon validated the step")
+                        .to_node(cols);
+                    for r in [node, peer] {
+                        if dead_routers.contains(&r) {
+                            return Err(format!(
+                                "fault schedule: link event ({node}, {d:?}) at cycle {} \
+                                 touches router {} which is down at that point; heal the \
+                                 router first",
+                                ev.at, r.0
+                            ));
+                        }
+                    }
+                    let is_dead = dead_links.contains(&id);
+                    if ev.action.is_kill() {
+                        if is_dead {
+                            return Err(format!(
+                                "fault schedule: kill of already-dead link ({node}, {d:?}) \
+                                 at cycle {}",
+                                ev.at
+                            ));
+                        }
+                        dead_links.push(id);
+                    } else {
+                        if !is_dead {
+                            return Err(format!(
+                                "fault schedule: heal of live link ({node}, {d:?}) at \
+                                 cycle {}",
+                                ev.at
+                            ));
+                        }
+                        dead_links.retain(|&l| l != id);
+                    }
+                }
+                FaultAction::KillRouter(node) | FaultAction::HealRouter(node) => {
+                    if node.idx() >= n {
+                        return Err(format!(
+                            "fault schedule: router event for node {} outside the \
+                             {cols}x{rows} mesh ({n} nodes)",
+                            node.0
+                        ));
+                    }
+                    let is_dead = dead_routers.contains(&node);
+                    if ev.action.is_kill() {
+                        if is_dead {
+                            return Err(format!(
+                                "fault schedule: kill of already-dead router {} at \
+                                 cycle {}",
+                                node.0, ev.at
+                            ));
+                        }
+                        dead_routers.push(node);
+                    } else {
+                        if !is_dead {
+                            return Err(format!(
+                                "fault schedule: heal of live router {} at cycle {}",
+                                node.0, ev.at
+                            ));
+                        }
+                        dead_routers.retain(|&r| r != node);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Canonical single-line rendering folded into `FaultConfig::canonical`
+    /// (and therefore the config digest). Empty schedules render as the empty
+    /// string so pre-schedule digests are unchanged.
+    pub fn canonical(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for ev in &self.events {
+            let _ = match ev.action {
+                FaultAction::KillLink(n, d) | FaultAction::HealLink(n, d) => {
+                    write!(s, "{}:{}:{}:{},", ev.at, ev.action.code(), n.0, d.index())
+                }
+                FaultAction::KillRouter(n) | FaultAction::HealRouter(n) => {
+                    write!(s, "{}:{}:{},", ev.at, ev.action.code(), n.0)
+                }
+            };
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kl(at: Cycle, node: u16, d: Direction) -> FaultEvent {
+        FaultEvent {
+            at,
+            action: FaultAction::KillLink(NodeId(node), d),
+        }
+    }
+
+    fn hl(at: Cycle, node: u16, d: Direction) -> FaultEvent {
+        FaultEvent {
+            at,
+            action: FaultAction::HealLink(NodeId(node), d),
+        }
+    }
+
+    #[test]
+    fn flap_constructors_are_ordered_and_valid() {
+        let s = FaultSchedule::link_flap(NodeId(5), Direction::East, 100, 200);
+        assert_eq!(s.len(), 2);
+        assert!(s.validate(4, 4, &[], &[]).is_ok());
+
+        let t = FaultSchedule::flap_train(NodeId(5), Direction::East, 50, 20, 30, 3);
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.last_event_cycle(), Some(50 + 2 * 50 + 20));
+        assert!(t.validate(4, 4, &[], &[]).is_ok());
+
+        let b = FaultSchedule::brownout(
+            &[(NodeId(1), Direction::South), (NodeId(5), Direction::East)],
+            80,
+            40,
+        );
+        assert_eq!(b.len(), 4);
+        assert!(b.validate(4, 4, &[], &[]).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_structural_errors() {
+        // Cycle-0 event.
+        let s = FaultSchedule::new(vec![kl(0, 5, Direction::East)]);
+        assert!(s.validate(4, 4, &[], &[]).unwrap_err().contains("cycle 0"));
+
+        // Out of order.
+        let s = FaultSchedule::new(vec![
+            kl(200, 5, Direction::East),
+            hl(100, 5, Direction::East),
+        ]);
+        assert!(s
+            .validate(4, 4, &[], &[])
+            .unwrap_err()
+            .contains("out of order"));
+
+        // Off-edge link.
+        let s = FaultSchedule::new(vec![kl(10, 3, Direction::East)]);
+        assert!(s
+            .validate(4, 4, &[], &[])
+            .unwrap_err()
+            .contains("off the edge"));
+
+        // Non-cardinal.
+        let s = FaultSchedule::new(vec![kl(10, 3, Direction::Local)]);
+        assert!(s
+            .validate(4, 4, &[], &[])
+            .unwrap_err()
+            .contains("not a mesh link"));
+
+        // Off-mesh router.
+        let s = FaultSchedule::new(vec![FaultEvent {
+            at: 10,
+            action: FaultAction::KillRouter(NodeId(16)),
+        }]);
+        assert!(s
+            .validate(4, 4, &[], &[])
+            .unwrap_err()
+            .contains("outside the 4x4"));
+    }
+
+    #[test]
+    fn validate_tracks_live_state() {
+        // Double kill, including via the aliased name from the other side:
+        // (5, East) and (6, West) are the same physical link.
+        let s = FaultSchedule::new(vec![kl(10, 5, Direction::East), kl(20, 6, Direction::West)]);
+        assert!(s
+            .validate(4, 4, &[], &[])
+            .unwrap_err()
+            .contains("already-dead"));
+
+        // Heal of a live link.
+        let s = FaultSchedule::new(vec![hl(10, 5, Direction::East)]);
+        assert!(s
+            .validate(4, 4, &[], &[])
+            .unwrap_err()
+            .contains("heal of live link"));
+
+        // Heal of an *initially* dead link is legal.
+        let s = FaultSchedule::new(vec![hl(10, 5, Direction::East)]);
+        assert!(s
+            .validate(4, 4, &[(NodeId(6), Direction::West)], &[])
+            .is_ok());
+
+        // Kill → heal → kill again is a legal flap.
+        let s = FaultSchedule::new(vec![
+            kl(10, 5, Direction::East),
+            hl(20, 5, Direction::East),
+            kl(30, 6, Direction::West),
+        ]);
+        assert!(s.validate(4, 4, &[], &[]).is_ok());
+
+        // Router state machine.
+        let s = FaultSchedule::new(vec![
+            FaultEvent {
+                at: 10,
+                action: FaultAction::KillRouter(NodeId(5)),
+            },
+            FaultEvent {
+                at: 20,
+                action: FaultAction::KillRouter(NodeId(5)),
+            },
+        ]);
+        assert!(s
+            .validate(4, 4, &[], &[])
+            .unwrap_err()
+            .contains("already-dead router"));
+
+        // Link event under a dead router is rejected.
+        let s = FaultSchedule::new(vec![
+            FaultEvent {
+                at: 10,
+                action: FaultAction::KillRouter(NodeId(5)),
+            },
+            kl(20, 5, Direction::East),
+        ]);
+        assert!(s
+            .validate(4, 4, &[], &[])
+            .unwrap_err()
+            .contains("router 5 which is down"));
+    }
+
+    #[test]
+    fn canonical_is_stable_and_distinguishes() {
+        let a = FaultSchedule::link_flap(NodeId(5), Direction::East, 100, 200);
+        let b = FaultSchedule::link_flap(NodeId(5), Direction::East, 100, 200);
+        assert_eq!(a.canonical(), b.canonical());
+        let c = FaultSchedule::link_flap(NodeId(5), Direction::East, 100, 201);
+        assert_ne!(a.canonical(), c.canonical());
+        assert_eq!(FaultSchedule::none().canonical(), "");
+    }
+
+    #[test]
+    fn merged_keeps_cycle_order() {
+        let a = FaultSchedule::link_flap(NodeId(5), Direction::East, 100, 300);
+        let b = FaultSchedule::link_flap(NodeId(1), Direction::South, 150, 250);
+        let m = a.merged(b);
+        let cycles: Vec<Cycle> = m.events.iter().map(|e| e.at).collect();
+        assert_eq!(cycles, vec![100, 150, 250, 300]);
+        assert!(m.validate(4, 4, &[], &[]).is_ok());
+    }
+}

@@ -26,12 +26,14 @@ pub mod degraded;
 pub mod protocol;
 pub mod recovery;
 pub mod scc;
+pub mod schedule;
 pub mod witness;
 
 pub use cdg::{Cdg, Channel, VcClass};
 pub use degraded::{certify_degraded, DegradedReport, DegradedVerdict};
 pub use protocol::ProtocolVerdict;
 pub use recovery::{certify_recovery, RecoveryReport, RecoveryVerdict};
+pub use schedule::{certify_schedule, EpochCertification};
 pub use witness::Witness;
 
 use noc_sim::routing::west_first;
