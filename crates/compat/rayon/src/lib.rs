@@ -29,12 +29,11 @@
 //! one task is one simulated design point, i.e. milliseconds to minutes.
 #![forbid(unsafe_code)]
 
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock, PoisonError};
+pub mod region;
 
-/// A deferred unit of work producing exactly one output item.
-type Task<'s, T> = Box<dyn FnOnce() -> T + Send + 's>;
+use region::{Region, Task};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, OnceLock, PoisonError};
 
 // ---------------------------------------------------------------------------
 // Global worker-token pool.
@@ -178,45 +177,17 @@ fn run_tasks<'s, T: Send + 's>(tasks: Vec<Task<'s, T>>) -> Vec<T> {
         return tasks.into_iter().map(|t| t()).collect();
     }
 
-    let queue: Vec<Mutex<Option<Task<'s, T>>>> =
-        tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    let abort = AtomicBool::new(false);
-    let mut payload: Option<Box<dyn std::any::Any + Send>> = None;
+    // The queue/slots/abort state machine lives in `region`; this shell
+    // only decides *who* drives it (scoped threads here; the schedule
+    // explorer in tests/schedules.rs drives the same machine
+    // deterministically). Workers return panic payloads instead of
+    // unwinding so the caller re-throws exactly one panic after joining.
+    let region = Region::new(tasks);
+    let mut payload: Option<region::Payload> = None;
 
     std::thread::scope(|s| {
-        // Shared by the caller and every worker; pulls tasks by index until
-        // the queue is empty or a panic aborted the region. Returns the
-        // panic payload instead of unwinding so the caller can re-throw
-        // exactly one panic after all threads have been joined.
-        let work = || -> Option<Box<dyn std::any::Any + Send>> {
-            loop {
-                if abort.load(Ordering::Relaxed) {
-                    return None;
-                }
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    return None;
-                }
-                let task = queue[i]
-                    .lock()
-                    .unwrap_or_else(PoisonError::into_inner)
-                    .take()
-                    .expect("task claimed twice");
-                match catch_unwind(AssertUnwindSafe(task)) {
-                    Ok(v) => {
-                        *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(v);
-                    }
-                    Err(p) => {
-                        abort.store(true, Ordering::Relaxed);
-                        return Some(p);
-                    }
-                }
-            }
-        };
-        let handles: Vec<_> = (0..workers).map(|_| s.spawn(work)).collect();
-        payload = work();
+        let handles: Vec<_> = (0..workers).map(|_| s.spawn(|| region.worker())).collect();
+        payload = region.worker();
         for h in handles {
             match h.join() {
                 Ok(Some(p)) | Err(p) => {
@@ -232,14 +203,7 @@ fn run_tasks<'s, T: Send + 's>(tasks: Vec<Task<'s, T>>) -> Vec<T> {
     if let Some(p) = payload {
         resume_unwind(p);
     }
-    slots
-        .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .unwrap_or_else(PoisonError::into_inner)
-                .expect("every task stores its slot")
-        })
-        .collect()
+    region.into_results()
 }
 
 // ---------------------------------------------------------------------------

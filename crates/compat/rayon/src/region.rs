@@ -1,0 +1,145 @@
+//! The parallel-region core: a shared task queue + result slots driven by
+//! explicit, individually-atomic operations.
+//!
+//! This is the executor's engine room, factored out of the thread-spawning
+//! shell so that two very different drivers can run the *same* state
+//! machine:
+//!
+//! * the production path (`run_tasks`) hands [`Region::worker`] to scoped
+//!   threads, where the operations interleave however the OS schedules
+//!   them;
+//! * the schedule-exploring race detector (`tests/schedules.rs`)
+//!   enumerates bounded interleavings of the operations *deterministically*
+//!   and asserts the region's invariants — ordered collection, no double
+//!   claim, panic propagation, abort promptness — under every one of them.
+//!
+//! The schedule points are the public methods: [`Region::claim`] (one
+//! atomic fetch-add, preceded by an abort check) and [`Region::execute`]
+//! (take the task, run it, store the result or flag the abort). Each
+//! method is internally synchronized, so a concurrent history of the
+//! region is equivalent to *some* sequential interleaving of these
+//! operations — which is exactly the space the race detector explores.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// A deferred unit of work producing exactly one output item.
+pub type Task<'s, T> = Box<dyn FnOnce() -> T + Send + 's>;
+
+/// A panic payload carried out of a task.
+pub type Payload = Box<dyn std::any::Any + Send>;
+
+/// Outcome of [`Region::claim`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Claim {
+    /// The caller now owns task `i` and must [`Region::execute`] it.
+    Task(usize),
+    /// Every task has been claimed; the worker is done.
+    Exhausted,
+    /// A task panicked; the worker must stop without claiming.
+    Aborted,
+}
+
+/// One parallel region: `n` ordered tasks, `n` result slots, a claim
+/// cursor and an abort flag.
+pub struct Region<'s, T> {
+    queue: Vec<Mutex<Option<Task<'s, T>>>>,
+    slots: Vec<Mutex<Option<T>>>,
+    next: AtomicUsize,
+    abort: AtomicBool,
+}
+
+impl<'s, T: Send + 's> Region<'s, T> {
+    /// Wraps `tasks` into a ready-to-run region.
+    pub fn new(tasks: Vec<Task<'s, T>>) -> Region<'s, T> {
+        let n = tasks.len();
+        Region {
+            queue: tasks.into_iter().map(|t| Mutex::new(Some(t))).collect(),
+            slots: (0..n).map(|_| Mutex::new(None)).collect(),
+            next: AtomicUsize::new(0),
+            abort: AtomicBool::new(false),
+        }
+    }
+
+    /// Number of tasks in the region.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when the region has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// True once some task has panicked.
+    pub fn aborted(&self) -> bool {
+        self.abort.load(Ordering::Relaxed)
+    }
+
+    /// Claims the next unclaimed task index. The fetch-add hands every
+    /// index to exactly one caller — the no-double-claim property the race
+    /// detector certifies.
+    pub fn claim(&self) -> Claim {
+        if self.aborted() {
+            return Claim::Aborted;
+        }
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        if i >= self.queue.len() {
+            Claim::Exhausted
+        } else {
+            Claim::Task(i)
+        }
+    }
+
+    /// Runs claimed task `i`: stores its result in slot `i`, or flags the
+    /// abort and returns the panic payload.
+    pub fn execute(&self, i: usize) -> Option<Payload> {
+        let task = self.queue[i]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+            .expect("task claimed twice");
+        match catch_unwind(AssertUnwindSafe(task)) {
+            Ok(v) => {
+                *self.slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(v);
+                None
+            }
+            Err(p) => {
+                self.abort.store(true, Ordering::Relaxed);
+                Some(p)
+            }
+        }
+    }
+
+    /// The worker loop the production threads run: claim and execute until
+    /// the queue drains or a panic (this worker's or another's) stops the
+    /// region. Returns the payload if *this* worker's task panicked, so the
+    /// caller can re-throw exactly one panic after joining every thread.
+    pub fn worker(&self) -> Option<Payload> {
+        loop {
+            match self.claim() {
+                Claim::Task(i) => {
+                    if let Some(p) = self.execute(i) {
+                        return Some(p);
+                    }
+                }
+                Claim::Exhausted | Claim::Aborted => return None,
+            }
+        }
+    }
+
+    /// Consumes the region and returns the results in task order. Panics
+    /// if any slot is unfilled — callers must only reach this after every
+    /// task completed without aborting.
+    pub fn into_results(self) -> Vec<T> {
+        self.slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .expect("every task stores its slot")
+            })
+            .collect()
+    }
+}

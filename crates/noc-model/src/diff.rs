@@ -1,0 +1,115 @@
+//! The differential harness: cross-certifies the CDG verdicts of
+//! `noc-verify` against exhaustive reachability on small meshes.
+//!
+//! For every routing algorithm in the shared expectation matrix
+//! ([`noc_verify::matrix::all_configs`]) the harness shrinks the
+//! configuration to the model checker's small mesh, runs both analyzers on
+//! it, and applies [`noc_verify::cross_check`]'s soundness relation:
+//! certified rows must have no reachable wedge, `Deadlockable` rows must
+//! yield a concrete reachable witness, and a livelock lasso is always a
+//! disagreement. Any disagreement is a bug in one of the two tools (or an
+//! under-provisioned bound) and fails CI.
+//!
+//! Recovery-matrix rows are out of scope: their verdicts are about the
+//! *recovery channel's* timing contract, which the untimed abstract model
+//! cannot observe.
+
+use crate::explore::check;
+use crate::scheme::Scheme;
+use crate::state::ModelConfig;
+use noc_types::NetConfig;
+use noc_verify::{cross_check, ReachVerdict};
+use std::collections::HashSet;
+
+/// One scheme's differential result.
+#[derive(Debug)]
+pub struct DiffRow {
+    /// The abstract scheme (one per distinct routing algorithm in the
+    /// matrix).
+    pub scheme: Scheme,
+    /// The model configuration explored.
+    pub model: ModelConfig,
+    /// Whether the CDG certifier certified the shrunk configuration.
+    pub cdg_certified: bool,
+    /// The model checker's reachability verdict.
+    pub reach: ReachVerdict,
+    /// Reachable states explored.
+    pub states: usize,
+    /// `Some(description)` when the two analyzers disagree.
+    pub disagreement: Option<String>,
+}
+
+/// The full differential run.
+#[derive(Debug, Default)]
+pub struct DiffReport {
+    /// One row per distinct routing algorithm in the shared matrix.
+    pub rows: Vec<DiffRow>,
+}
+
+impl DiffReport {
+    /// Number of rows whose analyzers disagree. Zero is the CI gate.
+    pub fn disagreements(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| r.disagreement.is_some())
+            .count()
+    }
+}
+
+/// Runs the differential cross-certification over every distinct routing
+/// algorithm in the shared expectation matrix.
+pub fn run_differential() -> DiffReport {
+    let mut seen: HashSet<Scheme> = HashSet::new();
+    let mut report = DiffReport::default();
+    for row in noc_verify::matrix::all_configs() {
+        let scheme = Scheme::from_routing(row.cfg.routing);
+        if !seen.insert(scheme) {
+            continue;
+        }
+        let model = ModelConfig::small(scheme);
+        let result = check(&model);
+        let reach = result.reach_verdict();
+        // Shrink the CDG side to the model's mesh so both analyzers look
+        // at the same configuration.
+        let small = NetConfig::synth(2, model.vcs).with_routing(row.cfg.routing);
+        let cdg = noc_verify::certify(&small).routing;
+        let disagreement = cross_check(&cdg, reach).err();
+        report.rows.push(DiffRow {
+            scheme,
+            model,
+            cdg_certified: cdg.certified(),
+            reach,
+            states: result.states,
+            disagreement,
+        });
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn differential_reports_zero_disagreements() {
+        let report = run_differential();
+        assert_eq!(report.rows.len(), 5, "one row per distinct routing algo");
+        for row in &report.rows {
+            assert!(
+                row.disagreement.is_none(),
+                "{:?}: cdg_certified={} reach={:?}: {}",
+                row.scheme,
+                row.cdg_certified,
+                row.reach,
+                row.disagreement.as_deref().unwrap_or_default()
+            );
+        }
+    }
+
+    #[test]
+    fn differential_covers_both_verdict_polarities() {
+        let report = run_differential();
+        assert!(report.rows.iter().any(|r| r.cdg_certified));
+        assert!(report.rows.iter().any(|r| !r.cdg_certified));
+    }
+}

@@ -1,0 +1,699 @@
+//! The explicit-state explorer: BFS over the reachable abstract states,
+//! wedge detection, minimal-trace extraction and lasso (livelock) search.
+//!
+//! ## Transition system
+//!
+//! From a state (see `state` for the encoding) the enabled transitions
+//! are:
+//!
+//! * **Inject** — while fewer than `max_inflight` packets are in flight, a
+//!   fresh packet with any destination may appear in any free local-port
+//!   VC of any other node (the injection-abstraction frontier);
+//! * **Hop** — a buffered packet may move to a free VC of the matching
+//!   class on the input port its move arrives at, for every (direction,
+//!   class) pair its scheme's relation offers;
+//! * **Eject** — a packet buffered at its destination leaves the network
+//!   (the sink-consumption assumption shared with the CDG certifier);
+//! * **Rescue** (SEEC only) — a *blocked* packet (no hop or eject
+//!   enabled) is upgraded and delivered out-of-band.
+//!
+//! One transition fires at a time. This interleaving semantics
+//! over-approximates the synchronous simulator: any compound cycle the
+//! simulator performs is a sequence of these single moves, so every
+//! concretely reachable buffer configuration is abstractly reachable, and
+//! "no reachable wedge" transfers from the abstract system to the
+//! simulator under every arbiter.
+//!
+//! ## Verdicts
+//!
+//! A **wedge** is a state with at least one packet in flight and no
+//! enabled hop/eject/rescue (injection is excluded: adding packets never
+//! unblocks one). BFS finds a wedge at minimal depth, and the parent
+//! links yield a minimal concrete trace, replayable against `noc-sim`.
+//! If no wedge is reachable, a second pass searches the hop-only
+//! transition graph for a cycle — a *lasso* along which packets move
+//! forever without any ejecting. Minimal-routing schemes cannot lasso
+//! (every hop strictly decreases the packet's remaining distance); the
+//! `RandomWalk` validation scheme proves the detector is not vacuous.
+
+use crate::scheme::TargetClass;
+use crate::state::{encode_dest, slot_dest, Interner, ModelConfig, LOCAL_PORT};
+use crate::symmetry::{canonicalize, transforms_for, Transform};
+use noc_types::{Direction, NodeId};
+use std::collections::VecDeque;
+
+/// One atomic transition, in concrete (replayable) coordinates.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Step {
+    /// A packet destined for `dest` appears in `node`'s local-port VC `vc`.
+    Inject {
+        /// Source node (where the packet enters).
+        node: NodeId,
+        /// Local-port VC it lands in.
+        vc: usize,
+        /// Destination node.
+        dest: NodeId,
+    },
+    /// The packet buffered at (`node`, `port`, `vc`) hops `dir` into the
+    /// neighbour's VC `to_vc` (on the input port facing back).
+    Hop {
+        /// Node the packet currently occupies.
+        node: NodeId,
+        /// Input port (direction index; 4 = local).
+        port: usize,
+        /// VC within the port.
+        vc: usize,
+        /// Direction of the hop.
+        dir: Direction,
+        /// Target VC at the downstream input port.
+        to_vc: usize,
+    },
+    /// The packet buffered at (`node`, `port`, `vc`) is consumed at its
+    /// destination.
+    Eject {
+        /// Destination node.
+        node: NodeId,
+        /// Input port it is consumed from.
+        port: usize,
+        /// VC within the port.
+        vc: usize,
+    },
+    /// SEEC rescue: the blocked packet at (`node`, `port`, `vc`) is
+    /// upgraded to Free Flow and delivered out-of-band.
+    Rescue {
+        /// Node the packet occupies when rescued.
+        node: NodeId,
+        /// Input port.
+        port: usize,
+        /// VC within the port.
+        vc: usize,
+    },
+}
+
+impl std::fmt::Display for Step {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Step::Inject { node, vc, dest } => {
+                write!(f, "inject n{}→n{} (local vc{vc})", node.0, dest.0)
+            }
+            Step::Hop {
+                node,
+                port,
+                vc,
+                dir,
+                to_vc,
+            } => write!(f, "hop n{}[p{port},vc{vc}] {dir} → vc{to_vc}", node.0),
+            Step::Eject { node, port, vc } => write!(f, "eject n{}[p{port},vc{vc}]", node.0),
+            Step::Rescue { node, port, vc } => write!(f, "rescue n{}[p{port},vc{vc}]", node.0),
+        }
+    }
+}
+
+/// A minimal concrete transition sequence from the empty network to a
+/// wedge.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// The steps, in order.
+    pub steps: Vec<Step>,
+}
+
+impl Trace {
+    /// The (source, destination) of every packet the trace injects, in
+    /// injection order — the population a concrete replay enqueues.
+    pub fn packets(&self) -> Vec<(NodeId, NodeId)> {
+        self.steps
+            .iter()
+            .filter_map(|s| match s {
+                Step::Inject { node, dest, .. } => Some((*node, *dest)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Human-readable rendering, one step per line.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for (i, step) in self.steps.iter().enumerate() {
+            s.push_str(&format!("  {i:>2}. {step}\n"));
+        }
+        s
+    }
+}
+
+/// Outcome of one bounded check.
+#[derive(Clone, Debug)]
+pub enum Verdict {
+    /// No reachable state wedges within the in-flight bound.
+    DeadlockFree,
+    /// A wedge is reachable; `trace` is a minimal-length witness.
+    DeadlockReachable {
+        /// Minimal concrete trace from the empty network to the wedge.
+        trace: Trace,
+    },
+    /// Packets can circulate forever without ejecting.
+    LivelockSuspect {
+        /// Number of reachable states on hop-only cycles.
+        states_on_cycles: usize,
+    },
+}
+
+/// Result of [`check`].
+#[derive(Clone, Debug)]
+pub struct CheckResult {
+    /// The problem checked.
+    pub config: ModelConfig,
+    /// Reachable (canonical) states explored.
+    pub states: usize,
+    /// Transitions fired during exploration.
+    pub transitions: u64,
+    /// The verdict.
+    pub verdict: Verdict,
+}
+
+impl CheckResult {
+    /// The cross-check verdict consumed by `noc-verify`'s matrix API.
+    pub fn reach_verdict(&self) -> noc_verify::ReachVerdict {
+        match self.verdict {
+            Verdict::DeadlockFree => noc_verify::ReachVerdict::NoReachableWedge,
+            Verdict::DeadlockReachable { .. } => noc_verify::ReachVerdict::WedgeReachable,
+            Verdict::LivelockSuspect { .. } => noc_verify::ReachVerdict::LivelockSuspect,
+        }
+    }
+
+    /// One-line summary for tables.
+    pub fn summary(&self) -> String {
+        let verdict = match &self.verdict {
+            Verdict::DeadlockFree => "deadlock-free (bounded-exhaustive)".to_string(),
+            Verdict::DeadlockReachable { trace } => {
+                format!("DEADLOCK reachable in {} steps", trace.steps.len())
+            }
+            Verdict::LivelockSuspect { states_on_cycles } => {
+                format!("LIVELOCK suspect ({states_on_cycles} states on hop cycles)")
+            }
+        };
+        format!(
+            "{:<10} {:<32} {:>9} states  {}",
+            self.config.scheme.label(),
+            self.config.describe(),
+            self.states,
+            verdict
+        )
+    }
+}
+
+/// Exhaustively explores `cfg`'s reachable states and renders a verdict.
+pub fn check(cfg: &ModelConfig) -> CheckResult {
+    let explored = explore(*cfg, /* track_parents = */ !cfg.symmetry);
+    let mut transitions = explored.transitions;
+    let mut states = explored.interner.len();
+
+    if explored.wedge.is_some() {
+        // Extract the trace from a symmetry-free run: canonicalized parent
+        // states are only orbit representatives, so their steps are not
+        // directly replayable. The symmetry-free space is the one the
+        // trace must live in anyway; BFS keeps it minimal.
+        let concrete = if cfg.symmetry {
+            let mut flat = *cfg;
+            flat.symmetry = false;
+            let e = explore(flat, true);
+            transitions += e.transitions;
+            states = states.max(e.interner.len());
+            e
+        } else {
+            explored
+        };
+        let wedge = concrete
+            .wedge
+            .expect("symmetry-free rerun must reach the same wedge set");
+        let trace = extract_trace(&concrete, wedge);
+        return CheckResult {
+            config: *cfg,
+            states,
+            transitions,
+            verdict: Verdict::DeadlockReachable { trace },
+        };
+    }
+
+    // No wedge: scan the hop-only transition graph for a lasso.
+    let states_on_cycles = lasso_states(&explored, *cfg);
+    let verdict = if states_on_cycles > 0 {
+        Verdict::LivelockSuspect { states_on_cycles }
+    } else {
+        Verdict::DeadlockFree
+    };
+    CheckResult {
+        config: *cfg,
+        states,
+        transitions,
+        verdict,
+    }
+}
+
+struct Explored {
+    interner: Interner,
+    /// Parent id + step that first reached each state (when tracked).
+    parents: Vec<Option<(u32, Step)>>,
+    transforms: Vec<Transform>,
+    transitions: u64,
+    wedge: Option<u32>,
+}
+
+/// Enumerates the hop/eject/rescue successors of `state`; returns `true`
+/// when the state is a wedge. `emit` receives each (step, successor).
+fn progress_successors(
+    cfg: ModelConfig,
+    state: &[u8],
+    scratch_moves: &mut Vec<(Direction, TargetClass)>,
+    mut emit: impl FnMut(Step, Vec<u8>),
+) -> bool {
+    let vcs = cfg.vcs as usize;
+    let mut inflight = 0usize;
+    let mut any_progress = false;
+    let mut blocked: Vec<usize> = Vec::new();
+
+    for (slot, &byte) in state.iter().enumerate() {
+        let Some(dest) = slot_dest(byte) else {
+            continue;
+        };
+        inflight += 1;
+        let (node, port, vc) = cfg.slot_fields(slot);
+        let at = cfg.coord(node);
+        let dest_coord = cfg.coord(dest);
+
+        if node == dest {
+            any_progress = true;
+            let mut next = state.to_vec();
+            next[slot] = 0;
+            emit(
+                Step::Eject {
+                    node: NodeId(node as u16),
+                    port,
+                    vc,
+                },
+                next,
+            );
+            continue;
+        }
+
+        let in_escape = cfg.is_escape_vc(vc);
+        cfg.scheme
+            .legal_moves(at, dest_coord, cfg.cols, cfg.rows, in_escape, scratch_moves);
+        let mut moved = false;
+        // Drain into a local buffer: `legal_moves` reuses the scratch vec.
+        let moves: Vec<(Direction, TargetClass)> = scratch_moves.clone();
+        for (dir, class) in moves {
+            let Some(nb) = dir.step(at, cfg.cols, cfg.rows) else {
+                continue;
+            };
+            let nb_node = nb.to_node(cfg.cols).idx();
+            let in_port = dir.opposite().index();
+            let vc_range: std::ops::Range<usize> = match class {
+                TargetClass::Normal => {
+                    if cfg.scheme.has_escape() {
+                        0..vcs - 1
+                    } else {
+                        0..vcs
+                    }
+                }
+                TargetClass::Escape => vcs - 1..vcs,
+            };
+            for to_vc in vc_range {
+                let target = cfg.slot(nb_node, in_port, to_vc);
+                if state[target] != 0 {
+                    continue;
+                }
+                moved = true;
+                any_progress = true;
+                let mut next = state.to_vec();
+                next[slot] = 0;
+                next[target] = encode_dest(dest);
+                emit(
+                    Step::Hop {
+                        node: NodeId(node as u16),
+                        port,
+                        vc,
+                        dir,
+                        to_vc,
+                    },
+                    next,
+                );
+            }
+        }
+        if !moved {
+            blocked.push(slot);
+        }
+    }
+
+    if cfg.scheme.has_rescue() {
+        for slot in blocked {
+            any_progress = true;
+            let (node, port, vc) = cfg.slot_fields(slot);
+            let mut next = state.to_vec();
+            next[slot] = 0;
+            emit(
+                Step::Rescue {
+                    node: NodeId(node as u16),
+                    port,
+                    vc,
+                },
+                next,
+            );
+        }
+    }
+
+    inflight > 0 && !any_progress
+}
+
+/// Enumerates injection successors (never part of the wedge predicate).
+fn inject_successors(cfg: ModelConfig, state: &[u8], mut emit: impl FnMut(Step, Vec<u8>)) {
+    let inflight = state.iter().filter(|&&b| b != 0).count();
+    if inflight >= cfg.max_inflight as usize {
+        return;
+    }
+    let vcs = cfg.vcs as usize;
+    for node in 0..cfg.nodes() {
+        for vc in 0..vcs {
+            let slot = cfg.slot(node, LOCAL_PORT, vc);
+            if state[slot] != 0 {
+                continue;
+            }
+            for dest in 0..cfg.nodes() {
+                if dest == node {
+                    continue;
+                }
+                let mut next = state.to_vec();
+                next[slot] = encode_dest(dest);
+                emit(
+                    Step::Inject {
+                        node: NodeId(node as u16),
+                        vc,
+                        dest: NodeId(dest as u16),
+                    },
+                    next,
+                );
+            }
+        }
+    }
+}
+
+fn explore(cfg: ModelConfig, track_parents: bool) -> Explored {
+    let transforms = if cfg.symmetry {
+        transforms_for(cfg)
+    } else {
+        Vec::new()
+    };
+    let mut interner = Interner::default();
+    let mut parents: Vec<Option<(u32, Step)>> = Vec::new();
+    let mut queue: VecDeque<u32> = VecDeque::new();
+    let mut transitions = 0u64;
+    let mut wedge = None;
+    let mut scratch = vec![0u8; cfg.slots()];
+    let mut scratch_moves = Vec::new();
+
+    let empty = vec![0u8; cfg.slots()];
+    let (root, _) = interner.intern(&empty);
+    if track_parents {
+        parents.push(None);
+    }
+    queue.push_back(root);
+
+    'bfs: while let Some(id) = queue.pop_front() {
+        let state = interner.get(id).to_vec();
+        // Collect successors first: the interner cannot be borrowed while
+        // the state slice is.
+        let mut succs: Vec<(Step, Vec<u8>)> = Vec::new();
+        let is_wedge = progress_successors(cfg, &state, &mut scratch_moves, |step, next| {
+            succs.push((step, next));
+        });
+        if is_wedge {
+            wedge = Some(id);
+            break 'bfs;
+        }
+        inject_successors(cfg, &state, |step, next| succs.push((step, next)));
+
+        for (step, mut next) in succs {
+            transitions += 1;
+            if cfg.symmetry {
+                canonicalize(&transforms, &mut next, &mut scratch);
+            }
+            let (sid, fresh) = interner.intern(&next);
+            if fresh {
+                if track_parents {
+                    parents.push(Some((id, step)));
+                }
+                queue.push_back(sid);
+            }
+        }
+    }
+
+    Explored {
+        interner,
+        parents,
+        transforms,
+        transitions,
+        wedge,
+    }
+}
+
+fn extract_trace(e: &Explored, wedge: u32) -> Trace {
+    let mut steps = Vec::new();
+    let mut cur = wedge;
+    while let Some((parent, step)) = e.parents[cur as usize] {
+        steps.push(step);
+        cur = parent;
+    }
+    steps.reverse();
+    Trace { steps }
+}
+
+/// Counts reachable states lying on hop-only cycles (lassos). Iterative
+/// three-colour DFS over the hop edges of the explored graph; hop
+/// successors are recomputed and re-canonicalized, so the scan works on
+/// the quotient graph too (a quotient cycle lifts to a real lasso because
+/// the symmetry group is finite).
+fn lasso_states(e: &Explored, cfg: ModelConfig) -> usize {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Colour {
+        White,
+        Grey,
+        Black,
+    }
+    let n = e.interner.len();
+    let mut colour = vec![Colour::White; n];
+    let mut on_cycle = vec![false; n];
+    let mut scratch = vec![0u8; cfg.slots()];
+    let mut scratch_moves = Vec::new();
+
+    let hop_succs = |id: u32, scratch: &mut Vec<u8>, moves: &mut Vec<_>| -> Vec<u32> {
+        let state = e.interner.get(id).to_vec();
+        let mut out = Vec::new();
+        progress_successors(cfg, &state, moves, |step, mut next| {
+            if matches!(step, Step::Hop { .. }) {
+                if cfg.symmetry {
+                    canonicalize(&e.transforms, &mut next, scratch);
+                }
+                // Hop successors of explored states are themselves
+                // explored (BFS ran to fixpoint when no wedge exists).
+                if let Some(&sid) = lookup(&e.interner, &next) {
+                    out.push(sid);
+                }
+            }
+        });
+        out
+    };
+
+    for root in 0..n as u32 {
+        if colour[root as usize] != Colour::White {
+            continue;
+        }
+        // Frame: (node, successors, next index).
+        let mut stack: Vec<(u32, Vec<u32>, usize)> = Vec::new();
+        colour[root as usize] = Colour::Grey;
+        let succs = hop_succs(root, &mut scratch, &mut scratch_moves);
+        stack.push((root, succs, 0));
+        while let Some((v, succs, pos)) = stack.last_mut() {
+            if let Some(&w) = succs.get(*pos) {
+                *pos += 1;
+                match colour[w as usize] {
+                    Colour::White => {
+                        colour[w as usize] = Colour::Grey;
+                        let s = hop_succs(w, &mut scratch, &mut scratch_moves);
+                        stack.push((w, s, 0));
+                    }
+                    Colour::Grey => {
+                        // Back edge: everything grey from w up the stack is
+                        // on a cycle.
+                        on_cycle[w as usize] = true;
+                        for (u, _, _) in stack.iter().rev() {
+                            on_cycle[*u as usize] = true;
+                            if *u == w {
+                                break;
+                            }
+                        }
+                    }
+                    Colour::Black => {}
+                }
+            } else {
+                colour[*v as usize] = Colour::Black;
+                stack.pop();
+            }
+        }
+    }
+    on_cycle.iter().filter(|&&b| b).count()
+}
+
+/// Borrow-friendly lookup into the interner without mutating it.
+fn lookup<'a>(i: &'a Interner, state: &[u8]) -> Option<&'a u32> {
+    i.lookup(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::Scheme;
+
+    fn small(scheme: Scheme) -> ModelConfig {
+        ModelConfig::small(scheme)
+    }
+
+    #[test]
+    fn certified_schemes_are_wedge_free_on_2x2() {
+        for scheme in [Scheme::Xy, Scheme::WestFirst, Scheme::Tfc] {
+            let r = check(&small(scheme));
+            assert!(
+                matches!(r.verdict, Verdict::DeadlockFree),
+                "{scheme:?}: {:?}",
+                r.verdict
+            );
+            assert!(r.states > 1, "{scheme:?} explored {} states", r.states);
+        }
+    }
+
+    #[test]
+    fn escape_vc_is_wedge_free_on_2x2() {
+        let r = check(&small(Scheme::EscapeVc));
+        assert!(
+            matches!(r.verdict, Verdict::DeadlockFree),
+            "{:?}",
+            r.verdict
+        );
+    }
+
+    #[test]
+    fn seec_rescue_eliminates_the_adaptive_wedge() {
+        let r = check(&small(Scheme::Seec));
+        assert!(
+            matches!(r.verdict, Verdict::DeadlockFree),
+            "{:?}",
+            r.verdict
+        );
+    }
+
+    #[test]
+    fn adaptive_and_oblivious_wedge_on_2x2_with_minimal_traces() {
+        for scheme in [Scheme::Adaptive, Scheme::Oblivious] {
+            let r = check(&small(scheme));
+            let Verdict::DeadlockReachable { trace } = &r.verdict else {
+                panic!("{scheme:?}: expected a wedge, got {:?}", r.verdict);
+            };
+            // The canonical 2x2 ring wedge: four packets, one hop each.
+            assert_eq!(trace.packets().len(), 4, "{scheme:?}: {}", trace.render());
+            assert_eq!(trace.steps.len(), 8, "{scheme:?}: {}", trace.render());
+            // The trace must replay to a wedge through the abstract model.
+            assert!(replays_to_wedge(r.config, trace), "{}", trace.render());
+        }
+    }
+
+    #[test]
+    fn symmetry_reduction_agrees_and_shrinks() {
+        for scheme in [Scheme::Xy, Scheme::Adaptive] {
+            let mut with = small(scheme);
+            with.symmetry = true;
+            let mut without = small(scheme);
+            without.symmetry = false;
+            let (rw, ro) = (check(&with), check(&without));
+            assert_eq!(
+                std::mem::discriminant(&rw.verdict),
+                std::mem::discriminant(&ro.verdict),
+                "{scheme:?}"
+            );
+            if matches!(rw.verdict, Verdict::DeadlockFree) {
+                assert!(
+                    rw.states < ro.states,
+                    "{scheme:?}: {} !< {}",
+                    rw.states,
+                    ro.states
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_walk_validates_the_lasso_detector() {
+        let mut cfg = small(Scheme::RandomWalk);
+        cfg.max_inflight = 1; // one wandering packet lassos already
+        let r = check(&cfg);
+        assert!(
+            matches!(r.verdict, Verdict::LivelockSuspect { .. }),
+            "{:?}",
+            r.verdict
+        );
+    }
+
+    #[test]
+    fn xy_is_wedge_free_on_3x3_with_two_in_flight() {
+        let cfg = ModelConfig {
+            cols: 3,
+            rows: 3,
+            vcs: 1,
+            scheme: Scheme::Xy,
+            max_inflight: 2,
+            symmetry: true,
+        };
+        let r = check(&cfg);
+        assert!(
+            matches!(r.verdict, Verdict::DeadlockFree),
+            "{:?}",
+            r.verdict
+        );
+    }
+
+    /// Replays `trace` step-by-step through the abstract transition rules,
+    /// asserting each step is enabled, and checks the final state wedges.
+    fn replays_to_wedge(cfg: ModelConfig, trace: &Trace) -> bool {
+        let mut state = vec![0u8; cfg.slots()];
+        for step in &trace.steps {
+            match *step {
+                Step::Inject { node, vc, dest } => {
+                    let slot = cfg.slot(node.idx(), LOCAL_PORT, vc);
+                    assert_eq!(state[slot], 0, "inject into occupied slot");
+                    state[slot] = encode_dest(dest.idx());
+                }
+                Step::Hop {
+                    node,
+                    port,
+                    vc,
+                    dir,
+                    to_vc,
+                } => {
+                    let from = cfg.slot(node.idx(), port, vc);
+                    let dest = slot_dest(state[from]).expect("hop from empty slot");
+                    let nb = dir
+                        .step(cfg.coord(node.idx()), cfg.cols, cfg.rows)
+                        .expect("hop off mesh");
+                    let to = cfg.slot(nb.to_node(cfg.cols).idx(), dir.opposite().index(), to_vc);
+                    assert_eq!(state[to], 0, "hop into occupied slot");
+                    state[from] = 0;
+                    state[to] = encode_dest(dest);
+                }
+                Step::Eject { node, port, vc } | Step::Rescue { node, port, vc } => {
+                    let slot = cfg.slot(node.idx(), port, vc);
+                    assert_ne!(state[slot], 0);
+                    state[slot] = 0;
+                }
+            }
+        }
+        let mut moves = Vec::new();
+        progress_successors(cfg, &state, &mut moves, |_, _| {})
+    }
+}

@@ -1,0 +1,52 @@
+//! `noc-model`: an exhaustive bounded model checker for the repo's
+//! deadlock-freedom claims.
+//!
+//! The CDG certifier (`noc-verify`) proves deadlock freedom *structurally*
+//! — acyclicity of a channel-dependency graph — and its `Deadlockable`
+//! verdicts are only existence proofs of a cyclic wait that *could* close.
+//! This crate attacks the same claims from the opposite side: it
+//! enumerates every reachable buffer configuration of a small mesh
+//! (2x2/3x3, 1-flit packets, a bounded in-flight population) and decides
+//! by exhaustion whether a wedged state — packets in flight, no enabled
+//! move — is reachable at all.
+//!
+//! Three verdicts per (scheme, configuration):
+//!
+//! * **deadlock-free** — no reachable wedge within the bound;
+//! * **deadlock-reachable** — with a minimal concrete trace (BFS depth),
+//!   replayable through the cycle-accurate simulator (`tests/replay.rs`
+//!   in `noc-model`, and the `model_check` binary);
+//! * **livelock-suspect** — a reachable lasso over movement-only
+//!   transitions (packets circulate forever without ejecting).
+//!
+//! The two analyzers are run differentially ([`diff::run_differential`]):
+//! every configuration the CDG certifies must have zero reachable wedges,
+//! and every `Deadlockable` verdict must be backed by a concrete reachable
+//! witness. A disagreement in either direction is a bug in one of the two
+//! tools and fails CI.
+//!
+//! ## Soundness boundary
+//!
+//! The abstract transition system (see [`explore`]) fires one move at a
+//! time and lets *any* enabled packet move — an over-approximation of the
+//! synchronous simulator under every arbiter. Consequently
+//! "deadlock-free" here is sound for the concrete engine **up to the
+//! stated bounds**: mesh size, 1-flit packets, the in-flight cap, and the
+//! sink-consumption assumption (ejection always succeeds; protocol-layer
+//! refusal is `noc-verify`'s protocol matrix's concern). The SEEC rescue
+//! transition takes the paper's guaranteed-ejection property as an axiom
+//! (discharged by `seec`'s own tests). See DESIGN.md §12.
+
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod diff;
+pub mod explore;
+pub mod scheme;
+pub mod state;
+pub mod symmetry;
+
+pub use diff::{run_differential, DiffReport, DiffRow};
+pub use explore::{check, CheckResult, Step, Trace, Verdict};
+pub use scheme::{Scheme, TargetClass};
+pub use state::{Interner, ModelConfig};

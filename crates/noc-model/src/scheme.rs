@@ -1,0 +1,254 @@
+//! Abstract routing/mechanism schemes: which moves a buffered packet may
+//! take, one scheme per deadlock-freedom story the repo tells.
+//!
+//! Each scheme is a *routing relation* — the set of (direction, target VC
+//! class) pairs a packet buffered at `at` with destination `dest` may
+//! request — plus, for SEEC, a rescue transition. The relations
+//! deliberately over-approximate the concrete simulator: the simulator's
+//! arbiters (round-robin nomination, credit-weighted adaptive choice,
+//! seeker scheduling) only ever *select among* these moves, never add to
+//! them, so a wedge that is unreachable in the abstract transition system
+//! is unreachable under every concrete arbiter. See DESIGN.md §12 for the
+//! full soundness argument and its boundary.
+
+use noc_sim::routing::{productive, west_first, xy};
+use noc_types::{BaseRouting, Coord, Direction, RoutingAlgo};
+
+/// VC class a move targets at the downstream router.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TargetClass {
+    /// Any regular VC of the input port.
+    Normal,
+    /// The (single) escape VC of the input port.
+    Escape,
+}
+
+/// One abstract scheme per (routing algorithm × mechanism) family.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Scheme {
+    /// Dimension-ordered XY. Deadlock-free by turn elimination.
+    Xy,
+    /// West-first turn model. Deadlock-free by turn elimination.
+    WestFirst,
+    /// TFC runs the west-first relation; its frequency-boost bypass is a
+    /// timing optimisation that never adds a turn, so its reachable wedge
+    /// set equals west-first's.
+    Tfc,
+    /// Minimal oblivious random: any productive direction.
+    Oblivious,
+    /// Minimal adaptive random: same *relation* as oblivious (the credit
+    /// weighting only biases selection), kept separate for labelling.
+    Adaptive,
+    /// Duato escape VC over minimal-adaptive normal VCs: normal moves plus
+    /// a west-first entry into the escape class; escape residents stay in
+    /// the escape class.
+    EscapeVc,
+    /// SEEC over minimal-adaptive: the adaptive relation plus the seeker /
+    /// Free-Flow rescue — any *blocked* buffered packet can be upgraded
+    /// and delivered out-of-band (the paper's guaranteed-ejection
+    /// property, taken as an axiom here; `seec`'s own tests discharge it).
+    Seec,
+    /// Validation-only non-minimal scheme: a packet may hop in *any*
+    /// direction. Exists to prove the livelock (lasso) detector detects —
+    /// minimal schemes cannot cycle, so without this scheme the detector
+    /// would be vacuously green.
+    RandomWalk,
+}
+
+impl Scheme {
+    /// Every scheme the `model_check` matrix exercises, with the verdict
+    /// it must receive on a small mesh (`true` = no reachable wedge).
+    pub const MATRIX: [(Scheme, bool); 7] = [
+        (Scheme::Xy, true),
+        (Scheme::WestFirst, true),
+        (Scheme::Tfc, true),
+        (Scheme::Oblivious, false),
+        (Scheme::Adaptive, false),
+        (Scheme::EscapeVc, true),
+        (Scheme::Seec, true),
+    ];
+
+    /// Short label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheme::Xy => "XY",
+            Scheme::WestFirst => "WestFirst",
+            Scheme::Tfc => "TFC",
+            Scheme::Oblivious => "Oblivious",
+            Scheme::Adaptive => "Adaptive",
+            Scheme::EscapeVc => "EscapeVC",
+            Scheme::Seec => "SEEC",
+            Scheme::RandomWalk => "RandomWalk",
+        }
+    }
+
+    /// Parses a label (case-insensitive), for the `model_check` CLI.
+    pub fn parse(s: &str) -> Option<Scheme> {
+        match s.to_ascii_lowercase().as_str() {
+            "xy" => Some(Scheme::Xy),
+            "west-first" | "westfirst" | "wf" => Some(Scheme::WestFirst),
+            "tfc" => Some(Scheme::Tfc),
+            "oblivious" => Some(Scheme::Oblivious),
+            "adaptive" => Some(Scheme::Adaptive),
+            "escape" | "escapevc" => Some(Scheme::EscapeVc),
+            "seec" => Some(Scheme::Seec),
+            "randomwalk" | "random-walk" => Some(Scheme::RandomWalk),
+            _ => None,
+        }
+    }
+
+    /// The abstract scheme matching a concrete routing algorithm (the
+    /// mapping the differential harness uses for `noc-verify` matrix rows).
+    pub fn from_routing(routing: RoutingAlgo) -> Scheme {
+        match routing {
+            RoutingAlgo::Uniform(BaseRouting::Xy) => Scheme::Xy,
+            RoutingAlgo::Uniform(BaseRouting::WestFirst) => Scheme::WestFirst,
+            RoutingAlgo::Uniform(BaseRouting::ObliviousMinimal) => Scheme::Oblivious,
+            RoutingAlgo::Uniform(BaseRouting::AdaptiveMinimal) => Scheme::Adaptive,
+            RoutingAlgo::EscapeVc { .. } => Scheme::EscapeVc,
+        }
+    }
+
+    /// Whether the last VC of each port is a west-first escape VC.
+    pub fn has_escape(self) -> bool {
+        matches!(self, Scheme::EscapeVc)
+    }
+
+    /// Whether the scheme has the SEEC rescue transition.
+    pub fn has_rescue(self) -> bool {
+        matches!(self, Scheme::Seec)
+    }
+
+    /// VCs per port the scheme needs to be meaningful (escape needs one
+    /// regular VC *plus* the escape VC).
+    pub fn default_vcs(self) -> u8 {
+        if self.has_escape() {
+            2
+        } else {
+            1
+        }
+    }
+
+    /// Default in-flight packet bound. Four packets close the 2x2 ring
+    /// wedge at one VC per port; the escape configuration carries two VCs
+    /// per port, so its frontier is capped a step lower to keep the space
+    /// small (its certificate is per-bound, stated as such in the verdict).
+    pub fn default_inflight(self) -> u8 {
+        if self.has_escape() {
+            3
+        } else {
+            4
+        }
+    }
+
+    /// The moves a packet buffered at `at` (destination `dest`, currently
+    /// in an escape-class VC iff `in_escape`) may request, appended to
+    /// `out` as (direction, downstream VC class) pairs. Empty means the
+    /// packet is at its destination (eject instead) or genuinely has no
+    /// legal move.
+    pub fn legal_moves(
+        self,
+        at: Coord,
+        dest: Coord,
+        cols: u8,
+        rows: u8,
+        in_escape: bool,
+        out: &mut Vec<(Direction, TargetClass)>,
+    ) {
+        out.clear();
+        if at == dest {
+            return;
+        }
+        match self {
+            Scheme::Xy => {
+                for &d in xy(at, dest).as_slice() {
+                    out.push((d, TargetClass::Normal));
+                }
+            }
+            Scheme::WestFirst | Scheme::Tfc => {
+                for &d in west_first(at, dest).as_slice() {
+                    out.push((d, TargetClass::Normal));
+                }
+            }
+            Scheme::Oblivious | Scheme::Adaptive | Scheme::Seec => {
+                for &d in productive(at, dest).as_slice() {
+                    out.push((d, TargetClass::Normal));
+                }
+            }
+            Scheme::EscapeVc => {
+                if !in_escape {
+                    for &d in productive(at, dest).as_slice() {
+                        out.push((d, TargetClass::Normal));
+                    }
+                }
+                // Escape entry (and escape-to-escape) is west-first only,
+                // matching `Cdg::build`'s dependency edges.
+                for &d in west_first(at, dest).as_slice() {
+                    out.push((d, TargetClass::Escape));
+                }
+            }
+            Scheme::RandomWalk => {
+                for d in Direction::CARDINAL {
+                    if d.step(at, cols, rows).is_some() {
+                        out.push((d, TargetClass::Normal));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relations_are_minimal_except_random_walk() {
+        let (cols, rows) = (3u8, 3);
+        let mut moves = Vec::new();
+        for s in [
+            Scheme::Xy,
+            Scheme::WestFirst,
+            Scheme::Tfc,
+            Scheme::Oblivious,
+            Scheme::Adaptive,
+            Scheme::EscapeVc,
+            Scheme::Seec,
+        ] {
+            for esc in [false, true] {
+                if esc && !s.has_escape() {
+                    continue;
+                }
+                for a in 0..9u16 {
+                    for d in 0..9u16 {
+                        let at = noc_types::NodeId(a).to_coord(cols);
+                        let dest = noc_types::NodeId(d).to_coord(cols);
+                        s.legal_moves(at, dest, cols, rows, esc, &mut moves);
+                        for (dir, _) in &moves {
+                            let next = dir.step(at, cols, rows).expect("on-mesh move");
+                            assert!(
+                                next.manhattan(dest) < at.manhattan(dest),
+                                "{s:?}: unproductive hop {at}→{next} toward {dest}"
+                            );
+                        }
+                        if a != d {
+                            assert!(!moves.is_empty(), "{s:?}: no move {at}→{dest}");
+                        }
+                    }
+                }
+            }
+        }
+        // RandomWalk, by contrast, offers unproductive hops somewhere.
+        let at = Coord::new(1, 1);
+        Scheme::RandomWalk.legal_moves(at, Coord::new(2, 1), cols, rows, false, &mut moves);
+        assert_eq!(moves.len(), 4, "RandomWalk offers every on-mesh direction");
+    }
+
+    #[test]
+    fn escape_residents_stay_in_escape() {
+        let mut moves = Vec::new();
+        Scheme::EscapeVc.legal_moves(Coord::new(1, 0), Coord::new(0, 1), 2, 2, true, &mut moves);
+        assert!(!moves.is_empty());
+        assert!(moves.iter().all(|&(_, c)| c == TargetClass::Escape));
+    }
+}

@@ -1,0 +1,196 @@
+//! Canonical state encoding and the hash-consing interner.
+//!
+//! A model state assigns to every buffer *slot* — (router, input port,
+//! VC) — either "empty" or the destination of the single packet occupying
+//! it (virtual cut-through with 1-flit packets: a packet occupies exactly
+//! one VC, so packet granularity *is* buffer granularity). Sources are
+//! abstracted away entirely: the pool of not-yet-injected packets is
+//! unbounded and heterogeneous, and only the in-flight population (capped
+//! at [`ModelConfig::max_inflight`]) is part of the state. Two states that
+//! place packets with equal destinations in equal slots are therefore the
+//! same state, no matter which sources produced them — the
+//! injection-abstraction that makes the reachable space finite.
+//!
+//! Encoding: one byte per slot, `0` = empty, `d + 1` = occupied by a
+//! packet destined for node `d`. Slot order is node-major, then port
+//! (direction-index order, local port last), then VC — so an encoded
+//! state is directly comparable and hashable; the interner stores each
+//! distinct encoding once and hands out dense `u32` ids that the explorer
+//! uses for its seen-set, BFS queue and parent links.
+
+use crate::scheme::Scheme;
+use noc_types::{Coord, NodeId, NUM_PORTS};
+use std::collections::HashMap;
+
+/// Index of the local (injection) port within a slot's port dimension.
+pub const LOCAL_PORT: usize = NUM_PORTS - 1;
+
+/// One bounded model-checking problem: mesh, VC count, scheme, frontier.
+#[derive(Clone, Copy, Debug)]
+pub struct ModelConfig {
+    /// Mesh columns.
+    pub cols: u8,
+    /// Mesh rows.
+    pub rows: u8,
+    /// VCs per input port (one virtual network; the escape scheme treats
+    /// the last VC as the escape class).
+    pub vcs: u8,
+    /// The abstract scheme under test.
+    pub scheme: Scheme,
+    /// In-flight packet bound: injection is disabled while this many
+    /// packets are in the network. Verdicts are certificates *up to this
+    /// bound*.
+    pub max_inflight: u8,
+    /// Quotient the search by the scheme's mesh-symmetry group.
+    pub symmetry: bool,
+}
+
+impl ModelConfig {
+    /// The standard small configuration for `scheme`: 2x2 mesh,
+    /// scheme-default VC count and in-flight bound, symmetry on.
+    pub fn small(scheme: Scheme) -> ModelConfig {
+        ModelConfig {
+            cols: 2,
+            rows: 2,
+            vcs: scheme.default_vcs(),
+            scheme,
+            max_inflight: scheme.default_inflight(),
+            symmetry: true,
+        }
+    }
+
+    /// Total nodes.
+    pub fn nodes(self) -> usize {
+        self.cols as usize * self.rows as usize
+    }
+
+    /// Total buffer slots (= encoded state length).
+    pub fn slots(self) -> usize {
+        self.nodes() * NUM_PORTS * self.vcs as usize
+    }
+
+    /// Flat slot index of (node, input port, vc).
+    pub fn slot(self, node: usize, port: usize, vc: usize) -> usize {
+        (node * NUM_PORTS + port) * self.vcs as usize + vc
+    }
+
+    /// Inverse of [`ModelConfig::slot`].
+    pub fn slot_fields(self, slot: usize) -> (usize, usize, usize) {
+        let vcs = self.vcs as usize;
+        (
+            slot / (NUM_PORTS * vcs),
+            (slot / vcs) % NUM_PORTS,
+            slot % vcs,
+        )
+    }
+
+    /// Whether `vc` is the escape class under this scheme.
+    pub fn is_escape_vc(self, vc: usize) -> bool {
+        self.scheme.has_escape() && vc == self.vcs as usize - 1
+    }
+
+    /// Coordinate of a node index.
+    pub fn coord(self, node: usize) -> Coord {
+        NodeId(node as u16).to_coord(self.cols)
+    }
+
+    /// One-line description for tables and verdicts.
+    pub fn describe(self) -> String {
+        format!(
+            "{}x{} mesh, {} vc/port, ≤{} in flight{}",
+            self.cols,
+            self.rows,
+            self.vcs,
+            self.max_inflight,
+            if self.symmetry {
+                ", symmetry-reduced"
+            } else {
+                ""
+            }
+        )
+    }
+}
+
+/// Decodes a slot byte: `None` for empty, else the packet's destination.
+#[inline]
+pub fn slot_dest(byte: u8) -> Option<usize> {
+    (byte != 0).then(|| byte as usize - 1)
+}
+
+/// Encodes a destination into a slot byte.
+#[inline]
+pub fn encode_dest(dest: usize) -> u8 {
+    dest as u8 + 1
+}
+
+/// Hash-consing store: each distinct encoded state appears exactly once
+/// and is addressed by a dense `u32` id (insertion order).
+#[derive(Default)]
+pub struct Interner {
+    map: HashMap<Box<[u8]>, u32>,
+    states: Vec<Box<[u8]>>,
+}
+
+impl Interner {
+    /// Interns `state`, returning `(id, freshly_inserted)`.
+    pub fn intern(&mut self, state: &[u8]) -> (u32, bool) {
+        if let Some(&id) = self.map.get(state) {
+            return (id, false);
+        }
+        let id = self.states.len() as u32;
+        let boxed: Box<[u8]> = state.into();
+        self.states.push(boxed.clone());
+        self.map.insert(boxed, id);
+        (id, true)
+    }
+
+    /// The encoding behind `id`.
+    pub fn get(&self, id: u32) -> &[u8] {
+        &self.states[id as usize]
+    }
+
+    /// Looks up `state` without interning it.
+    pub fn lookup(&self, state: &[u8]) -> Option<&u32> {
+        self.map.get(state)
+    }
+
+    /// Number of distinct states interned.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_roundtrip() {
+        let cfg = ModelConfig::small(Scheme::EscapeVc);
+        for s in 0..cfg.slots() {
+            let (n, p, v) = cfg.slot_fields(s);
+            assert_eq!(cfg.slot(n, p, v), s);
+        }
+        assert_eq!(cfg.slots(), 4 * 5 * 2);
+        assert!(cfg.is_escape_vc(1));
+        assert!(!cfg.is_escape_vc(0));
+    }
+
+    #[test]
+    fn interner_deduplicates() {
+        let mut i = Interner::default();
+        let (a, fresh_a) = i.intern(&[0, 1, 2]);
+        let (b, fresh_b) = i.intern(&[0, 1, 2]);
+        let (c, _) = i.intern(&[0, 0, 0]);
+        assert!(fresh_a && !fresh_b);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.get(a), &[0, 1, 2]);
+    }
+}

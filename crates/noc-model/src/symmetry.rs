@@ -1,0 +1,248 @@
+//! Mesh-symmetry reduction: orbit canonicalization of encoded states.
+//!
+//! A mesh automorphism that also preserves the scheme's routing relation
+//! maps reachable states to reachable states and wedges to wedges, so the
+//! explorer only needs one representative per orbit. Each scheme admits a
+//! different group:
+//!
+//! * fully symmetric relations (productive-direction schemes, the random
+//!   walk) admit the whole dihedral group — 8 elements on square meshes,
+//!   the 4 reflection/rotation elements without the transpose otherwise;
+//! * XY is x-before-y, so transposing the mesh breaks it: its group is
+//!   `{id, flip_x, flip_y, rot180}`;
+//! * anything west-first (west-first itself, TFC, the escape class of the
+//!   Duato composite) singles out one axis *direction*: only `{id,
+//!   flip_y}` survive.
+//!
+//! Canonical form = the lexicographically smallest encoding over the
+//! group's images. Because the group is finite, a lasso in the quotient
+//! graph lifts to a real lasso (iterate the witness transform until it
+//! returns to the identity), and wedge-ness of a state is invariant — so
+//! verdicts computed on the quotient are verdicts of the full system.
+//! Concrete *traces*, however, are extracted from a symmetry-free rerun
+//! (see `explore`), keeping witness steps directly replayable.
+
+use crate::scheme::Scheme;
+use crate::state::ModelConfig;
+use noc_types::{Coord, Direction};
+
+/// One group element, precompiled to slot and destination permutations.
+pub struct Transform {
+    /// `slot_perm[s]` = image slot of slot `s`.
+    slot_perm: Vec<u32>,
+    /// `node_perm[n]` = image node of node `n` (applied to destinations).
+    node_perm: Vec<u8>,
+}
+
+/// Geometric generators: apply transpose first, then the two flips.
+#[derive(Clone, Copy)]
+struct Geo {
+    transpose: bool,
+    flip_x: bool,
+    flip_y: bool,
+}
+
+impl Geo {
+    fn map_coord(self, c: Coord, cols: u8, rows: u8) -> Coord {
+        let (mut x, mut y) = if self.transpose {
+            (c.y, c.x)
+        } else {
+            (c.x, c.y)
+        };
+        if self.flip_x {
+            x = cols - 1 - x;
+        }
+        if self.flip_y {
+            y = rows - 1 - y;
+        }
+        Coord::new(x, y)
+    }
+
+    fn map_dir(self, d: Direction) -> Direction {
+        // Transpose maps a step (dx, dy) to (dy, dx): N↔W, S↔E.
+        let d = if self.transpose {
+            match d {
+                Direction::North => Direction::West,
+                Direction::West => Direction::North,
+                Direction::South => Direction::East,
+                Direction::East => Direction::South,
+                Direction::Local => Direction::Local,
+            }
+        } else {
+            d
+        };
+        let d = if self.flip_x {
+            match d {
+                Direction::East => Direction::West,
+                Direction::West => Direction::East,
+                other => other,
+            }
+        } else {
+            d
+        };
+        if self.flip_y {
+            match d {
+                Direction::North => Direction::South,
+                Direction::South => Direction::North,
+                other => other,
+            }
+        } else {
+            d
+        }
+    }
+}
+
+/// The scheme-valid symmetry group of `cfg`, compiled to permutations.
+/// Always includes the identity; with `cfg.symmetry` disabled callers
+/// simply skip canonicalization.
+pub fn transforms_for(cfg: ModelConfig) -> Vec<Transform> {
+    let square = cfg.cols == cfg.rows;
+    let mut geos: Vec<Geo> = Vec::new();
+    for transpose in [false, true] {
+        if transpose && !square {
+            continue;
+        }
+        for flip_x in [false, true] {
+            for flip_y in [false, true] {
+                geos.push(Geo {
+                    transpose,
+                    flip_x,
+                    flip_y,
+                });
+            }
+        }
+    }
+    geos.retain(|g| match cfg.scheme {
+        Scheme::Oblivious | Scheme::Adaptive | Scheme::Seec | Scheme::RandomWalk => true,
+        Scheme::Xy => !g.transpose,
+        Scheme::WestFirst | Scheme::Tfc | Scheme::EscapeVc => !g.transpose && !g.flip_x,
+    });
+    geos.iter().map(|&g| compile(cfg, g)).collect()
+}
+
+fn compile(cfg: ModelConfig, g: Geo) -> Transform {
+    let nodes = cfg.nodes();
+    let node_perm: Vec<u8> = (0..nodes)
+        .map(|n| {
+            g.map_coord(cfg.coord(n), cfg.cols, cfg.rows)
+                .to_node(cfg.cols)
+                .idx() as u8
+        })
+        .collect();
+    let mut slot_perm = vec![0u32; cfg.slots()];
+    for (s, out) in slot_perm.iter_mut().enumerate() {
+        let (n, p, v) = cfg.slot_fields(s);
+        let np = node_perm[n] as usize;
+        let pp = g.map_dir(Direction::from_index(p)).index();
+        *out = cfg.slot(np, pp, v) as u32;
+    }
+    Transform {
+        slot_perm,
+        node_perm,
+    }
+}
+
+/// Writes the image of `state` under `t` into `out`.
+pub fn apply(t: &Transform, state: &[u8], out: &mut [u8]) {
+    for (s, &b) in state.iter().enumerate() {
+        out[t.slot_perm[s] as usize] = if b == 0 {
+            0
+        } else {
+            t.node_perm[b as usize - 1] + 1
+        };
+    }
+}
+
+/// Replaces `state` with the lexicographically smallest encoding over the
+/// group's images. `scratch` must be `state.len()` bytes.
+pub fn canonicalize(transforms: &[Transform], state: &mut [u8], scratch: &mut [u8]) {
+    // Images must all be taken of the *original* state: replacing it
+    // mid-loop would make later candidates path-dependent compositions
+    // and the pass could miss the orbit minimum.
+    let base = state.to_vec();
+    // transforms[0] is the identity; start from the state itself.
+    for t in &transforms[1..] {
+        apply(t, &base, scratch);
+        if scratch < state {
+            state.copy_from_slice(scratch);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::encode_dest;
+
+    #[test]
+    fn group_sizes_match_the_schemes() {
+        let sizes = [
+            (Scheme::Adaptive, 8),
+            (Scheme::RandomWalk, 8),
+            (Scheme::Xy, 4),
+            (Scheme::WestFirst, 2),
+            (Scheme::Tfc, 2),
+            (Scheme::EscapeVc, 2),
+        ];
+        for (scheme, n) in sizes {
+            let cfg = ModelConfig::small(scheme);
+            assert_eq!(transforms_for(cfg).len(), n, "{scheme:?}");
+        }
+        // Non-square meshes lose the transpose elements.
+        let mut cfg = ModelConfig::small(Scheme::Adaptive);
+        cfg.rows = 3;
+        assert_eq!(transforms_for(cfg).len(), 4);
+    }
+
+    #[test]
+    fn transforms_are_permutations_preserving_occupancy() {
+        let cfg = ModelConfig::small(Scheme::Adaptive);
+        let mut state = vec![0u8; cfg.slots()];
+        state[cfg.slot(0, 3, 0)] = encode_dest(3);
+        state[cfg.slot(2, crate::state::LOCAL_PORT, 0)] = encode_dest(1);
+        let mut out = vec![0u8; cfg.slots()];
+        for t in transforms_for(cfg) {
+            apply(&t, &state, &mut out);
+            assert_eq!(
+                out.iter().filter(|&&b| b != 0).count(),
+                2,
+                "occupancy must be preserved"
+            );
+            // Local-port slots map to local-port slots.
+            let locals = (0..cfg.slots())
+                .filter(|&s| cfg.slot_fields(s).1 == crate::state::LOCAL_PORT)
+                .filter(|&s| out[s] != 0)
+                .count();
+            assert_eq!(locals, 1);
+        }
+    }
+
+    #[test]
+    fn canonical_form_is_orbit_invariant() {
+        let cfg = ModelConfig::small(Scheme::Adaptive);
+        let tfs = transforms_for(cfg);
+        let mut state = vec![0u8; cfg.slots()];
+        state[cfg.slot(1, 0, 0)] = encode_dest(2);
+        state[cfg.slot(3, 2, 0)] = encode_dest(0);
+        let mut scratch = vec![0u8; cfg.slots()];
+
+        let mut canon = state.clone();
+        canonicalize(&tfs, &mut canon, &mut scratch);
+
+        // Every image of the state canonicalizes to the same representative.
+        let mut img = vec![0u8; cfg.slots()];
+        for t in &tfs {
+            apply(t, &state, &mut img);
+            let mut c = img.clone();
+            canonicalize(&tfs, &mut c, &mut scratch);
+            assert_eq!(c, canon);
+        }
+    }
+
+    #[test]
+    fn port_dimension_uses_num_ports() {
+        // Guard against a port-layout drift between noc-types and the model.
+        assert_eq!(noc_types::NUM_PORTS, 5);
+        assert_eq!(crate::state::LOCAL_PORT, Direction::Local.index());
+    }
+}

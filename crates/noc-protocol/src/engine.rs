@@ -296,7 +296,10 @@ impl ProtocolWorkload {
                     acks += 1;
                 }
             }
-            self.txns.get_mut(&txn_id).unwrap().acks_needed = acks;
+            self.txns
+                .get_mut(&txn_id)
+                .expect("txn registered before its acks are counted")
+                .acks_needed = acks;
             self.queue_msg(home, txn.requestor, DATA, 5, Msg::Data { txn: txn_id });
         }
     }

@@ -18,6 +18,7 @@
 //! | 4 | Writeback data        | 5 | no — needs a free directory TBE |
 //! | 5 | Unblock / completion  | 1 | yes (frees the TBE) |
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 #![forbid(unsafe_code)]
 
 pub mod engine;

@@ -150,6 +150,16 @@ pub fn tick(net: &mut Network) {
     let Some(fl) = &mut net.fault else {
         return;
     };
+    // A settled schedule with no stranded scan pending has no per-cycle
+    // work left: skip the take/put churn, and guarantee structurally that
+    // the epoch trace can never grow after the last event.
+    if fl
+        .chaos
+        .as_ref()
+        .is_some_and(|c| c.settled() && !c.scan_stranded)
+    {
+        return;
+    }
     let Some(mut chaos) = fl.chaos.take() else {
         return;
     };
@@ -473,5 +483,132 @@ fn purge_stranded(chaos: &ChaosState, net: &mut Network) {
         // Purging is progress: the stall it resolves must not also trip the
         // watchdog while end-to-end retransmission takes over.
         net.last_progress = now;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    //! Epoch-boundary pins: the degenerate schedule shapes (no schedule,
+    //! zero events due this cycle, fully settled) must do exactly nothing —
+    //! no chaos state, no epoch records, no per-cycle work.
+
+    use crate::network::Sim;
+    use crate::workload::IdleWorkload;
+    use noc_types::{Direction, FaultConfig, FaultSchedule, NetConfig, NodeId};
+
+    fn sim(cfg: NetConfig) -> Sim {
+        Sim::new(cfg, Box::new(IdleWorkload), Box::new(crate::NoMechanism))
+    }
+
+    #[test]
+    fn empty_schedule_creates_no_chaos_state() {
+        // `FaultSchedule::none()` must behave exactly like no schedule at
+        // all: no ChaosState is hung off the fault layer, no epoch is ever
+        // recorded, and ticking is a no-op.
+        let cfg = NetConfig::synth(4, 2)
+            .with_fault(FaultConfig::default().with_schedule(FaultSchedule::none()));
+        let mut s = sim(cfg);
+        assert!(s.net.fault.as_ref().is_none_or(|f| f.chaos.is_none()));
+        for _ in 0..50 {
+            s.step();
+        }
+        assert_eq!(s.net.stats.chaos_epochs, 0);
+        assert!(s.net.stats.epochs.is_empty());
+    }
+
+    #[test]
+    fn epoch_records_track_events_exactly() {
+        // One kill at cycle 10, one heal at 50: before the first event the
+        // trace is empty; after each boundary it grows by exactly one; once
+        // the schedule settles it never grows again.
+        let cfg = NetConfig::synth(4, 2).with_fault(
+            FaultConfig::default().with_schedule(FaultSchedule::link_flap(
+                NodeId(5),
+                Direction::East,
+                10,
+                50,
+            )),
+        );
+        let mut s = sim(cfg);
+        while s.net.cycle < 10 {
+            s.step();
+        }
+        assert!(s.net.stats.epochs.is_empty(), "no epoch before the event");
+        while s.net.cycle < 50 {
+            s.step();
+        }
+        assert_eq!(s.net.stats.epochs.len(), 1, "kill recorded once");
+        assert!(
+            s.net.stats.epochs[0].cut_done_at.is_some(),
+            "idle link drain-cuts promptly"
+        );
+        for _ in 0..200 {
+            s.step();
+        }
+        assert_eq!(s.net.stats.epochs.len(), 2, "heal recorded once");
+        assert_eq!(s.net.stats.chaos_epochs, 2);
+        let chaos = s.net.fault.as_ref().and_then(|f| f.chaos.as_ref());
+        assert!(chaos.is_some_and(|c| c.settled()), "schedule must settle");
+    }
+
+    #[test]
+    fn same_cycle_events_get_one_record_each() {
+        use noc_types::{FaultAction, FaultEvent};
+        let events = vec![
+            FaultEvent {
+                at: 5,
+                action: FaultAction::KillLink(NodeId(5), Direction::East),
+            },
+            FaultEvent {
+                at: 5,
+                action: FaultAction::KillLink(NodeId(9), Direction::North),
+            },
+        ];
+        let cfg = NetConfig::synth(4, 2)
+            .with_fault(FaultConfig::default().with_schedule(FaultSchedule::new(events)));
+        let mut s = sim(cfg);
+        for _ in 0..30 {
+            s.step();
+        }
+        assert_eq!(s.net.stats.epochs.len(), 2, "one record per event");
+        assert_eq!(s.net.stats.chaos_epochs, 2);
+        assert_eq!(s.net.stats.epochs[0].cycle, s.net.stats.epochs[1].cycle);
+    }
+
+    #[test]
+    fn settled_schedule_does_no_further_work() {
+        // After the last event applies and its cut drains, the guard in
+        // `tick` short-circuits: the chaos state stays queryable (the soak
+        // harness polls `settled`) and the trace is frozen.
+        let cfg = NetConfig::synth(4, 2).with_fault(
+            FaultConfig::default().with_schedule(FaultSchedule::link_flap(
+                NodeId(5),
+                Direction::East,
+                5,
+                8,
+            )),
+        );
+        let mut s = sim(cfg);
+        for _ in 0..40 {
+            s.step();
+        }
+        let frozen = s.net.stats.epochs.len();
+        let applied = s
+            .net
+            .fault
+            .as_ref()
+            .and_then(|f| f.chaos.as_ref())
+            .map(|c| c.events_applied());
+        assert_eq!(applied, Some(2));
+        for _ in 0..500 {
+            s.step();
+        }
+        assert_eq!(s.net.stats.epochs.len(), frozen);
+        assert!(s
+            .net
+            .fault
+            .as_ref()
+            .and_then(|f| f.chaos.as_ref())
+            .is_some_and(|c| c.settled()));
     }
 }

@@ -29,6 +29,7 @@ pub mod reorder;
 pub mod reservation;
 pub mod router;
 pub mod routing;
+pub mod snapshot;
 pub mod stats;
 pub mod vc;
 pub mod watchdog;
@@ -44,6 +45,7 @@ pub use recovery::RecoveryState;
 pub use reorder::ReorderBuffer;
 pub use reservation::ReservationTable;
 pub use router::{DownFree, Router};
+pub use snapshot::NetSnapshot;
 pub use stats::{DeliveredPacket, Stats};
 pub use vc::{VcRoute, VirtualChannel};
 pub use workload::{IdleWorkload, PacketFactory, Workload};

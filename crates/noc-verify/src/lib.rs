@@ -20,9 +20,11 @@
 //! whose correctness rests on the routing relation and refuses uncertified
 //! ones unless explicitly overridden.
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod cdg;
 pub mod degraded;
+pub mod matrix;
 pub mod protocol;
 pub mod recovery;
 pub mod scc;
@@ -31,6 +33,7 @@ pub mod witness;
 
 pub use cdg::{Cdg, Channel, VcClass};
 pub use degraded::{certify_degraded, DegradedReport, DegradedVerdict};
+pub use matrix::{cross_check, MatrixRow, ReachVerdict};
 pub use protocol::ProtocolVerdict;
 pub use recovery::{certify_recovery, RecoveryReport, RecoveryVerdict};
 pub use schedule::{certify_schedule, EpochCertification};

@@ -5,6 +5,7 @@
 //! noc-verify --all-configs          # expectation matrix, used by CI
 //! ```
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 use noc_types::{
     BaseRouting, Direction, FaultConfig, NetConfig, NodeId, RecoveryConfig, RoutingAlgo,
@@ -223,69 +224,6 @@ fn config_of(args: &Args) -> NetConfig {
     cfg
 }
 
-/// The expectation matrix exercised by `--all-configs` (and CI): every
-/// headline configuration of the paper, with the verdict it must receive.
-fn all_configs() -> Vec<(NetConfig, bool, &'static str)> {
-    let mut out = Vec::new();
-    for k in [4u8, 8] {
-        for (routing, certified) in [
-            (RoutingAlgo::Uniform(BaseRouting::Xy), true),
-            (RoutingAlgo::Uniform(BaseRouting::WestFirst), true),
-            (RoutingAlgo::Uniform(BaseRouting::ObliviousMinimal), false),
-            (RoutingAlgo::Uniform(BaseRouting::AdaptiveMinimal), false),
-            (
-                RoutingAlgo::EscapeVc {
-                    normal: BaseRouting::AdaptiveMinimal,
-                },
-                true,
-            ),
-        ] {
-            out.push((
-                NetConfig::synth(k, 4).with_routing(routing),
-                certified,
-                if certified {
-                    "must certify"
-                } else {
-                    "must produce a witness"
-                },
-            ));
-        }
-        // Full-system: six VNets isolate the protocol's class dependencies…
-        out.push((
-            NetConfig::full_system(k, 6, 2).with_routing(RoutingAlgo::Uniform(BaseRouting::Xy)),
-            true,
-            "six VNets must certify both layers",
-        ));
-        // …a single shared VNet must be flagged at the protocol layer.
-        out.push((
-            NetConfig::full_system(k, 1, 2).with_routing(RoutingAlgo::Uniform(BaseRouting::Xy)),
-            false,
-            "one shared VNet must fail the protocol layer",
-        ));
-    }
-    out
-}
-
-/// The recovery-channel expectation matrix: armed meshes must certify,
-/// degenerate arrangements must be refused.
-fn all_recovery_configs() -> Vec<(NetConfig, bool, &'static str)> {
-    let mut out = Vec::new();
-    for k in [4u8, 8] {
-        out.push((
-            NetConfig::synth(k, 4).with_recovery(RecoveryConfig::drain()),
-            true,
-            "armed recovery channel must certify",
-        ));
-    }
-    out.push((
-        NetConfig::synth(8, 4)
-            .with_recovery(RecoveryConfig::drain().with_stuck_threshold(1_000_000)),
-        false,
-        "a drain threshold above the watchdog's must be refused",
-    ));
-    out
-}
-
 fn run_all_configs() -> i32 {
     let mut mismatches = 0usize;
     let mut total = 0usize;
@@ -303,17 +241,17 @@ fn run_all_configs() -> i32 {
             eprint!("{rendered}");
         }
     };
-    for (cfg, expect_certified, why) in all_configs() {
-        let report = certify(&cfg);
+    for row in noc_verify::matrix::all_configs() {
+        let report = certify(&row.cfg);
         let got = report.certified();
         let rendered = report.render();
-        check(report.config, got, expect_certified, why, rendered);
+        check(report.config, got, row.expect_certified, row.why, rendered);
     }
-    for (cfg, expect_certified, why) in all_recovery_configs() {
-        let report = certify_recovery(&cfg);
+    for row in noc_verify::matrix::all_recovery_configs() {
+        let report = certify_recovery(&row.cfg);
         let got = report.certified();
         let rendered = report.render();
-        check(report.config, got, expect_certified, why, rendered);
+        check(report.config, got, row.expect_certified, row.why, rendered);
     }
     if mismatches == 0 {
         println!("all {total} configurations match their expected verdicts");

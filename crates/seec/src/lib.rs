@@ -14,6 +14,7 @@
 //! the paper's lookahead signal, §3.5).
 
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod flight;
 pub mod mseec;

@@ -174,7 +174,7 @@ fn search_router_for(
             if !eligible {
                 continue;
             }
-            let front = v.front().unwrap();
+            let front = v.front().expect("eligible VC is non-empty");
             if front.dest == origin && front.class == class && !front.ff {
                 if wormhole {
                     return Some(MFound::Stream(port, vc));
@@ -192,7 +192,7 @@ fn search_router_for(
     if search_queues {
         let q = &mut net.nics[r].inj_queues[class.idx()];
         if let Some(k) = q.iter().position(|p| p.dest == origin) {
-            let pkt = q.remove(k).unwrap();
+            let pkt = q.remove(k).expect("position() returned an in-range index");
             let mut flits: Vec<Flit> = (0..pkt.len_flits)
                 .map(|i| Flit::from_packet(&pkt, i, now))
                 .collect();
@@ -313,7 +313,7 @@ impl Mechanism for MSeecMechanism {
                         Some(MFound::Stream(port, vc)) => {
                             let pkt = net.routers[cur.idx()].inputs[port].vcs[vc]
                                 .front()
-                                .unwrap()
+                                .expect("streamed VC holds the matched packet")
                                 .packet;
                             net.nics[s.origin.idx()].ejection[s.ej_vc].reserve =
                                 EjReserve::For(pkt);

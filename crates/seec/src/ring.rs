@@ -37,7 +37,10 @@ impl SeekerRing {
         // Return toward (0,0): walk up the ending column, then west along
         // row 0, stopping one hop short of the start so the walk closes with
         // a single hop (no duplicate of the start node).
-        let end = seq.last().unwrap().to_coord(cols);
+        let end = seq
+            .last()
+            .expect("the serpentine walk visits at least row zero")
+            .to_coord(cols);
         let stop_y = if end.x == 0 { 1 } else { 0 };
         for y in (stop_y..end.y).rev() {
             seq.push(Coord::new(end.x, y).to_node(cols));

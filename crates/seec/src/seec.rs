@@ -216,7 +216,7 @@ impl SeecMechanism {
                 if !eligible {
                     continue;
                 }
-                let front = v.front().unwrap();
+                let front = v.front().expect("eligible VC is non-empty");
                 if front.dest == s.origin && front.class == s.class && !front.ff {
                     if wormhole {
                         return Some(Found::Stream(node, port, vc));
@@ -230,7 +230,7 @@ impl SeecMechanism {
         if s.search_queues {
             let q = &mut net.nics[r].inj_queues[s.class.idx()];
             if let Some(k) = q.iter().position(|p| p.dest == s.origin) {
-                let pkt = q.remove(k).unwrap();
+                let pkt = q.remove(k).expect("position() returned an in-range index");
                 let flits: Vec<Flit> = (0..pkt.len_flits)
                     .map(|i| Flit::from_packet(&pkt, i, now))
                     .collect();
@@ -334,7 +334,7 @@ impl Mechanism for SeecMechanism {
                                 (self.ring.position_of(node) + 1) % self.ring.len();
                             let pkt = net.routers[node.idx()].inputs[port].vcs[vc]
                                 .front()
-                                .unwrap()
+                                .expect("streamed VC holds the matched packet")
                                 .packet;
                             net.nics[s.origin.idx()].ejection[s.ej_vc].reserve =
                                 EjReserve::For(pkt);

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Lint-wall audit: every workspace crate must opt into the shared lint
+# table and forbid unsafe code, and the core certification/mechanism
+# crates must deny unwrap() in production code.
+#
+# Run from the repo root:  bash scripts/lint_audit.sh
+# Exits nonzero listing every violation; CI gates on it.
+
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+complain() {
+    echo "lint-audit: $*" >&2
+    fail=1
+}
+
+# Workspace members are crates/* minus the excluded compat tree.
+for manifest in crates/*/Cargo.toml; do
+    crate_dir=$(dirname "$manifest")
+    crate=$(basename "$crate_dir")
+    [ "$crate" = "compat" ] && continue
+
+    # 1. Every member opts into the shared [workspace.lints] table.
+    if ! grep -Eq '^\[lints\]' "$manifest" || \
+       ! grep -A1 '^\[lints\]' "$manifest" | grep -Eq '^workspace *= *true'; then
+        complain "$crate: Cargo.toml lacks '[lints] workspace = true'"
+    fi
+
+    # 2. Every member's crate root forbids unsafe code outright (the
+    #    workspace table only *denies* it, which an inner allow could undo).
+    root="$crate_dir/src/lib.rs"
+    [ -f "$root" ] || root="$crate_dir/src/main.rs"
+    if [ ! -f "$root" ]; then
+        complain "$crate: no src/lib.rs or src/main.rs to audit"
+        continue
+    fi
+    if ! grep -q '#!\[forbid(unsafe_code)\]' "$root"; then
+        complain "$crate: $root lacks #![forbid(unsafe_code)]"
+    fi
+done
+
+# 3. The verification and mechanism crates additionally deny unwrap() in
+#    production (non-test) code: a panic inside the certifier or the
+#    deadlock-recovery path is itself a liveness bug.
+for crate in noc-verify noc-protocol seec noc-model; do
+    for root in crates/$crate/src/lib.rs crates/$crate/src/main.rs; do
+        [ -f "$root" ] || continue
+        if ! grep -q 'deny(clippy::unwrap_used)' "$root"; then
+            complain "$crate: $root lacks the unwrap_used deny wall"
+        fi
+    done
+done
+
+# 4. The compat stand-ins are outside the workspace and its lint table,
+#    so their roots must carry the forbid themselves.
+for manifest in crates/compat/*/Cargo.toml; do
+    crate_dir=$(dirname "$manifest")
+    root="$crate_dir/src/lib.rs"
+    [ -f "$root" ] || continue
+    if ! grep -q '#!\[forbid(unsafe_code)\]' "$root"; then
+        complain "compat/$(basename "$crate_dir"): lacks #![forbid(unsafe_code)]"
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "lint-audit: FAILED" >&2
+    exit 1
+fi
+echo "lint-audit: ok"
