@@ -51,6 +51,7 @@ fn time_block<F: FnMut() -> String>(id: &str, samples: usize, mut f: F) -> (u128
         mean_ns: ns.iter().sum::<u128>() / ns.len() as u128,
         throughput: None,
         per_second: None,
+        batch_width: None,
     });
     println!("  {id}: median {:.1} ms", median as f64 / 1e6);
     (median, reference)
@@ -100,7 +101,14 @@ fn main() {
     json.push_str("  \"report\": \"BENCH_02\",\n");
     json.push_str(&format!("  \"host_parallelism\": {host},\n"));
     json.push_str(&format!("  \"sweep_threads\": {PAR_THREADS},\n"));
-    json.push_str(&format!("  \"sweep_speedup\": {speedup:.3},\n"));
+    if host > 1 {
+        json.push_str(&format!("  \"sweep_speedup\": {speedup:.3},\n"));
+    } else {
+        // Eight rayon threads on one core measure scheduling overhead, not
+        // the executor; a ~1.0 "speedup" in the report would invite bogus
+        // cross-host comparisons. Null says "not applicable here".
+        json.push_str("  \"sweep_speedup\": null,\n");
+    }
     json.push_str("  \"sweep_deterministic\": true,\n");
     json.push_str("  \"benches\": [\n");
     for (i, r) in recs.iter().enumerate() {
@@ -111,6 +119,9 @@ fn main() {
         ));
         if let Some(p) = r.per_second {
             json.push_str(&format!(", \"per_second\": {p:.1}"));
+        }
+        if let Some(w) = r.batch_width {
+            json.push_str(&format!(", \"batch_width\": {w}"));
         }
         json.push_str(if i + 1 == recs.len() { "}\n" } else { "},\n" });
     }

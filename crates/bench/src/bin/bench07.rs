@@ -1,0 +1,237 @@
+//! The `BENCH_07` harness: big-mesh engine scaling plus the lockstep
+//! batched executor against equivalent scalar runs.
+//!
+//! Usage: `cargo run --release -p bench --bin bench07 [-- <out.json>]`
+//! (default output `BENCH_07.json`). `NOC_BENCH_SAMPLES` overrides the
+//! sample counts.
+//!
+//! Two legs:
+//!
+//! * `engine/router_cycles/{16x16,32x32}` — the scalar hot path on meshes
+//!   big enough that the struct-of-arrays credit core's layout, not loop
+//!   overhead, dominates (bench02 keeps the historical 4x4/8x8 points).
+//! * `engine/scalar8/{4x4,8x8}` vs `engine/batched/{4x4,8x8}` — eight
+//!   bursty design points (same shape; routing, rate and seed differ) run
+//!   one-after-another the way the sweep runner's scalar path would,
+//!   against the same eight lanes in one [`LockstepBatch`]. Both legs are
+//!   single-threaded; the batched win comes from the shared per-cycle
+//!   skeleton plus batch-default idle-cycle skipping across the burst
+//!   gaps. The harness asserts the two legs' statistics are byte-identical
+//!   — the determinism gate rides along with every bench run.
+
+use criterion::{record_extra, records, BenchRecord};
+use noc_baselines::escape_vc_config;
+use noc_sim::{LockstepBatch, NoMechanism, Sim};
+use noc_traffic::{BurstWorkload, SyntheticWorkload, TrafficPattern};
+use noc_types::{BaseRouting, NetConfig, RoutingAlgo};
+use std::time::Instant;
+
+/// Timed iterations per measurement.
+const SAMPLES: usize = 3;
+
+/// Lanes per batch — the acceptance comparison is 8-wide.
+const WIDTH: usize = 8;
+
+/// Cycles per lane in the batched/scalar comparison. Bursts of 32 cycles
+/// every 4096 make the inter-burst gap dominate scalar wall time: busy
+/// cycles cost ~30x an idle cycle here, so gap-dominated traffic is the
+/// regime where idle skipping pays (steady saturating traffic would be
+/// Amdahl-capped near 1.0x and is covered by the `router_cycles` leg).
+const BATCH_CYCLES: u64 = 32_768;
+const BURST_PERIOD: u64 = 4_096;
+const BURST_LEN: u64 = 32;
+
+fn env_samples(default: usize) -> usize {
+    std::env::var("NOC_BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(default)
+}
+
+/// Times `f` (after one warm-up call) and registers the record. Returns
+/// the median and the warm-up output for cross-leg identity checks.
+fn time_block<F: FnMut() -> String>(
+    id: &str,
+    samples: usize,
+    elements: u64,
+    batch_width: usize,
+    mut f: F,
+) -> (u128, String) {
+    let reference = f();
+    let mut ns: Vec<u128> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    ns.sort_unstable();
+    let median = ns[ns.len() / 2];
+    let per_second = elements as f64 / (median as f64 / 1e9).max(1e-12);
+    record_extra(BenchRecord {
+        id: id.to_string(),
+        samples,
+        min_ns: ns[0],
+        median_ns: median,
+        mean_ns: ns.iter().sum::<u128>() / ns.len() as u128,
+        throughput: Some(elements),
+        per_second: Some(per_second),
+        batch_width: Some(batch_width),
+    });
+    println!(
+        "  {id}: median {:.1} ms, {per_second:.0} node-cycles/s",
+        median as f64 / 1e6
+    );
+    (median, reference)
+}
+
+/// A scalar big-mesh engine point: XY routing, steady uniform-random load.
+fn engine_sim(k: u8, rate: f64, seed: u64) -> Sim {
+    let cfg = NetConfig::synth(k, 2)
+        .with_routing(RoutingAlgo::Uniform(BaseRouting::Xy))
+        .with_seed(seed);
+    let wl = SyntheticWorkload::new(
+        TrafficPattern::UniformRandom,
+        rate,
+        cfg.cols,
+        cfg.rows,
+        cfg.warmup,
+        seed,
+    );
+    Sim::new(cfg, Box::new(wl), Box::new(NoMechanism))
+}
+
+/// Lane `i` of the batched comparison: same shape for every `i`, but the
+/// routing relation, offered load and seeds differ — the mixed-scheme
+/// batch the sweep runner produces.
+fn burst_lane(k: u8, i: usize) -> Sim {
+    let seed = 0xB07_u64 + 97 * i as u64;
+    let rate = [0.10, 0.12, 0.15][i % 3];
+    let base = NetConfig::synth(k, 2).with_seed(seed);
+    let cfg = match i % 3 {
+        0 => base.with_routing(RoutingAlgo::Uniform(BaseRouting::Xy)),
+        1 => base.with_routing(RoutingAlgo::Uniform(BaseRouting::WestFirst)),
+        _ => escape_vc_config(base, BaseRouting::AdaptiveMinimal),
+    };
+    let wl = BurstWorkload::new(
+        TrafficPattern::UniformRandom,
+        rate,
+        BURST_PERIOD,
+        BURST_LEN,
+        cfg.cols,
+        cfg.rows,
+        cfg.warmup,
+        seed,
+    );
+    Sim::new(cfg, Box::new(wl), Box::new(NoMechanism))
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_07.json".to_string());
+    let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let samples = env_samples(SAMPLES);
+
+    // Leg 1: big-mesh scalar engine points.
+    println!("engine kernel, big meshes");
+    for (k, rate, cycles) in [(16u8, 0.05, 2_000u64), (32, 0.02, 1_000)] {
+        let nodes = u64::from(k) * u64::from(k);
+        let (_, _) = time_block(
+            &format!("engine/router_cycles/{k}x{k}"),
+            samples,
+            cycles * nodes,
+            1,
+            || {
+                let mut sim = engine_sim(k, rate, 0xA11CE);
+                sim.run(cycles);
+                format!("{:?}", sim.finish())
+            },
+        );
+    }
+
+    // Leg 2: 8 scalar runs vs one 8-wide lockstep batch, same points.
+    let mut speedups = Vec::new();
+    for k in [4u8, 8] {
+        println!("batched executor, {WIDTH} lanes of {k}x{k} bursty traffic");
+        let nodes = u64::from(k) * u64::from(k);
+        let elements = BATCH_CYCLES * nodes * WIDTH as u64;
+        let scalar = || {
+            (0..WIDTH)
+                .map(|i| {
+                    let mut sim = burst_lane(k, i);
+                    sim.run(BATCH_CYCLES);
+                    format!("{:?}\n", sim.finish())
+                })
+                .collect::<String>()
+        };
+        let batched = || {
+            let mut batch = LockstepBatch::new((0..WIDTH).map(|i| burst_lane(k, i)).collect());
+            batch.run(BATCH_CYCLES);
+            let skipped: u64 = batch.lanes().iter().map(|l| l.skipped_cycles).sum();
+            println!(
+                "    (batched leg skipped {:.1}% of lane-cycles)",
+                100.0 * skipped as f64 / (BATCH_CYCLES * WIDTH as u64) as f64
+            );
+            batch
+                .finish()
+                .iter()
+                .map(|s| format!("{s:?}\n"))
+                .collect::<String>()
+        };
+        let (scalar_ns, scalar_out) = time_block(
+            &format!("engine/scalar8/{k}x{k}"),
+            samples,
+            elements,
+            1,
+            scalar,
+        );
+        let (batch_ns, batch_out) = time_block(
+            &format!("engine/batched/{k}x{k}"),
+            samples,
+            elements,
+            WIDTH,
+            batched,
+        );
+        assert_eq!(
+            scalar_out, batch_out,
+            "lockstep batch diverged from scalar lanes at {k}x{k}"
+        );
+        let speedup = scalar_ns as f64 / batch_ns as f64;
+        println!("  batched speedup x{speedup:.2} at {k}x{k} (single thread)");
+        speedups.push((k, speedup));
+    }
+
+    // Combined report: criterion's records plus host context.
+    let recs = records();
+    let mut json = String::from("{\n");
+    json.push_str("  \"report\": \"BENCH_07\",\n");
+    json.push_str(&format!("  \"host_parallelism\": {host},\n"));
+    json.push_str(&format!("  \"batch_width\": {WIDTH},\n"));
+    for (k, s) in &speedups {
+        json.push_str(&format!("  \"batched_speedup_{k}x{k}\": {s:.3},\n"));
+    }
+    json.push_str("  \"batched_deterministic\": true,\n");
+    json.push_str("  \"benches\": [\n");
+    for (i, r) in recs.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"id\": \"{}\", \"samples\": {}, \"min_ns\": {}, \"median_ns\": {}, \
+             \"mean_ns\": {}",
+            r.id, r.samples, r.min_ns, r.median_ns, r.mean_ns
+        ));
+        if let Some(t) = r.throughput {
+            json.push_str(&format!(", \"throughput\": {t}"));
+        }
+        if let Some(p) = r.per_second {
+            json.push_str(&format!(", \"per_second\": {p:.1}"));
+        }
+        if let Some(w) = r.batch_width {
+            json.push_str(&format!(", \"batch_width\": {w}"));
+        }
+        json.push_str(if i + 1 == recs.len() { "}\n" } else { "},\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out, json).expect("writing bench report");
+    println!("wrote {out}");
+}

@@ -52,10 +52,9 @@ impl Mechanism for TfcMechanism {
         let hop = net.hop_latency();
         let sent_at = now + hop;
         // Refresh token state from this cycle's credit snapshot.
-        for (i, d) in net.downfree.iter().enumerate() {
-            for p in 0..NUM_PORTS {
-                let free = d.free[p].iter().filter(|&&f| f).count();
-                self.tokens[i][p] = free >= TOKEN_THRESHOLD;
+        for (i, tokens) in self.tokens.iter_mut().enumerate() {
+            for (p, t) in tokens.iter_mut().enumerate() {
+                *t = net.credits.free_count(i, p) >= TOKEN_THRESHOLD;
             }
         }
         // Flits just sent toward token-holding routers traverse them
@@ -109,7 +108,7 @@ mod tests {
         // Simulate the engine's snapshot having been refreshed: mark all
         // east VCs of router 0 free.
         for v in 0..cfg.vcs_per_port() {
-            net.downfree[0].free[2][v] = true;
+            net.credits.set_free(0, 2, v, true);
         }
         tfc.post_cycle(&mut net);
         assert!(tfc.tokens[0][2]);

@@ -21,7 +21,7 @@
 
 use crate::jsonio::{self, JsonObj};
 use crate::runner::Scheme;
-use noc_sim::{watchdog, Sim};
+use noc_sim::{watchdog, LockstepBatch, ShapeKey, Sim};
 use noc_traffic::{SyntheticWorkload, TrafficPattern};
 use noc_types::fault::fnv1a;
 use noc_types::{FaultConfig, NetConfig, RecoveryConfig, SchemeKind};
@@ -35,6 +35,23 @@ use std::sync::Mutex;
 /// Cycles between watchdog samples while a point runs. Small enough to
 /// catch a wedge promptly, large enough to be free next to the simulation.
 const WATCHDOG_PERIOD: u64 = 256;
+
+/// Default lockstep batch width: how many shape-compatible points one rayon
+/// task drives through a shared [`LockstepBatch`]. Overridden by the
+/// `NOC_BATCH_WIDTH` environment variable; `1` disables batching (every
+/// point runs the scalar path, exactly the pre-batching runner).
+const DEFAULT_BATCH_WIDTH: usize = 4;
+
+/// The effective batch width: `NOC_BATCH_WIDTH` when set and parseable,
+/// else [`DEFAULT_BATCH_WIDTH`]. Tests pass an explicit width through
+/// [`run_sweep_with_width`] instead of racing on the process environment.
+fn batch_width() -> usize {
+    std::env::var("NOC_BATCH_WIDTH")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&w| w >= 1)
+        .unwrap_or(DEFAULT_BATCH_WIDTH)
+}
 
 /// One datapoint of a fault sweep.
 #[derive(Clone, Debug)]
@@ -184,6 +201,102 @@ enum PointRun {
     },
 }
 
+/// The certification gate shared by the scalar and batched paths. Returns
+/// `Some` when the point must not be simulated; the payload goes into the
+/// checkpoint row verbatim.
+///
+/// Static gate: on a degraded mesh, re-certify before running. An
+/// unroutable scenario cannot run at all; a scheme whose deadlock freedom
+/// rests on the static routing relation must keep a certificate on the
+/// *degraded* CDG. Recovery schemes (SEEC/mSEEC/SPIN/...) are exempt from
+/// the certificate — surviving an uncertifiable mesh is exactly what they
+/// are for — but still need routability. An armed recovery channel
+/// substitutes for the static certificate, but only if it certifies
+/// itself: the drain channel must be acyclic/complete and its threshold
+/// must undercut the watchdog panic.
+fn gate_point(p: &FaultPoint, cfg: &NetConfig) -> Option<(&'static str, String)> {
+    let report = noc_verify::certify_degraded(cfg);
+    use noc_verify::DegradedVerdict as V;
+    match &report.verdict {
+        V::Unroutable { src, dest } => {
+            return Some((
+                "unroutable",
+                format!("dead set disconnects node {} from node {}", src.0, dest.0),
+            ));
+        }
+        V::EscapeSevered { src, dest }
+            if matches!(
+                p.scheme.kind(),
+                SchemeKind::None | SchemeKind::EscapeVc | SchemeKind::Tfc
+            ) =>
+        {
+            return Some((
+                "escape-severed",
+                format!(
+                    "no live west-first path from node {} to node {}; Duato certificate void",
+                    src.0, dest.0
+                ),
+            ));
+        }
+        V::Deadlockable { .. }
+            if !p.recovery.enabled
+                && matches!(
+                    p.scheme.kind(),
+                    SchemeKind::None | SchemeKind::EscapeVc | SchemeKind::Tfc
+                ) =>
+        {
+            return Some((
+                "uncertified",
+                "degraded CDG has a cyclic witness and the scheme has no \
+                 runtime recovery"
+                    .to_string(),
+            ));
+        }
+        _ => {}
+    }
+    if p.recovery.any() {
+        let rec = noc_verify::certify_recovery(cfg);
+        if !rec.certified() {
+            let rendered = rec.render();
+            let detail = rendered
+                .lines()
+                .find(|l| l.starts_with("recovery:"))
+                .unwrap_or("recovery channel refused")
+                .to_string();
+            return Some(("recovery-uncertified", detail));
+        }
+    }
+    None
+}
+
+/// Builds the simulation for a gated point — identical construction on the
+/// scalar and batched paths, so their results are too.
+fn build_point_sim(p: &FaultPoint, cfg: NetConfig) -> Sim {
+    let wl = SyntheticWorkload::new(p.pattern, p.rate, cfg.cols, cfg.rows, cfg.warmup, p.seed);
+    let mech = p.scheme.mechanism(&cfg);
+    let mut sim = Sim::new(cfg, Box::new(wl), mech);
+    sim.net.enable_flight_recorder(64);
+    sim
+}
+
+/// Escalates a wedged simulation: captures the black-box dump and panics
+/// with its path (the isolation layer turns this into a failed row).
+fn escalate_wedge(p: &FaultPoint, sim: &Sim, dump_dir: &Path) -> ! {
+    let bb = watchdog::BlackBox::capture(&sim.net, &p.scheme.label(), &sim.mech.debug_state());
+    let path = dump_dir.join(format!("blackbox_{}.json", p.key()));
+    let _ = std::fs::create_dir_all(dump_dir);
+    let where_ = match bb.write(&path) {
+        Ok(()) => format!("black-box dump at {}", path.display()),
+        Err(e) => format!("black-box dump failed to write to {}: {e}", path.display()),
+    };
+    panic!(
+        "point {} wedged: no progress for {} cycles at cycle {} — {where_}",
+        p.ident(),
+        watchdog::DEFAULT_STUCK_THRESHOLD,
+        sim.net.cycle
+    );
+}
+
 /// Executes one datapoint. May panic — on a wedged network (after writing
 /// the black-box dump), on an injected `NOC_SWEEP_PANIC_KEY` match, or on
 /// any simulator bug; the caller isolates it.
@@ -199,76 +312,10 @@ fn execute_point(p: &FaultPoint, dump_dir: &Path) -> PointRun {
         "fault sweeps drive VC-router schemes only"
     );
     let cfg = p.config();
-
-    // Static gate: on a degraded mesh, re-certify before running. An
-    // unroutable scenario cannot run at all; a scheme whose deadlock
-    // freedom rests on the static routing relation must keep a certificate
-    // on the *degraded* CDG. Recovery schemes (SEEC/mSEEC/SPIN/...) are
-    // exempt from the certificate — surviving an uncertifiable mesh is
-    // exactly what they are for — but still need routability.
-    let report = noc_verify::certify_degraded(&cfg);
-    use noc_verify::DegradedVerdict as V;
-    match &report.verdict {
-        V::Unroutable { src, dest } => {
-            return PointRun::Skipped {
-                status: "unroutable",
-                reason: format!("dead set disconnects node {} from node {}", src.0, dest.0),
-            };
-        }
-        V::EscapeSevered { src, dest }
-            if matches!(
-                p.scheme.kind(),
-                SchemeKind::None | SchemeKind::EscapeVc | SchemeKind::Tfc
-            ) =>
-        {
-            return PointRun::Skipped {
-                status: "escape-severed",
-                reason: format!(
-                    "no live west-first path from node {} to node {}; Duato certificate void",
-                    src.0, dest.0
-                ),
-            };
-        }
-        V::Deadlockable { .. }
-            if !p.recovery.enabled
-                && matches!(
-                    p.scheme.kind(),
-                    SchemeKind::None | SchemeKind::EscapeVc | SchemeKind::Tfc
-                ) =>
-        {
-            return PointRun::Skipped {
-                status: "uncertified",
-                reason: "degraded CDG has a cyclic witness and the scheme has no \
-                         runtime recovery"
-                    .to_string(),
-            };
-        }
-        _ => {}
+    if let Some((status, reason)) = gate_point(p, &cfg) {
+        return PointRun::Skipped { status, reason };
     }
-
-    // An armed recovery channel substitutes for the static certificate
-    // above, but only if it certifies itself: the drain channel must be
-    // acyclic/complete and its threshold must undercut the watchdog panic.
-    if p.recovery.any() {
-        let rec = noc_verify::certify_recovery(&cfg);
-        if !rec.certified() {
-            let rendered = rec.render();
-            let detail = rendered
-                .lines()
-                .find(|l| l.starts_with("recovery:"))
-                .unwrap_or("recovery channel refused")
-                .to_string();
-            return PointRun::Skipped {
-                status: "recovery-uncertified",
-                reason: detail,
-            };
-        }
-    }
-
-    let wl = SyntheticWorkload::new(p.pattern, p.rate, cfg.cols, cfg.rows, cfg.warmup, p.seed);
-    let mech = p.scheme.mechanism(&cfg);
-    let mut sim = Sim::new(cfg, Box::new(wl), mech);
-    sim.net.enable_flight_recorder(64);
+    let mut sim = build_point_sim(p, cfg);
 
     // Run in watchdog-sized slices; escalate a sustained stall to a
     // black-box dump + panic instead of spinning to the cycle budget.
@@ -278,20 +325,7 @@ fn execute_point(p: &FaultPoint, dump_dir: &Path) -> PointRun {
         sim.run(slice);
         remaining -= slice;
         if watchdog::looks_stuck(&sim.net, watchdog::DEFAULT_STUCK_THRESHOLD) {
-            let bb =
-                watchdog::BlackBox::capture(&sim.net, &p.scheme.label(), &sim.mech.debug_state());
-            let path = dump_dir.join(format!("blackbox_{}.json", p.key()));
-            let _ = std::fs::create_dir_all(dump_dir);
-            let where_ = match bb.write(&path) {
-                Ok(()) => format!("black-box dump at {}", path.display()),
-                Err(e) => format!("black-box dump failed to write to {}: {e}", path.display()),
-            };
-            panic!(
-                "point {} wedged: no progress for {} cycles at cycle {} — {where_}",
-                p.ident(),
-                watchdog::DEFAULT_STUCK_THRESHOLD,
-                sim.net.cycle
-            );
+            escalate_wedge(p, &sim, dump_dir);
         }
     }
     PointRun::Done(Box::new(sim.finish().clone()))
@@ -387,6 +421,103 @@ fn run_isolated(p: &FaultPoint, dump_dir: &Path) -> (String, bool) {
     }
 }
 
+/// Partitions `todo` into lockstep-compatible chunks of at most `width`
+/// points: equal [`ShapeKey`] (the structural config fields the batch
+/// executor shares) and equal cycle budget (so one watchdog-sliced loop
+/// drives the whole chunk). Width 1 degenerates to one chunk per point —
+/// the scalar runner.
+fn chunk_compatible<'a>(todo: &[&'a FaultPoint], width: usize) -> Vec<Vec<&'a FaultPoint>> {
+    if width <= 1 {
+        return todo.iter().map(|p| vec![*p]).collect();
+    }
+    let mut groups: BTreeMap<(u64, u64), Vec<&FaultPoint>> = BTreeMap::new();
+    for &p in todo {
+        let key = (ShapeKey::of(&p.config()).digest(), p.cycles);
+        groups.entry(key).or_default().push(p);
+    }
+    groups
+        .into_values()
+        .flat_map(|g| {
+            g.chunks(width)
+                .map(<[&FaultPoint]>::to_vec)
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// Executes a compatible chunk through one [`LockstepBatch`]. Gated points
+/// become status rows without a lane; the rest run in lockstep under the
+/// same watchdog slicing as the scalar path. May panic (a wedged lane, a
+/// simulator bug) — the caller falls back to per-point isolation, which
+/// reproduces the scalar outcome for every point in the chunk.
+fn execute_chunk_batched(chunk: &[&FaultPoint], dump_dir: &Path) -> Vec<(String, bool)> {
+    let mut rows: Vec<Option<(String, bool)>> = (0..chunk.len()).map(|_| None).collect();
+    let mut lanes = Vec::new();
+    let mut lane_points = Vec::new();
+    for (i, p) in chunk.iter().enumerate() {
+        assert!(
+            !p.scheme.is_deflection(),
+            "fault sweeps drive VC-router schemes only"
+        );
+        let cfg = p.config();
+        match gate_point(p, &cfg) {
+            Some((status, reason)) => rows[i] = Some((render_status(p, status, &reason), false)),
+            None => {
+                lanes.push(build_point_sim(p, cfg));
+                lane_points.push(i);
+            }
+        }
+    }
+    if !lanes.is_empty() {
+        let mut batch = LockstepBatch::new(lanes);
+        let mut remaining = chunk[lane_points[0]].cycles;
+        while remaining > 0 {
+            let slice = WATCHDOG_PERIOD.min(remaining);
+            batch.run(slice);
+            remaining -= slice;
+            for (lane, &i) in batch.lanes().iter().zip(&lane_points) {
+                if watchdog::looks_stuck(&lane.net, watchdog::DEFAULT_STUCK_THRESHOLD) {
+                    escalate_wedge(chunk[i], lane, dump_dir);
+                }
+            }
+        }
+        for (lane, &i) in batch.lanes_mut().iter_mut().zip(&lane_points) {
+            let stats = lane.finish().clone();
+            rows[i] = Some((render_done(chunk[i], &stats), false));
+        }
+    }
+    rows.into_iter()
+        .map(|r| r.expect("every point in the chunk resolved"))
+        .collect()
+}
+
+/// Runs one chunk with the same isolation contract as [`run_isolated`]:
+/// any panic on the batched path demotes the whole chunk to per-point
+/// scalar execution, whose own retry/failed-row semantics then apply. The
+/// `NOC_SWEEP_PANIC_KEY` injection hook targets individual points, so a
+/// chunk containing a match routes through the scalar path up front.
+fn run_chunk(chunk: &[&FaultPoint], dump_dir: &Path) -> Vec<(String, bool)> {
+    let scalar = |chunk: &[&FaultPoint]| -> Vec<(String, bool)> {
+        chunk.iter().map(|p| run_isolated(p, dump_dir)).collect()
+    };
+    if chunk.len() == 1 {
+        return scalar(chunk);
+    }
+    if let Ok(needle) = std::env::var("NOC_SWEEP_PANIC_KEY") {
+        if !needle.is_empty()
+            && chunk
+                .iter()
+                .any(|p| p.ident().contains(&needle) || p.key().contains(&needle))
+        {
+            return scalar(chunk);
+        }
+    }
+    match rayon::catch_panic(|| execute_chunk_batched(chunk, dump_dir)) {
+        Ok(rows) => rows,
+        Err(_) => scalar(chunk),
+    }
+}
+
 /// Summary of one [`run_sweep`] invocation.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct SweepOutcome {
@@ -401,14 +532,31 @@ pub struct SweepOutcome {
 }
 
 /// Runs every point of `points` that the checkpoint does not already hold,
-/// in parallel, recording each row as it completes. `max_points` caps how
-/// many missing points this invocation executes (the rest stay missing —
-/// the mechanism behind CI's interrupted-then-resumed sweep test).
+/// recording each row as it completes. Missing points are first grouped
+/// into lockstep-compatible chunks ([`chunk_compatible`], width from
+/// `NOC_BATCH_WIDTH`), then the chunks execute in parallel — batching
+/// trades rayon fan-out granularity for the shared per-cycle skeleton, and
+/// per-lane results are byte-identical to scalar runs (the
+/// `batch_differential` test pins this). `max_points` caps how many
+/// missing points this invocation executes (the rest stay missing — the
+/// mechanism behind CI's interrupted-then-resumed sweep test).
 pub fn run_sweep(
     points: &[FaultPoint],
     ckpt: &Checkpoint,
     max_points: Option<usize>,
     dump_dir: &Path,
+) -> SweepOutcome {
+    run_sweep_with_width(points, ckpt, max_points, dump_dir, batch_width())
+}
+
+/// [`run_sweep`] with an explicit lockstep batch width (tests use this to
+/// avoid racing on the process environment).
+pub fn run_sweep_with_width(
+    points: &[FaultPoint],
+    ckpt: &Checkpoint,
+    max_points: Option<usize>,
+    dump_dir: &Path,
+    width: usize,
 ) -> SweepOutcome {
     let todo: Vec<&FaultPoint> = points.iter().filter(|p| !ckpt.is_done(&p.key())).collect();
     let resumed = points.len() - todo.len();
@@ -419,11 +567,13 @@ pub fn run_sweep(
     };
     let deferred = missing - todo.len();
     let failed = AtomicUsize::new(0);
-    todo.par_iter().for_each(|p| {
-        let (row, was_failure) = run_isolated(p, dump_dir);
-        ckpt.record(&row);
-        if was_failure {
-            failed.fetch_add(1, Ordering::Relaxed);
+    let chunks = chunk_compatible(&todo, width);
+    chunks.par_iter().for_each(|chunk| {
+        for (row, was_failure) in run_chunk(chunk, dump_dir) {
+            ckpt.record(&row);
+            if was_failure {
+                failed.fetch_add(1, Ordering::Relaxed);
+            }
         }
     });
     SweepOutcome {

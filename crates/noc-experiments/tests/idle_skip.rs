@@ -1,0 +1,157 @@
+//! Idle-cycle skipping is observationally invisible.
+//!
+//! `Sim::run` with `idle_skip` on must produce byte-identical statistics and
+//! an identical engine-state digest to the plain cycle-by-cycle loop, on
+//! every class of configuration the sweep runner can batch: healthy bursty
+//! traffic, transient link faults (flit-level retransmission active), a
+//! dynamic chaos schedule with runtime recovery armed, and steady synthetic
+//! traffic (whose conservative `next_activity` pins the clock — the veto
+//! path). The comparison runs in slices so a divergence is caught at the
+//! first slice boundary it reaches, not just at the end.
+
+use noc_sim::{NoMechanism, Sim};
+use noc_traffic::{BurstWorkload, SyntheticWorkload, TrafficPattern};
+use noc_types::{
+    BaseRouting, Direction, FaultConfig, FaultSchedule, NetConfig, NodeId, RecoveryConfig,
+    RoutingAlgo,
+};
+
+const SLICES: u64 = 8;
+const SLICE_CYCLES: u64 = 1_000;
+
+/// Runs `make()` twice — idle skipping off and on — in lockstep slices and
+/// asserts digest + stats equality at every slice boundary.
+fn assert_skip_invisible(label: &str, make: &dyn Fn() -> Sim) {
+    let mut plain = make();
+    let mut skipping = make().with_idle_skip(true);
+    assert!(!plain.idle_skip, "baseline must step every cycle");
+    for slice in 0..SLICES {
+        plain.run(SLICE_CYCLES);
+        skipping.run(SLICE_CYCLES);
+        assert_eq!(
+            plain.net.state_digest(),
+            skipping.net.state_digest(),
+            "{label}: engine state diverged by the end of slice {slice}"
+        );
+    }
+    assert!(
+        skipping.skipped_cycles > 0 || label.contains("steady"),
+        "{label}: the skipper never fired — the scenario no longer \
+         exercises idle skipping"
+    );
+    let a = format!("{:?}", plain.finish());
+    let b = format!("{:?}", skipping.finish());
+    assert_eq!(a, b, "{label}: final statistics diverged");
+}
+
+fn bursty(cols: u8, rows: u8, rate: f64, seed: u64) -> Box<BurstWorkload> {
+    Box::new(BurstWorkload::new(
+        TrafficPattern::UniformRandom,
+        rate,
+        512,
+        48,
+        cols,
+        rows,
+        0,
+        seed,
+    ))
+}
+
+#[test]
+fn skip_is_invisible_on_healthy_bursty_traffic() {
+    assert_skip_invisible("healthy bursty", &|| {
+        let mut cfg = NetConfig::synth(4, 2)
+            .with_routing(RoutingAlgo::Uniform(BaseRouting::Xy))
+            .with_seed(11);
+        cfg.warmup = 100;
+        let wl = bursty(cfg.cols, cfg.rows, 0.25, 11);
+        Sim::new(cfg, wl, Box::new(NoMechanism))
+    });
+}
+
+#[test]
+fn skip_is_invisible_under_transient_faults() {
+    // Flit corruption keeps the link-level retransmission layer live: its
+    // unacked windows and wire wheels must all veto or bound the jump.
+    assert_skip_invisible("transient faults", &|| {
+        let fault = FaultConfig {
+            transient_rate: 0.02,
+            fault_seed: 0xD1CE,
+            ..FaultConfig::default()
+        };
+        let mut cfg = NetConfig::synth(4, 2)
+            .with_routing(RoutingAlgo::Uniform(BaseRouting::Xy))
+            .with_seed(23)
+            .with_fault(fault);
+        cfg.warmup = 0;
+        let wl = bursty(cfg.cols, cfg.rows, 0.20, 23);
+        Sim::new(cfg, wl, Box::new(NoMechanism))
+    });
+}
+
+#[test]
+fn skip_is_invisible_under_chaos_schedule_with_recovery() {
+    // A mid-run link flap plus armed drain/e2e recovery: the jump must stop
+    // at every scheduled event and stand down whenever recovery or the
+    // end-to-end retransmission tables hold state.
+    assert_skip_invisible("chaos + recovery", &|| {
+        let fault = FaultConfig::default().with_schedule(FaultSchedule::link_flap(
+            NodeId(5),
+            Direction::East,
+            1_500,
+            4_200,
+        ));
+        let mut cfg = NetConfig::synth(4, 2)
+            .with_routing(RoutingAlgo::Uniform(BaseRouting::AdaptiveMinimal))
+            .with_seed(37)
+            .with_fault(fault)
+            .with_recovery(RecoveryConfig::drain().with_e2e(800, 20));
+        cfg.warmup = 0;
+        let wl = bursty(cfg.cols, cfg.rows, 0.15, 37);
+        Sim::new(cfg, wl, Box::new(NoMechanism))
+    });
+}
+
+#[test]
+fn skip_is_invisible_on_steady_synthetic_traffic() {
+    // SyntheticWorkload draws RNG per node per cycle, so its conservative
+    // `next_activity` pins the clock: the skipper must never fire, and the
+    // run must stay identical to the plain loop.
+    assert_skip_invisible("steady synthetic", &|| {
+        let cfg = NetConfig::synth(4, 2)
+            .with_routing(RoutingAlgo::Uniform(BaseRouting::Xy))
+            .with_seed(41);
+        let wl = Box::new(SyntheticWorkload::new(
+            TrafficPattern::UniformRandom,
+            0.10,
+            cfg.cols,
+            cfg.rows,
+            cfg.warmup,
+            41,
+        ));
+        let mut sim = Sim::new(cfg, wl, Box::new(NoMechanism));
+        sim.net.stats.measure_start = sim.net.cfg.warmup;
+        sim
+    });
+}
+
+#[test]
+fn steady_synthetic_never_skips() {
+    let cfg = NetConfig::synth(4, 2)
+        .with_routing(RoutingAlgo::Uniform(BaseRouting::Xy))
+        .with_seed(41);
+    let wl = Box::new(SyntheticWorkload::new(
+        TrafficPattern::UniformRandom,
+        0.10,
+        cfg.cols,
+        cfg.rows,
+        cfg.warmup,
+        41,
+    ));
+    let mut sim = Sim::new(cfg, wl, Box::new(NoMechanism)).with_idle_skip(true);
+    sim.run(2_000);
+    assert_eq!(
+        sim.skipped_cycles, 0,
+        "a per-cycle RNG workload must pin the clock"
+    );
+}

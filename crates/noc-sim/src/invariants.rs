@@ -205,26 +205,29 @@ impl Network {
         // Credit-snapshot coherence: a router whose dirty bit is clear claims
         // "nothing my snapshot reads has changed since my last refresh" — so
         // a fresh recompute must match exactly. Dirty routers are refreshed
-        // before the next SA pass and are skipped here.
+        // before the next SA pass and are skipped here. The recompute runs
+        // in place on the SoA lanes and the original is restored afterwards,
+        // so the sweep itself never perturbs engine state.
         for i in 0..self.routers.len() {
             if self.credit_is_dirty(i) {
                 continue;
             }
-            let mut fresh = self.downfree[i].clone();
-            crate::network::refresh_one_downfree(
+            let (free, slots) = self.credits.router_lanes(i);
+            self.credits.recompute_router(
                 &self.routers,
                 &self.nics,
                 i,
-                &mut fresh,
                 wormhole,
                 self.cfg.vc_depth,
                 self.fault.as_ref().map(|f| &f.dead),
             );
-            if fresh != self.downfree[i] {
+            let (fresh_free, fresh_slots) = self.credits.router_lanes(i);
+            if fresh_free != free || (wormhole && fresh_slots != slots) {
                 found.push(format!(
                     "credit snapshot: router {i} marked clean but snapshot is stale"
                 ));
             }
+            self.credits.restore_router_lanes(i, &free, &slots);
         }
         // Strict: exact flit conservation across the whole network.
         if self.inv.strict {

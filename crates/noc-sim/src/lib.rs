@@ -16,6 +16,7 @@
 // `expect` with the invariant spelled out. Unit tests are exempt.
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod batch;
 pub mod chaos;
 pub mod fault;
 pub mod inbox;
@@ -30,11 +31,13 @@ pub mod reservation;
 pub mod router;
 pub mod routing;
 pub mod snapshot;
+pub mod soa;
 pub mod stats;
 pub mod vc;
 pub mod watchdog;
 pub mod workload;
 
+pub use batch::{LockstepBatch, ShapeKey};
 pub use chaos::ChaosState;
 pub use fault::{DeadSet, FaultLayer, RouteMask, Unroutable};
 pub use inbox::Inbox;
@@ -44,8 +47,9 @@ pub use nic::{EjReserve, EjVc, Nic};
 pub use recovery::RecoveryState;
 pub use reorder::ReorderBuffer;
 pub use reservation::ReservationTable;
-pub use router::{DownFree, Router};
+pub use router::Router;
 pub use snapshot::NetSnapshot;
+pub use soa::{CreditSoA, CreditView};
 pub use stats::{DeliveredPacket, Stats};
 pub use vc::{VcRoute, VirtualChannel};
 pub use workload::{IdleWorkload, PacketFactory, Workload};

@@ -2,6 +2,7 @@
 //! pipeline), and the data structures the network engine drives.
 
 use crate::routing::{candidates, west_first, Candidates};
+use crate::soa::CreditView;
 use crate::vc::VirtualChannel;
 use noc_types::{
     BaseRouting, Coord, Direction, Flit, NetConfig, NodeId, PacketId, PortId, NUM_PORTS,
@@ -98,46 +99,6 @@ impl Router {
     }
 }
 
-/// Snapshot of downstream availability seen by one router this cycle:
-/// `free[port][vc]` is true when the downstream VC (or NIC ejection VC, for
-/// the local port) is empty, unreserved and unclaimed. Refreshed by the
-/// network at the start of every cycle; models credit visibility.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub struct DownFree {
-    pub free: [Vec<bool>; NUM_PORTS],
-    /// Free buffer *slots* per downstream VC (wormhole flit credits):
-    /// depth − buffered − in flight. Unused (left empty) under VCT, where a
-    /// whole packet always fits once the VC is allocated.
-    pub slots: [Vec<u8>; NUM_PORTS],
-}
-
-impl DownFree {
-    /// Number of free *normal* (non-escape) VCs of `vnet` behind `port`.
-    pub fn free_normal(&self, port: PortId, cfg: &NetConfig, vnet: u8) -> usize {
-        let range = cfg.vc_range(vnet);
-        let esc = cfg.escape_vc(vnet).map(|e| range.start + e);
-        range
-            .filter(|&v| Some(v) != esc && self.free[port][v])
-            .count()
-    }
-
-    /// First free normal VC of `vnet` behind `port`.
-    pub fn first_free_normal(&self, port: PortId, cfg: &NetConfig, vnet: u8) -> Option<usize> {
-        let range = cfg.vc_range(vnet);
-        let esc = cfg.escape_vc(vnet).map(|e| range.start + e);
-        range
-            .filter(|&v| Some(v) != esc)
-            .find(|&v| self.free[port][v])
-    }
-
-    /// The escape VC of `vnet` behind `port`, if configured and free.
-    pub fn free_escape(&self, port: PortId, cfg: &NetConfig, vnet: u8) -> Option<usize> {
-        let range = cfg.vc_range(vnet);
-        let esc = range.start + cfg.escape_vc(vnet)?;
-        self.free[port][esc].then_some(esc)
-    }
-}
-
 /// A granted switch-allocation move, produced by [`decide_router`] and
 /// applied by the network engine.
 #[derive(Clone, Copy, Debug)]
@@ -153,8 +114,8 @@ pub struct Move {
 
 /// Route computation: picks the output port for the packet in `(in_port,vc)`.
 /// Called once per router visit (the choice then sticks, as in Garnet).
-/// Adaptive routing consults `down` for free-VC counts; oblivious picks
-/// uniformly at random; XY/west-first are (near-)deterministic.
+/// Adaptive routing consults the credit view for free-VC counts; oblivious
+/// picks uniformly at random; XY/west-first are (near-)deterministic.
 ///
 /// On a degraded mesh (`mask` present) the candidate set becomes the mask's
 /// distance-decreasing live directions — the detours around dead links —
@@ -168,8 +129,7 @@ pub fn route_compute(
     from: Coord,
     dest: Coord,
     vnet: u8,
-    cfg: &NetConfig,
-    down: &DownFree,
+    down: CreditView<'_>,
     mask: Option<&crate::fault::RouteMask>,
     rng: &mut SmallRng,
 ) -> PortId {
@@ -207,7 +167,7 @@ pub fn route_compute(
             let mut n = 0;
             let mut best = 0usize;
             for &d in slice {
-                let free = down.free_normal(d.index(), cfg, vnet);
+                let free = down.free_normal(d.index(), vnet);
                 if n == 0 || free > best {
                     best = free;
                     tied[0] = d;
@@ -235,26 +195,26 @@ pub fn try_alloc(
     pending: PortId,
     here: Coord,
     cfg: &NetConfig,
-    down: &DownFree,
+    down: CreditView<'_>,
 ) -> Option<(PortId, usize, bool)> {
     let vnet = cfg.vnet_of(flit.class);
     if in_escape {
         // Restricted to west-first candidates, escape VCs only.
         let dest = flit.dest.to_coord(cfg.cols);
         for &d in west_first(here, dest).as_slice() {
-            if let Some(vc) = down.free_escape(d.index(), cfg, vnet) {
+            if let Some(vc) = down.free_escape(d.index(), vnet) {
                 return Some((d.index(), vc, true));
             }
         }
         return None;
     }
-    if let Some(vc) = down.first_free_normal(pending, cfg, vnet) {
+    if let Some(vc) = down.first_free_normal(pending, vnet) {
         return Some((pending, vc, false));
     }
     if cfg.routing.has_escape() {
         let dest = flit.dest.to_coord(cfg.cols);
         for &d in west_first(here, dest).as_slice() {
-            if let Some(vc) = down.free_escape(d.index(), cfg, vnet) {
+            if let Some(vc) = down.free_escape(d.index(), vnet) {
                 return Some((d.index(), vc, true));
             }
         }
@@ -263,11 +223,12 @@ pub fn try_alloc(
 }
 
 /// Attempted ejection-VC allocation for a head flit at its destination
-/// router. `down.free[Local]` is indexed like flattened NIC ejection VCs.
-pub fn try_alloc_ejection(flit: &Flit, cfg: &NetConfig, down: &DownFree) -> Option<usize> {
+/// router. The local-port lane mask is indexed like flattened NIC ejection
+/// VCs.
+pub fn try_alloc_ejection(flit: &Flit, cfg: &NetConfig, down: CreditView<'_>) -> Option<usize> {
     let per = cfg.ejection_vcs_per_class as usize;
     let s = flit.class.idx() * per;
-    (s..s + per).find(|&i| down.free[Direction::Local.index()][i])
+    down.first_free_in(Direction::Local.index(), s, per)
 }
 
 /// The west-first candidate set from `here` toward `dest` (exposed for the
@@ -279,6 +240,7 @@ pub fn wf_candidates(here: Coord, dest: Coord) -> Candidates {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::soa::CreditSoA;
     use noc_types::{MessageClass, Packet, PacketId, RoutingAlgo};
     use rand::SeedableRng;
 
@@ -286,17 +248,22 @@ mod tests {
         NetConfig::synth(4, 2)
     }
 
-    fn downfree_all(cfg: &NetConfig, free: bool) -> DownFree {
-        let mut d = DownFree::default();
-        for p in 0..NUM_PORTS {
-            let n = if p == Direction::Local.index() {
-                cfg.classes as usize * cfg.ejection_vcs_per_class as usize
-            } else {
-                cfg.vcs_per_port()
-            };
-            d.free[p] = vec![free; n];
+    fn port_lanes(cfg: &NetConfig, p: usize) -> usize {
+        if p == Direction::Local.index() {
+            cfg.classes as usize * cfg.ejection_vcs_per_class as usize
+        } else {
+            cfg.vcs_per_port()
         }
-        d
+    }
+
+    fn credits_all(cfg: &NetConfig, free: bool) -> CreditSoA {
+        let mut soa = CreditSoA::new(cfg, 1);
+        for p in 0..NUM_PORTS {
+            for v in 0..port_lanes(cfg, p) {
+                soa.set_free(0, p, v, free);
+            }
+        }
+        soa
     }
 
     fn flit_to(dest: NodeId) -> Flit {
@@ -337,15 +304,14 @@ mod tests {
     #[test]
     fn route_compute_xy_is_deterministic() {
         let c = cfg().with_routing(RoutingAlgo::Uniform(BaseRouting::Xy));
-        let d = downfree_all(&c, true);
+        let d = credits_all(&c, true);
         let mut rng = SmallRng::seed_from_u64(0);
         let p = route_compute(
             BaseRouting::Xy,
             Coord::new(0, 0),
             Coord::new(3, 2),
             0,
-            &c,
-            &d,
+            d.view(0),
             None,
             &mut rng,
         );
@@ -355,10 +321,10 @@ mod tests {
     #[test]
     fn adaptive_prefers_less_congested_port() {
         let c = cfg();
-        let mut d = downfree_all(&c, true);
+        let mut d = credits_all(&c, true);
         // Congest East entirely; South stays free.
         for v in 0..c.vcs_per_port() {
-            d.free[Direction::East.index()][v] = false;
+            d.set_free(0, Direction::East.index(), v, false);
         }
         let mut rng = SmallRng::seed_from_u64(7);
         for _ in 0..20 {
@@ -367,8 +333,7 @@ mod tests {
                 Coord::new(0, 0),
                 Coord::new(2, 2),
                 0,
-                &c,
-                &d,
+                d.view(0),
                 None,
                 &mut rng,
             );
@@ -379,10 +344,17 @@ mod tests {
     #[test]
     fn try_alloc_picks_first_free_normal_vc() {
         let c = cfg();
-        let mut d = downfree_all(&c, true);
-        d.free[Direction::East.index()][0] = false;
+        let mut d = credits_all(&c, true);
+        d.set_free(0, Direction::East.index(), 0, false);
         let f = flit_to(NodeId(3));
-        let got = try_alloc(&f, false, Direction::East.index(), Coord::new(0, 0), &c, &d);
+        let got = try_alloc(
+            &f,
+            false,
+            Direction::East.index(),
+            Coord::new(0, 0),
+            &c,
+            d.view(0),
+        );
         assert_eq!(got, Some((Direction::East.index(), 1, false)));
     }
 
@@ -393,13 +365,20 @@ mod tests {
             normal: BaseRouting::AdaptiveMinimal,
         };
         // All normal VCs busy everywhere; only escape VCs free.
-        let mut d = downfree_all(&c, false);
+        let mut d = credits_all(&c, false);
         for p in 0..4 {
-            d.free[p][c.vcs_per_port() - 1] = true;
+            d.set_free(0, p, c.vcs_per_port() - 1, true);
         }
         // Dest to the south-east: WF candidates are E and S.
         let f = flit_to(NodeId(10)); // (2,2) from (0,0)
-        let got = try_alloc(&f, false, Direction::East.index(), Coord::new(0, 0), &c, &d);
+        let got = try_alloc(
+            &f,
+            false,
+            Direction::East.index(),
+            Coord::new(0, 0),
+            &c,
+            d.view(0),
+        );
         let (port, vc, esc) = got.unwrap();
         assert!(esc);
         assert_eq!(vc, c.vcs_per_port() - 1);
@@ -413,7 +392,7 @@ mod tests {
             Direction::West.index(),
             Coord::new(2, 1),
             &c,
-            &d,
+            d.view(0),
         );
         assert_eq!(got2.unwrap().0, Direction::West.index());
     }
@@ -424,9 +403,16 @@ mod tests {
         c.routing = RoutingAlgo::EscapeVc {
             normal: BaseRouting::AdaptiveMinimal,
         };
-        let d = downfree_all(&c, true); // everything free
+        let d = credits_all(&c, true); // everything free
         let f = flit_to(NodeId(10));
-        let got = try_alloc(&f, true, Direction::East.index(), Coord::new(0, 0), &c, &d);
+        let got = try_alloc(
+            &f,
+            true,
+            Direction::East.index(),
+            Coord::new(0, 0),
+            &c,
+            d.view(0),
+        );
         let (_, vc, esc) = got.unwrap();
         assert!(esc, "escape resident must stay in escape VCs");
         assert_eq!(vc, c.vcs_per_port() - 1);
@@ -435,12 +421,12 @@ mod tests {
     #[test]
     fn ejection_alloc_is_class_scoped() {
         let c = NetConfig::full_system(4, 6, 2);
-        let mut d = downfree_all(&c, true);
+        let mut d = credits_all(&c, true);
         let mut f = flit_to(NodeId(0));
         f.class = MessageClass(3);
-        d.free[Direction::Local.index()][6] = false;
-        assert_eq!(try_alloc_ejection(&f, &c, &d), Some(7));
-        d.free[Direction::Local.index()][7] = false;
-        assert_eq!(try_alloc_ejection(&f, &c, &d), None);
+        d.set_free(0, Direction::Local.index(), 6, false);
+        assert_eq!(try_alloc_ejection(&f, &c, d.view(0)), Some(7));
+        d.set_free(0, Direction::Local.index(), 7, false);
+        assert_eq!(try_alloc_ejection(&f, &c, d.view(0)), None);
     }
 }

@@ -22,7 +22,8 @@ use crate::inbox::Inbox;
 use crate::network::Network;
 use crate::nic::Nic;
 use crate::reservation::ReservationTable;
-use crate::router::{DownFree, Router};
+use crate::router::Router;
+use crate::soa::CreditSoA;
 use crate::stats::Stats;
 use noc_types::fault::fnv1a;
 use noc_types::{Cycle, Flit, PortId};
@@ -35,7 +36,7 @@ pub struct NetSnapshot {
     cycle: Cycle,
     routers: Vec<Router>,
     nics: Vec<Nic>,
-    downfree: Vec<DownFree>,
+    credits: CreditSoA,
     inbox_router: Vec<Inbox<(PortId, Flit)>>,
     inbox_nic: Vec<Inbox<(usize, Flit)>>,
     reservations: ReservationTable,
@@ -58,7 +59,7 @@ impl Network {
             cycle: self.cycle,
             routers: self.routers.clone(),
             nics: self.nics.clone(),
-            downfree: self.downfree.clone(),
+            credits: self.credits.clone(),
             inbox_router: self.inbox_router.clone(),
             inbox_nic: self.inbox_nic.clone(),
             reservations: self.reservations.clone(),
@@ -81,7 +82,7 @@ impl Network {
         self.cycle = snap.cycle;
         self.routers.clone_from(&snap.routers);
         self.nics.clone_from(&snap.nics);
-        self.downfree.clone_from(&snap.downfree);
+        self.credits.clone_from(&snap.credits);
         self.inbox_router.clone_from(&snap.inbox_router);
         self.inbox_nic.clone_from(&snap.inbox_nic);
         self.reservations = snap.reservations.clone();
@@ -104,7 +105,7 @@ impl Network {
         let _ = write!(s, "c={};lp={};", self.cycle, self.last_progress);
         let _ = write!(s, "r={:?};", self.routers);
         let _ = write!(s, "n={:?};", self.nics);
-        let _ = write!(s, "d={:?};", self.downfree);
+        let _ = write!(s, "d={:?};", self.credits);
         for ib in &self.inbox_router {
             for (at, item) in ib.iter() {
                 let _ = write!(s, "ir={at}:{item:?};");

@@ -1,0 +1,221 @@
+//! Bursty open-loop traffic: Bernoulli injection gated to periodic windows.
+//!
+//! Real workloads are not steady-state: compute phases separate
+//! communication phases, and the network spends much of its time provably
+//! idle. [`BurstWorkload`] models that on/off structure — every `period`
+//! cycles, nodes inject for `burst_len` cycles at the configured Bernoulli
+//! rate, then go silent until the next window.
+//!
+//! The silent gaps are what makes this workload *skippable*: `generate` is
+//! a guaranteed no-op outside a window — it returns before touching the
+//! RNG — and [`Workload::next_activity`] reports the start of the next
+//! window, so an idle-skipping engine can jump the clock straight across
+//! the gap. A run that steps every cycle and a run that skips the gaps see
+//! the identical packet stream, byte for byte.
+
+use crate::pattern::TrafficPattern;
+use crate::synth::PacketMix;
+use noc_sim::{PacketFactory, Workload};
+use noc_types::{Cycle, MessageClass, NodeId, Packet};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// On/off synthetic traffic: Bernoulli injection (`rate` packets/node/cycle)
+/// during the first `burst_len` cycles of every `period`-cycle window,
+/// silence otherwise. With `burst_len == period` this degenerates to the
+/// steady [`crate::SyntheticWorkload`] schedule.
+pub struct BurstWorkload {
+    pattern: TrafficPattern,
+    rate: f64,
+    mix: PacketMix,
+    period: Cycle,
+    burst_len: Cycle,
+    cols: u8,
+    rows: u8,
+    warmup: Cycle,
+    rng: SmallRng,
+    factory: PacketFactory,
+}
+
+impl BurstWorkload {
+    /// `rate` applies within a burst window; the long-run average rate is
+    /// `rate * burst_len / period`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        pattern: TrafficPattern,
+        rate: f64,
+        period: Cycle,
+        burst_len: Cycle,
+        cols: u8,
+        rows: u8,
+        warmup: Cycle,
+        seed: u64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0,1]");
+        assert!(burst_len >= 1, "a burst must span at least one cycle");
+        assert!(
+            period >= burst_len,
+            "period {period} shorter than burst_len {burst_len}"
+        );
+        BurstWorkload {
+            pattern,
+            rate,
+            mix: PacketMix::default(),
+            period,
+            burst_len,
+            cols,
+            rows,
+            warmup,
+            // Same stream discipline as SyntheticWorkload: decorrelate from
+            // the network's internal RNG.
+            rng: SmallRng::seed_from_u64(seed ^ 0x5EEC_7AFF_1C00_0002),
+            factory: PacketFactory::new(),
+        }
+    }
+
+    /// Overrides the packet-size mix.
+    #[must_use]
+    pub fn with_mix(mut self, mix: PacketMix) -> Self {
+        self.mix = mix;
+        self
+    }
+
+    /// Packets generated so far (measured or not).
+    pub fn generated(&self) -> u64 {
+        self.factory.created()
+    }
+
+    /// Whether `cycle` falls inside a burst window.
+    fn active(&self, cycle: Cycle) -> bool {
+        cycle % self.period < self.burst_len
+    }
+}
+
+impl Workload for BurstWorkload {
+    fn generate(&mut self, cycle: Cycle, inject: &mut dyn FnMut(NodeId, Packet)) {
+        // The skip contract: outside a window this must be a total no-op —
+        // in particular the RNG stream advances by exactly zero bytes, so
+        // stepping through a gap and jumping over it are indistinguishable.
+        if !self.active(cycle) {
+            return;
+        }
+        let n = self.cols as u16 * self.rows as u16;
+        for s in 0..n {
+            if !self.rng.gen_bool(self.rate) {
+                continue;
+            }
+            let src = NodeId(s);
+            let Some(dest) = self.pattern.dest(src, self.cols, self.rows, &mut self.rng) else {
+                continue;
+            };
+            let len = if self.rng.gen_bool(self.mix.long_prob) {
+                self.mix.long_len
+            } else {
+                self.mix.short_len
+            };
+            let pkt = self.factory.make(
+                src,
+                dest,
+                MessageClass::SYNTH,
+                len,
+                cycle,
+                cycle >= self.warmup,
+            );
+            inject(src, pkt);
+        }
+    }
+
+    fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        if self.active(now) {
+            Some(now)
+        } else {
+            // Silent until the next window opens.
+            Some(now + self.period - now % self.period)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn burst(rate: f64, period: Cycle, len: Cycle, seed: u64) -> BurstWorkload {
+        BurstWorkload::new(
+            TrafficPattern::UniformRandom,
+            rate,
+            period,
+            len,
+            4,
+            4,
+            0,
+            seed,
+        )
+    }
+
+    #[test]
+    fn silent_outside_windows() {
+        let mut w = burst(1.0, 100, 10, 3);
+        for c in 0..300 {
+            let mut count = 0;
+            w.generate(c, &mut |_, _| count += 1);
+            if c % 100 < 10 {
+                assert!(count > 0, "cycle {c} in-window but silent at rate 1.0");
+            } else {
+                assert_eq!(count, 0, "cycle {c} out-of-window but injected");
+            }
+        }
+    }
+
+    #[test]
+    fn gap_cycles_consume_no_rng() {
+        // Driving every cycle and driving only the in-window cycles must
+        // produce the identical packet stream — the skip contract.
+        let collect = |skip_gaps: bool| {
+            let mut w = burst(0.7, 64, 8, 9);
+            let mut v = Vec::new();
+            for c in 0..640 {
+                if skip_gaps && c % 64 >= 8 {
+                    continue;
+                }
+                w.generate(c, &mut |n, p| v.push((c, n, p.dest, p.len_flits)));
+            }
+            v
+        };
+        let stepped = collect(false);
+        assert!(!stepped.is_empty());
+        assert_eq!(stepped, collect(true));
+    }
+
+    #[test]
+    fn next_activity_points_at_window_starts() {
+        let w = burst(0.5, 100, 10, 3);
+        assert_eq!(w.next_activity(0), Some(0), "window start is active");
+        assert_eq!(w.next_activity(9), Some(9), "last in-window cycle");
+        assert_eq!(w.next_activity(10), Some(100), "first gap cycle");
+        assert_eq!(w.next_activity(99), Some(100), "last gap cycle");
+        assert_eq!(w.next_activity(250), Some(300));
+    }
+
+    #[test]
+    fn full_duty_cycle_matches_steady_traffic() {
+        // burst_len == period: active every cycle, horizon always `now`.
+        let w = burst(0.5, 7, 7, 3);
+        for c in 0..30 {
+            assert_eq!(w.next_activity(c), Some(c));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let collect = |seed| {
+            let mut w = burst(0.4, 32, 4, seed);
+            let mut v = Vec::new();
+            for c in 0..320 {
+                w.generate(c, &mut |n, p| v.push((n, p.dest, p.len_flits)));
+            }
+            v
+        };
+        assert_eq!(collect(5), collect(5));
+        assert_ne!(collect(5), collect(6));
+    }
+}

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Compare a fresh bench report against the committed baseline.
+#
+#   scripts/bench_regression.sh <fresh.json> <baseline.json> [tolerance_pct]
+#
+# Fails (exit 1) when any bench id present in both reports regressed its
+# `per_second` rate by more than the tolerance (default 15%), or when the
+# fresh report is missing an id the baseline has. Ids only the fresh
+# report has are listed but not fatal (new benches don't need a baseline
+# entry to land). The tolerance absorbs CI box noise; refresh the
+# baseline deliberately (re-run the bench and commit the new json) when
+# the hardware class or the engine's expected performance changes.
+set -euo pipefail
+
+fresh="${1:?usage: bench_regression.sh <fresh.json> <baseline.json> [tolerance_pct]}"
+base="${2:?usage: bench_regression.sh <fresh.json> <baseline.json> [tolerance_pct]}"
+tol="${3:-15}"
+
+# Extract "id per_second" pairs: one bench row per line in our reports.
+# (sed, not gawk match(): mawk-only hosts lack the 3-arg form.)
+extract() {
+  sed -n 's/.*"id": "\([^"]*\)".*"per_second": \([0-9.][0-9.]*\).*/\1 \2/p' "$1"
+}
+
+fresh_pairs=$(extract "$fresh")
+base_pairs=$(extract "$base")
+if [ -z "$base_pairs" ]; then
+  echo "bench_regression: no per_second rows in baseline $base" >&2
+  exit 1
+fi
+
+fail=0
+while read -r id base_rate; do
+  fresh_rate=$(printf '%s\n' "$fresh_pairs" | awk -v id="$id" '$1 == id { print $2 }')
+  if [ -z "$fresh_rate" ]; then
+    echo "MISSING  $id (in baseline, absent from fresh report)"
+    fail=1
+    continue
+  fi
+  awk -v id="$id" -v f="$fresh_rate" -v b="$base_rate" -v tol="$tol" '
+    BEGIN {
+      floor = b * (1 - tol / 100)
+      delta = (f / b - 1) * 100
+      if (f < floor) {
+        printf "REGRESS  %-28s %.0f -> %.0f per_second (%+.1f%%, tolerance -%s%%)\n", id, b, f, delta, tol
+        exit 1
+      }
+      printf "ok       %-28s %.0f -> %.0f per_second (%+.1f%%)\n", id, b, f, delta
+    }' || fail=1
+done <<<"$base_pairs"
+
+printf '%s\n' "$fresh_pairs" | awk -v base="$base_pairs" '
+  BEGIN { n = split(base, lines, "\n"); for (i = 1; i <= n; i++) { split(lines[i], p, " "); seen[p[1]] = 1 } }
+  !($1 in seen) { printf "new      %-28s (no baseline entry yet)\n", $1 }'
+
+exit "$fail"
