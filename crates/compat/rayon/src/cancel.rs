@@ -1,0 +1,180 @@
+//! Cooperative cancellation for parallel regions and long-running jobs.
+//!
+//! A [`CancelToken`] is a cheap, cloneable handle shared between a
+//! controller (a job service, a drain path, a deadline timer) and the code
+//! doing the work. Cancellation is *cooperative*: nothing is interrupted
+//! preemptively — workers observe the token at their own safe points
+//! (between sweep datapoints, between watchdog slices) and unwind cleanly.
+//!
+//! Two triggers share one latch:
+//!
+//! * [`CancelToken::cancel`] — an explicit request (user cancel, graceful
+//!   drain);
+//! * a **deadline** ([`CancelToken::set_deadline`]) — the first
+//!   [`CancelToken::is_cancelled`] call at or past the deadline latches the
+//!   token exactly as if `cancel()` had been called, with
+//!   [`CancelReason::DeadlineExceeded`].
+//!
+//! Whichever fires first wins; the reason is recorded once and never
+//! changes, so every observer reports the same cause. The latched state is
+//! also mirrored into a plain `AtomicBool` ([`CancelToken::flag`]) that the
+//! region scheduler polls lock-free between task claims.
+
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
+
+/// Why a token fired.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CancelReason {
+    /// [`CancelToken::cancel`] was called.
+    Cancelled,
+    /// The deadline set by [`CancelToken::set_deadline`] passed.
+    DeadlineExceeded,
+}
+
+const REASON_NONE: u8 = 0;
+const REASON_CANCELLED: u8 = 1;
+const REASON_DEADLINE: u8 = 2;
+
+#[derive(Default)]
+struct Inner {
+    /// The latch the region scheduler polls between claims. Set exactly
+    /// once, by whichever trigger fires first. Behind its own `Arc` so
+    /// [`CancelToken::flag`] can hand schedulers a lock-free handle that
+    /// does not drag the deadline mutex along.
+    fired: Arc<AtomicBool>,
+    /// First-writer-wins reason code.
+    reason: AtomicU8,
+    /// Optional deadline; checked (and latched) by `is_cancelled`.
+    deadline: Mutex<Option<Instant>>,
+}
+
+/// Shared cooperative-cancellation handle. Clones observe the same latch.
+#[derive(Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl CancelToken {
+    /// A fresh, unfired token with no deadline.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; a later deadline expiry cannot
+    /// overwrite the reason.
+    pub fn cancel(&self) {
+        self.latch(REASON_CANCELLED);
+    }
+
+    /// Arms (or re-arms) the deadline. The token fires on the first
+    /// [`is_cancelled`](CancelToken::is_cancelled) check at or past `at`.
+    pub fn set_deadline(&self, at: Instant) {
+        *self
+            .inner
+            .deadline
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = Some(at);
+    }
+
+    /// The armed deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        *self
+            .inner
+            .deadline
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// True once the token has fired (explicitly or by deadline). This is
+    /// the observation point: an expired deadline latches here.
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.fired.load(Ordering::Acquire) {
+            return true;
+        }
+        let expired = self.deadline().is_some_and(|d| Instant::now() >= d);
+        if expired {
+            self.latch(REASON_DEADLINE);
+        }
+        expired
+    }
+
+    /// Why the token fired; `None` while it has not.
+    pub fn reason(&self) -> Option<CancelReason> {
+        // Observe (and possibly latch) an expired deadline first.
+        let _ = self.is_cancelled();
+        match self.inner.reason.load(Ordering::Acquire) {
+            REASON_CANCELLED => Some(CancelReason::Cancelled),
+            REASON_DEADLINE => Some(CancelReason::DeadlineExceeded),
+            _ => None,
+        }
+    }
+
+    /// The raw latch, for lock-free polling inside schedulers (see
+    /// [`crate::region::Region::with_cancel`]). The flag only ever goes
+    /// `false → true`; an expired-but-unobserved deadline is *not* visible
+    /// here until some caller runs [`is_cancelled`](Self::is_cancelled).
+    pub fn flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.inner.fired)
+    }
+
+    fn latch(&self, code: u8) {
+        let _ = self.inner.reason.compare_exchange(
+            REASON_NONE,
+            code,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+        self.inner.fired.store(true, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn explicit_cancel_latches_with_reason() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert_eq!(t.reason(), None);
+        t.cancel();
+        assert!(t.is_cancelled());
+        assert_eq!(t.reason(), Some(CancelReason::Cancelled));
+    }
+
+    #[test]
+    fn deadline_latches_on_observation() {
+        let t = CancelToken::new();
+        t.set_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(t.is_cancelled());
+        assert_eq!(t.reason(), Some(CancelReason::DeadlineExceeded));
+    }
+
+    #[test]
+    fn first_trigger_wins() {
+        let t = CancelToken::new();
+        t.cancel();
+        t.set_deadline(Instant::now() - Duration::from_secs(1));
+        assert!(t.is_cancelled());
+        assert_eq!(t.reason(), Some(CancelReason::Cancelled));
+    }
+
+    #[test]
+    fn clones_share_the_latch() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        b.cancel();
+        assert!(a.is_cancelled());
+    }
+
+    #[test]
+    fn future_deadline_does_not_fire() {
+        let t = CancelToken::new();
+        t.set_deadline(Instant::now() + Duration::from_secs(3600));
+        assert!(!t.is_cancelled());
+        assert_eq!(t.reason(), None);
+    }
+}

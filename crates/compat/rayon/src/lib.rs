@@ -29,8 +29,10 @@
 //! one task is one simulated design point, i.e. milliseconds to minutes.
 #![forbid(unsafe_code)]
 
+pub mod cancel;
 pub mod region;
 
+pub use cancel::{CancelReason, CancelToken};
 use region::{Region, Task};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Mutex, OnceLock, PoisonError};
@@ -50,7 +52,8 @@ struct PoolState {
 
 static POOL: OnceLock<Mutex<PoolState>> = OnceLock::new();
 
-/// Validates a thread-count environment value (`NOC_THREADS`-style knob).
+/// Validates a positive-count environment value (`NOC_THREADS`-style knob;
+/// also reused for `NOC_BATCH_WIDTH`).
 ///
 /// `Ok(None)` when the variable is unset or empty (empty means "use the
 /// default", so `NOC_THREADS= cmd` behaves like an unset variable). Any
@@ -64,13 +67,13 @@ pub fn parse_threads_env(name: &str, val: Option<&str>) -> Result<Option<usize>,
     }
     match t.parse::<usize>() {
         Ok(0) => Err(format!(
-            "{name}={raw:?}: thread count must be at least 1 (use 1 for \
-             sequential execution, or unset the variable for the default)"
+            "{name}={raw:?}: count must be at least 1 (use 1 to disable \
+             parallelism or batching, or unset the variable for the default)"
         )),
         Ok(n) => Ok(Some(n)),
         Err(_) => Err(format!(
             "{name}={raw:?}: not a positive integer (unset the variable for \
-             the default of one thread per available core)"
+             the default)"
         )),
     }
 }
@@ -204,6 +207,63 @@ fn run_tasks<'s, T: Send + 's>(tasks: Vec<Task<'s, T>>) -> Vec<T> {
         resume_unwind(p);
     }
     region.into_results()
+}
+
+/// Runs `f` over every item on the pool, stopping cooperatively when
+/// `token` fires: items not yet claimed are dropped, items already claimed
+/// run to completion. The cancellation point is the region's claim loop —
+/// the token is checked before every task hand-out, on the sequential
+/// fallback path too, so a fired token stops a region of any width at task
+/// granularity.
+///
+/// Panics still propagate like [`iter::ParallelIterator::for_each`]: the
+/// first payload is re-thrown on the calling thread after the region winds
+/// down. Cancellation itself is silent — callers that need to distinguish
+/// "ran out of work" from "was cancelled" ask the token.
+pub fn for_each_cancellable<T, F>(items: Vec<T>, token: &CancelToken, f: F)
+where
+    T: Send,
+    F: Fn(T) + Send + Sync,
+{
+    let tasks: Vec<Task<'_, ()>> = items
+        .into_iter()
+        .map(|x| {
+            let f = &f;
+            Box::new(move || f(x)) as Task<'_, ()>
+        })
+        .collect();
+    let n = tasks.len();
+    if n == 0 {
+        return;
+    }
+    let workers = if n == 1 { 0 } else { claim_workers(n - 1) };
+    let _tokens = WorkerTokens(workers);
+    let region = Region::new(tasks).with_cancel(token.flag());
+    if workers == 0 {
+        // Sequential fallback: the same claim loop, driven inline.
+        if let Some(p) = region.worker() {
+            resume_unwind(p);
+        }
+        return;
+    }
+    let mut payload: Option<region::Payload> = None;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers).map(|_| s.spawn(|| region.worker())).collect();
+        payload = region.worker();
+        for h in handles {
+            match h.join() {
+                Ok(Some(p)) | Err(p) => {
+                    if payload.is_none() {
+                        payload = Some(p);
+                    }
+                }
+                Ok(None) => {}
+            }
+        }
+    });
+    if let Some(p) = payload {
+        resume_unwind(p);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -567,6 +627,80 @@ mod tests {
         assert_eq!(msg, "point 7 wedged");
         let msg = super::catch_panic(|| -> u32 { std::panic::panic_any("static str") });
         assert_eq!(msg, Err("static str".to_string()));
+    }
+
+    #[test]
+    fn for_each_cancellable_runs_everything_with_a_quiet_token() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let count = AtomicUsize::new(0);
+        let token = super::CancelToken::new();
+        super::for_each_cancellable((0..50).collect(), &token, |_: usize| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 50);
+        assert!(!token.is_cancelled());
+    }
+
+    #[test]
+    fn for_each_cancellable_stops_claiming_after_the_token_fires() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // The third executed item cancels; with any worker count, items not
+        // yet claimed at that point must never run.
+        let count = AtomicUsize::new(0);
+        let token = super::CancelToken::new();
+        super::for_each_cancellable((0..10_000).collect(), &token, |_: usize| {
+            if count.fetch_add(1, Ordering::Relaxed) + 1 == 3 {
+                token.cancel();
+            }
+        });
+        let ran = count.load(Ordering::Relaxed);
+        assert!(ran >= 3, "the cancelling item itself ran: {ran}");
+        // In-flight claims may finish, but the bulk of the queue must not:
+        // a full run would be 10_000.
+        assert!(ran < 10_000, "cancellation did not stop the region");
+        assert!(token.is_cancelled());
+        assert_eq!(token.reason(), Some(super::CancelReason::Cancelled));
+    }
+
+    #[test]
+    fn for_each_cancellable_with_prefired_token_runs_nothing() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let count = AtomicUsize::new(0);
+        let token = super::CancelToken::new();
+        token.cancel();
+        super::for_each_cancellable((0..64).collect(), &token, |_: usize| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn for_each_cancellable_still_propagates_panics() {
+        let token = super::CancelToken::new();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            super::for_each_cancellable((0..8).collect(), &token, |i: usize| {
+                assert!(i != 5, "item five exploded");
+            });
+        }));
+        let payload = r.expect_err("panic must propagate");
+        let msg = super::panic_message(&*payload);
+        assert!(msg.contains("item five exploded"), "payload: {msg}");
+    }
+
+    #[test]
+    fn deadline_tokens_cancel_regions() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let count = AtomicUsize::new(0);
+        let token = super::CancelToken::new();
+        token.set_deadline(std::time::Instant::now());
+        // The latch is only mirrored on observation; observe once like a
+        // cooperative worker would.
+        assert!(token.is_cancelled());
+        super::for_each_cancellable((0..64).collect(), &token, |_: usize| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 0);
+        assert_eq!(token.reason(), Some(super::CancelReason::DeadlineExceeded));
     }
 
     #[test]

@@ -22,7 +22,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// A deferred unit of work producing exactly one output item.
 pub type Task<'s, T> = Box<dyn FnOnce() -> T + Send + 's>;
@@ -37,7 +37,8 @@ pub enum Claim {
     Task(usize),
     /// Every task has been claimed; the worker is done.
     Exhausted,
-    /// A task panicked; the worker must stop without claiming.
+    /// The region must stop: a task panicked, or an attached cancellation
+    /// latch fired. The worker must stop without claiming.
     Aborted,
 }
 
@@ -48,6 +49,12 @@ pub struct Region<'s, T> {
     slots: Vec<Mutex<Option<T>>>,
     next: AtomicUsize,
     abort: AtomicBool,
+    /// Optional external cancellation latch (a [`crate::CancelToken`]
+    /// flag). When it fires, [`Region::claim`] stops handing out tasks —
+    /// already-claimed tasks run to completion, unclaimed ones are dropped.
+    /// `None` (the default) preserves the original run-everything contract,
+    /// including `into_results`' every-slot-filled guarantee.
+    cancel: Option<Arc<AtomicBool>>,
 }
 
 impl<'s, T: Send + 's> Region<'s, T> {
@@ -59,7 +66,25 @@ impl<'s, T: Send + 's> Region<'s, T> {
             slots: (0..n).map(|_| Mutex::new(None)).collect(),
             next: AtomicUsize::new(0),
             abort: AtomicBool::new(false),
+            cancel: None,
         }
+    }
+
+    /// Attaches an external cancellation latch. Callers that do so give up
+    /// [`Region::into_results`] (cancelled regions leave slots unfilled)
+    /// and must consume side effects only — see
+    /// [`crate::for_each_cancellable`].
+    #[must_use]
+    pub fn with_cancel(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(flag);
+        self
+    }
+
+    /// True once the attached cancellation latch (if any) has fired.
+    pub fn cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|f| f.load(Ordering::Relaxed))
     }
 
     /// Number of tasks in the region.
@@ -81,7 +106,7 @@ impl<'s, T: Send + 's> Region<'s, T> {
     /// index to exactly one caller — the no-double-claim property the race
     /// detector certifies.
     pub fn claim(&self) -> Claim {
-        if self.aborted() {
+        if self.aborted() || self.cancelled() {
             return Claim::Aborted;
         }
         let i = self.next.fetch_add(1, Ordering::Relaxed);

@@ -14,6 +14,7 @@
 
 pub mod chaos;
 pub mod cli;
+pub mod job;
 pub mod jsonio;
 pub mod runner;
 pub mod saturation;
@@ -42,6 +43,7 @@ pub use chaos::{
     minimize, precheck, replay, run_case, run_soak, CaseGen, CaseOutcome, ChaosCase, FailureKind,
     GenPool, SoakOpts, SoakSummary,
 };
+pub use job::{JobCtx, JobError, JobProgress, JobReport, SimJob};
 pub use runner::{run_app, run_synth, AppSpec, Scheme, SynthSpec};
 pub use saturation::find_saturation;
 pub use sweep::{run_sweep, Checkpoint, FaultPoint, SweepOutcome};

@@ -91,6 +91,43 @@ impl Scheme {
         }
     }
 
+    /// Inverse of [`Scheme::label`] for the labels that appear in sweep
+    /// rows and job specs. `None` for a label no variant produces, so a
+    /// typo in a job submission is a 400, not a silent default.
+    pub fn from_label(label: &str) -> Option<Scheme> {
+        let s = match label {
+            "XY" => Scheme::Xy,
+            "WF" => Scheme::WestFirst,
+            "ADAPT" => Scheme::Adaptive,
+            "TFC" => Scheme::Tfc,
+            "EscVC" => Scheme::escape(),
+            "EscVC-obl" => Scheme::EscapeVc {
+                normal: BaseRouting::ObliviousMinimal,
+            },
+            "SPIN" => Scheme::Spin,
+            "SWAP" => Scheme::Swap,
+            "DRAIN" => Scheme::Drain,
+            "SEEC" => Scheme::seec(),
+            "SEEC-obl" => Scheme::Seec {
+                routing: BaseRouting::ObliviousMinimal,
+            },
+            "SEEC-XY" => Scheme::Seec {
+                routing: BaseRouting::Xy,
+            },
+            "SEEC-WF" => Scheme::Seec {
+                routing: BaseRouting::WestFirst,
+            },
+            "mSEEC" => Scheme::mseec(),
+            "mSEEC-obl" => Scheme::MSeec {
+                routing: BaseRouting::ObliviousMinimal,
+            },
+            "minBD" => Scheme::MinBd,
+            "CHIPPER" => Scheme::Chipper,
+            _ => return None,
+        };
+        Some(s)
+    }
+
     /// Legend label, matching the paper's figures.
     pub fn label(self) -> String {
         match self {
@@ -332,6 +369,44 @@ mod tests {
                 s.ejected_packets
             );
         }
+    }
+
+    #[test]
+    fn from_label_round_trips_every_named_scheme() {
+        let all = [
+            Scheme::Xy,
+            Scheme::WestFirst,
+            Scheme::Adaptive,
+            Scheme::Tfc,
+            Scheme::escape(),
+            Scheme::EscapeVc {
+                normal: BaseRouting::ObliviousMinimal,
+            },
+            Scheme::Spin,
+            Scheme::Swap,
+            Scheme::Drain,
+            Scheme::seec(),
+            Scheme::Seec {
+                routing: BaseRouting::ObliviousMinimal,
+            },
+            Scheme::Seec {
+                routing: BaseRouting::Xy,
+            },
+            Scheme::Seec {
+                routing: BaseRouting::WestFirst,
+            },
+            Scheme::mseec(),
+            Scheme::MSeec {
+                routing: BaseRouting::ObliviousMinimal,
+            },
+            Scheme::MinBd,
+            Scheme::Chipper,
+        ];
+        for s in all {
+            assert_eq!(Scheme::from_label(&s.label()), Some(s), "{}", s.label());
+        }
+        assert_eq!(Scheme::from_label("SEEK"), None);
+        assert_eq!(Scheme::from_label(""), None);
     }
 
     #[test]

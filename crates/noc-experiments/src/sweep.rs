@@ -25,7 +25,6 @@ use noc_sim::{watchdog, LockstepBatch, ShapeKey, Sim};
 use noc_traffic::{SyntheticWorkload, TrafficPattern};
 use noc_types::fault::fnv1a;
 use noc_types::{FaultConfig, NetConfig, RecoveryConfig, SchemeKind};
-use rayon::prelude::*;
 use std::collections::{BTreeMap, HashSet};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
@@ -42,15 +41,35 @@ const WATCHDOG_PERIOD: u64 = 256;
 /// point runs the scalar path, exactly the pre-batching runner).
 const DEFAULT_BATCH_WIDTH: usize = 4;
 
-/// The effective batch width: `NOC_BATCH_WIDTH` when set and parseable,
-/// else [`DEFAULT_BATCH_WIDTH`]. Tests pass an explicit width through
-/// [`run_sweep_with_width`] instead of racing on the process environment.
+/// Reads and validates `NOC_BATCH_WIDTH` with the same rules as
+/// `NOC_THREADS`: unset/empty means "use the default" (`Ok(None)`); any
+/// non-empty value must be an integer ≥ 1, and `0` or garbage is an
+/// **error**, never a silent fallback. Binaries validate this eagerly at
+/// startup via [`crate::cli::args`] (exit status 2 on a bad value), and
+/// `noc-serve` refuses to boot on one.
+///
+/// Width precedence (documented, never silent):
+///
+/// 1. an explicit width passed through [`run_sweep_with_width`] (tests and
+///    the job service) wins;
+/// 2. otherwise the `NOC_BATCH_WIDTH` environment variable;
+/// 3. otherwise [`DEFAULT_BATCH_WIDTH`]. `1` disables batching.
+pub fn env_batch_width() -> Result<Option<usize>, String> {
+    rayon::parse_threads_env(
+        "NOC_BATCH_WIDTH",
+        std::env::var("NOC_BATCH_WIDTH").ok().as_deref(),
+    )
+}
+
+/// The effective batch width for [`run_sweep`]: `NOC_BATCH_WIDTH` when
+/// set, else [`DEFAULT_BATCH_WIDTH`]. Panics (loudly, with the validation
+/// message) on a garbage value — binaries catch that case before any work
+/// starts by validating in [`crate::cli::args`].
 fn batch_width() -> usize {
-    std::env::var("NOC_BATCH_WIDTH")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&w| w >= 1)
-        .unwrap_or(DEFAULT_BATCH_WIDTH)
+    match env_batch_width() {
+        Ok(w) => w.unwrap_or(DEFAULT_BATCH_WIDTH),
+        Err(e) => panic!("invalid batch configuration: {e}"),
+    }
 }
 
 /// One datapoint of a fault sweep.
@@ -76,6 +95,24 @@ pub struct FaultPoint {
 }
 
 impl FaultPoint {
+    /// A small, fast design point: 4×4 mesh, 2 VCs, uniform-random traffic
+    /// at a light load, short injection window, transient fault rate as
+    /// given. Smoke tests and `noc-serve` quick jobs build on this.
+    pub fn quick(series: &'static str, scheme: Scheme, transient: f64) -> FaultPoint {
+        FaultPoint {
+            series,
+            scheme,
+            k: 4,
+            vcs: 2,
+            pattern: TrafficPattern::UniformRandom,
+            rate: 0.05,
+            cycles: 3_000,
+            seed: 0xA11CE,
+            fault: FaultConfig::transient(transient),
+            recovery: RecoveryConfig::default(),
+        }
+    }
+
     /// The network configuration this point simulates.
     pub fn config(&self) -> NetConfig {
         self.scheme
@@ -116,16 +153,24 @@ impl FaultPoint {
 
 /// Append-only record of completed datapoints (`*.ckpt.jsonl`): one flat
 /// JSON object per line, each carrying a `"key"` field. Torn or garbage
-/// lines (a killed writer) are skipped on load, never fatal.
+/// lines (a killed writer — e.g. `kill -9` mid-`writeln`) are **dropped
+/// and logged** on load, never fatal: the affected point simply re-executes
+/// on resume, and the journal is compacted in place (atomic
+/// write-temp-then-rename) so a resumed checkpoint ends up byte-identical
+/// to an uninterrupted run's, garbage included-out.
 pub struct Checkpoint {
     path: PathBuf,
     done: HashSet<String>,
     file: Mutex<std::fs::File>,
+    torn_dropped: usize,
 }
 
 impl Checkpoint {
     /// Opens (creating parents as needed) and loads the set of completed
-    /// keys from any existing rows.
+    /// keys from any existing rows. Unparseable lines — a torn final write
+    /// from a killed process — are dropped from the journal (logged to
+    /// stderr, counted in [`Checkpoint::torn_dropped`]); their points are
+    /// treated as missing and re-execute.
     pub fn open(path: &Path) -> std::io::Result<Checkpoint> {
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
@@ -133,14 +178,34 @@ impl Checkpoint {
             }
         }
         let mut done = HashSet::new();
+        let mut kept = String::new();
+        let mut torn_dropped = 0usize;
         if let Ok(text) = std::fs::read_to_string(path) {
             for line in text.lines() {
-                if let Some(row) = jsonio::parse_flat(line) {
-                    if let Some(k) = row.get("key") {
-                        done.insert(k.clone());
+                match jsonio::parse_flat(line) {
+                    Some(row) => {
+                        if let Some(k) = row.get("key") {
+                            done.insert(k.clone());
+                        }
+                        kept.push_str(line);
+                        kept.push('\n');
                     }
+                    None => torn_dropped += 1,
                 }
             }
+        }
+        if torn_dropped > 0 {
+            // Compact the journal: keep every parseable row byte-for-byte,
+            // drop the garbage. Write-then-rename so a crash *here* leaves
+            // either the old or the new journal, never a half-written one.
+            let tmp = path.with_extension("ckpt.jsonl.repair");
+            std::fs::write(&tmp, &kept)?;
+            std::fs::rename(&tmp, path)?;
+            eprintln!(
+                "checkpoint {}: dropped {torn_dropped} torn line(s) from a \
+                 previous crashed writer; the affected point(s) will re-execute",
+                path.display()
+            );
         }
         let file = std::fs::OpenOptions::new()
             .create(true)
@@ -150,7 +215,13 @@ impl Checkpoint {
             path: path.to_path_buf(),
             done,
             file: Mutex::new(file),
+            torn_dropped,
         })
+    }
+
+    /// Number of torn/garbage lines dropped (and logged) at open time.
+    pub fn torn_dropped(&self) -> usize {
+        self.torn_dropped
     }
 
     pub fn path(&self) -> &Path {
@@ -190,6 +261,30 @@ impl Checkpoint {
     }
 }
 
+/// Live progress of one [`run_sweep`] invocation, delivered to the
+/// [`SweepCtx::progress`] callback after every recorded row.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SweepProgress {
+    /// Rows present for this sweep so far (resumed + recorded this run).
+    pub done: usize,
+    /// Total points in the sweep.
+    pub total: usize,
+    /// `"status": "failed"` rows recorded this run.
+    pub failed: usize,
+}
+
+/// Execution context for a service-driven sweep: a cooperative
+/// cancellation token observed at sweep-point granularity (between points,
+/// and between watchdog slices inside a point), plus an optional progress
+/// callback. A point that observes cancellation mid-flight is abandoned
+/// *without* a checkpoint row — it stays missing and re-executes on the
+/// next resume, which is what keeps a cancelled-then-resumed sweep
+/// byte-identical to an uninterrupted one.
+pub struct SweepCtx<'a> {
+    pub cancel: &'a rayon::CancelToken,
+    pub progress: Option<&'a (dyn Fn(SweepProgress) + Sync)>,
+}
+
 /// How a single execution attempt ended (when it did not panic).
 enum PointRun {
     /// Simulated to completion.
@@ -199,6 +294,8 @@ enum PointRun {
         status: &'static str,
         reason: String,
     },
+    /// Abandoned mid-run by a fired cancellation token: no row.
+    Interrupted,
 }
 
 /// The certification gate shared by the scalar and batched paths. Returns
@@ -299,8 +396,9 @@ fn escalate_wedge(p: &FaultPoint, sim: &Sim, dump_dir: &Path) -> ! {
 
 /// Executes one datapoint. May panic — on a wedged network (after writing
 /// the black-box dump), on an injected `NOC_SWEEP_PANIC_KEY` match, or on
-/// any simulator bug; the caller isolates it.
-fn execute_point(p: &FaultPoint, dump_dir: &Path) -> PointRun {
+/// any simulator bug; the caller isolates it. A fired cancellation token
+/// abandons the point between watchdog slices.
+fn execute_point(p: &FaultPoint, dump_dir: &Path, ctx: Option<&SweepCtx>) -> PointRun {
     if let Ok(needle) = std::env::var("NOC_SWEEP_PANIC_KEY") {
         let id = p.ident();
         if !needle.is_empty() && (id.contains(&needle) || p.key().contains(&needle)) {
@@ -311,6 +409,10 @@ fn execute_point(p: &FaultPoint, dump_dir: &Path) -> PointRun {
         !p.scheme.is_deflection(),
         "fault sweeps drive VC-router schemes only"
     );
+    let cancelled = || ctx.is_some_and(|c| c.cancel.is_cancelled());
+    if cancelled() {
+        return PointRun::Interrupted;
+    }
     let cfg = p.config();
     if let Some((status, reason)) = gate_point(p, &cfg) {
         return PointRun::Skipped { status, reason };
@@ -326,6 +428,9 @@ fn execute_point(p: &FaultPoint, dump_dir: &Path) -> PointRun {
         remaining -= slice;
         if watchdog::looks_stuck(&sim.net, watchdog::DEFAULT_STUCK_THRESHOLD) {
             escalate_wedge(p, &sim, dump_dir);
+        }
+        if cancelled() {
+            return PointRun::Interrupted;
         }
     }
     PointRun::Done(Box::new(sim.finish().clone()))
@@ -403,20 +508,24 @@ fn render_status(p: &FaultPoint, status: &str, reason: &str) -> String {
 /// `"status": "failed"` row. When the watchdog escalation left a black-box
 /// dump for this point, the failed row carries its path under `"blackbox"`,
 /// so post-mortem tooling can go from checkpoint straight to evidence.
-/// Returns the rendered row and whether it failed.
-fn run_isolated(p: &FaultPoint, dump_dir: &Path) -> (String, bool) {
-    let attempt = || rayon::catch_panic(|| execute_point(p, dump_dir));
+/// Returns the rendered row and whether it failed; `None` when the point
+/// was abandoned by cancellation (no row — the point stays missing).
+fn run_isolated(p: &FaultPoint, dump_dir: &Path, ctx: Option<&SweepCtx>) -> Option<(String, bool)> {
+    let attempt = || rayon::catch_panic(|| execute_point(p, dump_dir, ctx));
     let outcome = attempt().or_else(|_first| attempt());
     match outcome {
-        Ok(PointRun::Done(stats)) => (render_done(p, &stats), false),
-        Ok(PointRun::Skipped { status, reason }) => (render_status(p, status, &reason), false),
+        Ok(PointRun::Done(stats)) => Some((render_done(p, &stats), false)),
+        Ok(PointRun::Skipped { status, reason }) => {
+            Some((render_status(p, status, &reason), false))
+        }
+        Ok(PointRun::Interrupted) => None,
         Err(msg) => {
             let mut row = row_base(p, "failed").str_field("reason", &msg);
             let dump = dump_dir.join(format!("blackbox_{}.json", p.key()));
             if dump.is_file() {
                 row = row.str_field("blackbox", &dump.display().to_string());
             }
-            (row.finish(), true)
+            Some((row.finish(), true))
         }
     }
 }
@@ -449,8 +558,14 @@ fn chunk_compatible<'a>(todo: &[&'a FaultPoint], width: usize) -> Vec<Vec<&'a Fa
 /// become status rows without a lane; the rest run in lockstep under the
 /// same watchdog slicing as the scalar path. May panic (a wedged lane, a
 /// simulator bug) — the caller falls back to per-point isolation, which
-/// reproduces the scalar outcome for every point in the chunk.
-fn execute_chunk_batched(chunk: &[&FaultPoint], dump_dir: &Path) -> Vec<(String, bool)> {
+/// reproduces the scalar outcome for every point in the chunk. A fired
+/// cancellation token abandons every in-flight lane (`None` entries — no
+/// rows; the points stay missing).
+fn execute_chunk_batched(
+    chunk: &[&FaultPoint],
+    dump_dir: &Path,
+    ctx: Option<&SweepCtx>,
+) -> Vec<Option<(String, bool)>> {
     let mut rows: Vec<Option<(String, bool)>> = (0..chunk.len()).map(|_| None).collect();
     let mut lanes = Vec::new();
     let mut lane_points = Vec::new();
@@ -472,6 +587,9 @@ fn execute_chunk_batched(chunk: &[&FaultPoint], dump_dir: &Path) -> Vec<(String,
         let mut batch = LockstepBatch::new(lanes);
         let mut remaining = chunk[lane_points[0]].cycles;
         while remaining > 0 {
+            if ctx.is_some_and(|c| c.cancel.is_cancelled()) {
+                return rows;
+            }
             let slice = WATCHDOG_PERIOD.min(remaining);
             batch.run(slice);
             remaining -= slice;
@@ -486,9 +604,7 @@ fn execute_chunk_batched(chunk: &[&FaultPoint], dump_dir: &Path) -> Vec<(String,
             rows[i] = Some((render_done(chunk[i], &stats), false));
         }
     }
-    rows.into_iter()
-        .map(|r| r.expect("every point in the chunk resolved"))
-        .collect()
+    rows
 }
 
 /// Runs one chunk with the same isolation contract as [`run_isolated`]:
@@ -496,9 +612,17 @@ fn execute_chunk_batched(chunk: &[&FaultPoint], dump_dir: &Path) -> Vec<(String,
 /// scalar execution, whose own retry/failed-row semantics then apply. The
 /// `NOC_SWEEP_PANIC_KEY` injection hook targets individual points, so a
 /// chunk containing a match routes through the scalar path up front.
-fn run_chunk(chunk: &[&FaultPoint], dump_dir: &Path) -> Vec<(String, bool)> {
-    let scalar = |chunk: &[&FaultPoint]| -> Vec<(String, bool)> {
-        chunk.iter().map(|p| run_isolated(p, dump_dir)).collect()
+/// `None` entries are points abandoned by cancellation.
+fn run_chunk(
+    chunk: &[&FaultPoint],
+    dump_dir: &Path,
+    ctx: Option<&SweepCtx>,
+) -> Vec<Option<(String, bool)>> {
+    let scalar = |chunk: &[&FaultPoint]| -> Vec<Option<(String, bool)>> {
+        chunk
+            .iter()
+            .map(|p| run_isolated(p, dump_dir, ctx))
+            .collect()
     };
     if chunk.len() == 1 {
         return scalar(chunk);
@@ -512,7 +636,7 @@ fn run_chunk(chunk: &[&FaultPoint], dump_dir: &Path) -> Vec<(String, bool)> {
             return scalar(chunk);
         }
     }
-    match rayon::catch_panic(|| execute_chunk_batched(chunk, dump_dir)) {
+    match rayon::catch_panic(|| execute_chunk_batched(chunk, dump_dir, ctx)) {
         Ok(rows) => rows,
         Err(_) => scalar(chunk),
     }
@@ -521,7 +645,8 @@ fn run_chunk(chunk: &[&FaultPoint], dump_dir: &Path) -> Vec<(String, bool)> {
 /// Summary of one [`run_sweep`] invocation.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct SweepOutcome {
-    /// Points executed (or skipped by the certification gate) this run.
+    /// Points that recorded a row this run (completed, skipped by the
+    /// certification gate, or failed).
     pub executed: usize,
     /// Points already present in the checkpoint and not re-run.
     pub resumed: usize,
@@ -529,6 +654,9 @@ pub struct SweepOutcome {
     pub deferred: usize,
     /// Points recorded as `"status": "failed"` this run.
     pub failed: usize,
+    /// Points abandoned without a row by a fired cancellation token (they
+    /// stay missing and re-execute on the next resume).
+    pub interrupted: usize,
 }
 
 /// Runs every point of `points` that the checkpoint does not already hold,
@@ -558,6 +686,24 @@ pub fn run_sweep_with_width(
     dump_dir: &Path,
     width: usize,
 ) -> SweepOutcome {
+    run_sweep_ctx(points, ckpt, max_points, dump_dir, width, None)
+}
+
+/// The full-control entry point behind [`run_sweep`]: explicit lockstep
+/// width plus an optional [`SweepCtx`] carrying a cooperative cancellation
+/// token and a progress callback. This is what the `noc-serve` job service
+/// drives: cancellation (explicit or deadline) stops the sweep at point
+/// granularity — chunks not yet claimed never start, in-flight points are
+/// abandoned between watchdog slices without recording a row — and the
+/// progress callback fires after every recorded row.
+pub fn run_sweep_ctx(
+    points: &[FaultPoint],
+    ckpt: &Checkpoint,
+    max_points: Option<usize>,
+    dump_dir: &Path,
+    width: usize,
+    ctx: Option<&SweepCtx>,
+) -> SweepOutcome {
     let todo: Vec<&FaultPoint> = points.iter().filter(|p| !ckpt.is_done(&p.key())).collect();
     let resumed = points.len() - todo.len();
     let missing = todo.len();
@@ -566,21 +712,41 @@ pub fn run_sweep_with_width(
         None => todo,
     };
     let deferred = missing - todo.len();
+    let attempted = todo.len();
     let failed = AtomicUsize::new(0);
+    let recorded = AtomicUsize::new(0);
+    let total = points.len();
     let chunks = chunk_compatible(&todo, width);
-    chunks.par_iter().for_each(|chunk| {
-        for (row, was_failure) in run_chunk(chunk, dump_dir) {
+    // A quiet local token keeps the cancellable executor on one code path
+    // whether or not a context was supplied.
+    let quiet = rayon::CancelToken::new();
+    let token = ctx.map_or(&quiet, |c| c.cancel);
+    rayon::for_each_cancellable(chunks, token, |chunk: Vec<&FaultPoint>| {
+        for row in run_chunk(&chunk, dump_dir, ctx) {
+            let Some((row, was_failure)) = row else {
+                continue;
+            };
             ckpt.record(&row);
+            let done_now = recorded.fetch_add(1, Ordering::Relaxed) + 1;
             if was_failure {
                 failed.fetch_add(1, Ordering::Relaxed);
             }
+            if let Some(cb) = ctx.and_then(|c| c.progress) {
+                cb(SweepProgress {
+                    done: resumed + done_now,
+                    total,
+                    failed: failed.load(Ordering::Relaxed),
+                });
+            }
         }
     });
+    let recorded = recorded.load(Ordering::Relaxed);
     SweepOutcome {
-        executed: todo.len(),
+        executed: recorded,
         resumed,
         deferred,
         failed: failed.load(Ordering::Relaxed),
+        interrupted: attempted - recorded,
     }
 }
 
@@ -628,6 +794,168 @@ mod tests {
         let mut c = a.clone();
         c.recovery = RecoveryConfig::drain();
         assert_ne!(a.key(), c.key());
+    }
+
+    #[test]
+    fn torn_final_line_is_dropped_at_every_byte_offset() {
+        // Simulate `kill -9` mid-write: truncate a two-row journal at every
+        // byte offset inside the final line (plus the missing-newline case)
+        // and require the loader to (a) parse as "1 done, 1 torn" for every
+        // strict prefix, (b) parse as "2 done, 0 torn" only for the intact
+        // line, and (c) compact the journal so a reopen is clean.
+        let dir = tmpdir("torn_offsets");
+        let path = dir.join("torn.ckpt.jsonl");
+        let row1 = JsonObj::new()
+            .str_field("key", "aaaa")
+            .str_field("status", "ok")
+            .finish();
+        let row2 = JsonObj::new()
+            .str_field("key", "bbbb")
+            .str_field("status", "ok")
+            .str_field("reason", "has } and \" and \\ inside")
+            .finish();
+        let full = format!("{row1}\n{row2}\n");
+        let last_start = full.len() - row2.len() - 1;
+        for cut in 0..=row2.len() {
+            let truncated = &full[..last_start + cut];
+            std::fs::write(&path, truncated).unwrap();
+            let ckpt = Checkpoint::open(&path).unwrap();
+            if cut == row2.len() {
+                // Complete line, only the trailing newline lost: a valid row.
+                assert_eq!(ckpt.done_count(), 2, "cut={cut}");
+                assert_eq!(ckpt.torn_dropped(), 0, "cut={cut}");
+            } else if cut == 0 {
+                // Torn exactly at the line boundary: nothing to drop.
+                assert_eq!(ckpt.done_count(), 1, "cut={cut}");
+                assert_eq!(ckpt.torn_dropped(), 0, "cut={cut}");
+            } else {
+                assert_eq!(ckpt.done_count(), 1, "cut={cut}: {truncated:?}");
+                assert_eq!(ckpt.torn_dropped(), 1, "cut={cut}: {truncated:?}");
+            }
+            assert!(ckpt.is_done("aaaa"));
+            drop(ckpt);
+            // The journal was compacted: reopening drops nothing.
+            let again = Checkpoint::open(&path).unwrap();
+            assert_eq!(again.torn_dropped(), 0, "cut={cut}: repair not sticky");
+            assert_eq!(
+                again.done_count(),
+                if cut == row2.len() { 2 } else { 1 },
+                "cut={cut}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_line_point_reexecutes_and_matches_uninterrupted() {
+        // End-to-end satellite check: tear the final checkpoint line, resume,
+        // and require the repaired + resumed journal to hold exactly the row
+        // set of an uninterrupted run.
+        let dir = tmpdir("torn_resume");
+        let path = dir.join("t.ckpt.jsonl");
+        let points = vec![point(Scheme::seec(), 0.0), point(Scheme::mseec(), 0.0)];
+        let ckpt = Checkpoint::open(&path).unwrap();
+        run_sweep(&points, &ckpt, None, &dir);
+        drop(ckpt);
+        // Tear the last row mid-line.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 7]).unwrap();
+        let ckpt = Checkpoint::open(&path).unwrap();
+        assert_eq!(ckpt.torn_dropped(), 1);
+        let o = run_sweep(&points, &ckpt, None, &dir);
+        assert_eq!((o.executed, o.resumed), (1, 1), "torn point re-executes");
+        // Same sorted line set as an uninterrupted run.
+        let uckpt = Checkpoint::open(&dir.join("u.ckpt.jsonl")).unwrap();
+        run_sweep(&points, &uckpt, None, &dir);
+        let sorted = |p: &Path| {
+            let mut ls: Vec<String> = std::fs::read_to_string(p)
+                .unwrap()
+                .lines()
+                .map(str::to_string)
+                .collect();
+            ls.sort();
+            ls
+        };
+        assert_eq!(sorted(&path), sorted(uckpt.path()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batch_width_env_is_validated_not_silently_defaulted() {
+        // Validation is pure (no process-global env mutation in tests):
+        // exercise the shared parser with NOC_BATCH_WIDTH's name.
+        let p = |v: Option<&str>| rayon::parse_threads_env("NOC_BATCH_WIDTH", v);
+        assert_eq!(p(None), Ok(None));
+        assert_eq!(p(Some("")), Ok(None));
+        assert_eq!(p(Some("4")), Ok(Some(4)));
+        assert_eq!(p(Some(" 8 ")), Ok(Some(8)));
+        let zero = p(Some("0")).unwrap_err();
+        assert!(zero.contains("NOC_BATCH_WIDTH"), "{zero}");
+        assert!(zero.contains("at least 1"), "{zero}");
+        let junk = p(Some("wide")).unwrap_err();
+        assert!(junk.contains("not a positive integer"), "{junk}");
+        assert!(p(Some("-1")).is_err());
+        assert!(p(Some("2.5")).is_err());
+    }
+
+    #[test]
+    fn cancelled_sweep_abandons_missing_points_without_rows() {
+        let dir = tmpdir("cancelled");
+        let ckpt = Checkpoint::open(&dir.join("c.ckpt.jsonl")).unwrap();
+        let points = vec![
+            point(Scheme::seec(), 0.0),
+            point(Scheme::seec(), 0.01),
+            point(Scheme::mseec(), 0.0),
+        ];
+        let token = rayon::CancelToken::new();
+        token.cancel();
+        let ctx = SweepCtx {
+            cancel: &token,
+            progress: None,
+        };
+        let o = run_sweep_ctx(&points, &ckpt, None, &dir, 1, Some(&ctx));
+        assert_eq!(o.executed, 0);
+        assert_eq!(o.interrupted, 3);
+        assert_eq!(ckpt.rows().len(), 0, "no rows for abandoned points");
+        // Resuming with a quiet token completes everything and matches an
+        // uninterrupted run.
+        let ckpt = Checkpoint::open(&dir.join("c.ckpt.jsonl")).unwrap();
+        let o = run_sweep(&points, &ckpt, None, &dir);
+        assert_eq!((o.executed, o.interrupted), (3, 0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn deadline_token_interrupts_and_progress_reports_rows() {
+        use std::sync::atomic::AtomicUsize;
+        let dir = tmpdir("deadline");
+        let ckpt = Checkpoint::open(&dir.join("d.ckpt.jsonl")).unwrap();
+        let points = vec![point(Scheme::seec(), 0.0), point(Scheme::mseec(), 0.0)];
+        let token = rayon::CancelToken::new();
+        let seen = AtomicUsize::new(0);
+        let cb = |p: SweepProgress| {
+            seen.store(p.done, Ordering::Relaxed);
+            assert_eq!(p.total, 2);
+        };
+        let ctx = SweepCtx {
+            cancel: &token,
+            progress: Some(&cb),
+        };
+        let o = run_sweep_ctx(&points, &ckpt, None, &dir, 1, Some(&ctx));
+        assert_eq!((o.executed, o.interrupted), (2, 0));
+        assert_eq!(seen.load(Ordering::Relaxed), 2, "progress saw both rows");
+        // An already-expired deadline interrupts a fresh sweep immediately.
+        let token = rayon::CancelToken::new();
+        token.set_deadline(std::time::Instant::now() - std::time::Duration::from_millis(1));
+        let ctx = SweepCtx {
+            cancel: &token,
+            progress: None,
+        };
+        let ckpt2 = Checkpoint::open(&dir.join("d2.ckpt.jsonl")).unwrap();
+        let o = run_sweep_ctx(&points, &ckpt2, None, &dir, 1, Some(&ctx));
+        assert_eq!((o.executed, o.interrupted), (0, 2));
+        assert_eq!(token.reason(), Some(rayon::CancelReason::DeadlineExceeded));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

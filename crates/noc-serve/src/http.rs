@@ -1,0 +1,240 @@
+//! A deliberately tiny HTTP/1.1 server over `std::net` — no framework, no
+//! async runtime, no external dependency. Thread-per-connection with short
+//! socket timeouts; one request per connection (`Connection: close`).
+//!
+//! ```text
+//! POST /jobs            submit (flat JSON body)  202 created / 200 dedupe
+//!                       400 bad spec · 413 body too large
+//!                       429 + Retry-After queue full · 503 draining
+//! GET  /jobs            every job, one JSON row per line
+//! GET  /jobs/<id>       one job's status row            (404 unknown)
+//! GET  /jobs/<id>/rows  the unit journal, as JSONL      (404 unknown)
+//! POST /jobs/<id>/cancel                                 (409 terminal)
+//! GET  /healthz         liveness + queue depth
+//! POST /drain           begin graceful shutdown, 202
+//! ```
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use noc_experiments::jsonio;
+
+use crate::service::{Service, SubmitError};
+
+/// Largest accepted request body. Specs are small; anything bigger is a
+/// client bug or abuse, refused with `413`.
+const MAX_BODY: usize = 64 * 1024;
+
+/// Serves until `shutdown` flips true (SIGTERM/SIGINT or `POST /drain`).
+/// The listener runs non-blocking so the flag is observed within ~50 ms;
+/// each accepted connection is handled on its own thread.
+pub fn serve(listener: &TcpListener, service: &Arc<Service>, shutdown: &Arc<AtomicBool>) {
+    listener
+        .set_nonblocking(true)
+        .expect("listener nonblocking");
+    while !shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let service = Arc::clone(service);
+                let shutdown = Arc::clone(shutdown);
+                std::thread::spawn(move || {
+                    let _ = handle(stream, &service, &shutdown);
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+}
+
+fn handle(stream: TcpStream, service: &Service, shutdown: &AtomicBool) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next()) {
+        (Some(m), Some(p)) => (m.to_string(), p.to_string()),
+        _ => {
+            return respond(
+                stream,
+                400,
+                "Bad Request",
+                r#"{"error": "malformed request line"}"#,
+            )
+        }
+    };
+    // Headers: only Content-Length matters to us.
+    let mut content_length = 0usize;
+    loop {
+        let mut h = String::new();
+        if reader.read_line(&mut h)? == 0 {
+            break;
+        }
+        let h = h.trim();
+        if h.is_empty() {
+            break;
+        }
+        if let Some(v) = h
+            .to_ascii_lowercase()
+            .strip_prefix("content-length:")
+            .map(str::trim)
+        {
+            content_length = v.parse().unwrap_or(0);
+        }
+    }
+    if content_length > MAX_BODY {
+        // Drain (bounded) before erroring so the client can finish its
+        // write and read the 413 instead of tripping over a broken pipe.
+        let mut remaining = content_length.min(1 << 20);
+        let mut scratch = [0u8; 8192];
+        while remaining > 0 {
+            let take = remaining.min(scratch.len());
+            let n = reader.read(&mut scratch[..take])?;
+            if n == 0 {
+                break;
+            }
+            remaining -= n;
+        }
+        return respond(
+            stream,
+            413,
+            "Payload Too Large",
+            r#"{"error": "body too large"}"#,
+        );
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8_lossy(&body).into_owned();
+    route(stream, service, shutdown, &method, &path, &body)
+}
+
+fn route(
+    stream: TcpStream,
+    service: &Service,
+    shutdown: &AtomicBool,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    match (method, path) {
+        ("POST", "/jobs") => {
+            let Some(row) = jsonio::parse_flat(body.trim()) else {
+                return respond(
+                    stream,
+                    400,
+                    "Bad Request",
+                    r#"{"error": "body is not a flat JSON object"}"#,
+                );
+            };
+            match service.submit(&row) {
+                Ok((status, created)) => {
+                    let (code, reason) = if created {
+                        (202, "Accepted")
+                    } else {
+                        (200, "OK")
+                    };
+                    respond(stream, code, reason, &status.to_row())
+                }
+                Err(SubmitError::Invalid(e)) => respond(stream, 400, "Bad Request", &error_row(&e)),
+                Err(SubmitError::Busy(full)) => respond_with(
+                    stream,
+                    429,
+                    "Too Many Requests",
+                    &[("Retry-After", &full.retry_after_s.to_string())],
+                    &error_row("queue full"),
+                ),
+                Err(SubmitError::Draining) => {
+                    respond(stream, 503, "Service Unavailable", &error_row("draining"))
+                }
+            }
+        }
+        ("GET", "/jobs") => {
+            let rows: Vec<String> = service
+                .list()
+                .iter()
+                .map(crate::service::JobStatus::to_row)
+                .collect();
+            respond(stream, 200, "OK", &rows.join("\n"))
+        }
+        ("GET", "/healthz") => {
+            let row = format!(
+                r#"{{"status": "ok", "draining": "{}", "queued": "{}"}}"#,
+                service.is_draining(),
+                service.queued()
+            );
+            respond(stream, 200, "OK", &row)
+        }
+        ("POST", "/drain") => {
+            shutdown.store(true, Ordering::Relaxed);
+            respond(stream, 202, "Accepted", r#"{"status": "draining"}"#)
+        }
+        ("POST", p) if p.starts_with("/jobs/") && p.ends_with("/cancel") => {
+            let id = &p["/jobs/".len()..p.len() - "/cancel".len()];
+            match service.cancel(id) {
+                Ok(status) => respond(stream, 200, "OK", &status.to_row()),
+                Err(Some(stage)) => respond(
+                    stream,
+                    409,
+                    "Conflict",
+                    &error_row(&format!("job is terminal ({stage})")),
+                ),
+                Err(None) => respond(stream, 404, "Not Found", &error_row("unknown job")),
+            }
+        }
+        ("GET", p) if p.starts_with("/jobs/") && p.ends_with("/rows") => {
+            let id = &p["/jobs/".len()..p.len() - "/rows".len()];
+            match service.rows_path(id) {
+                Some(path) => {
+                    let text = std::fs::read_to_string(path).unwrap_or_default();
+                    respond(stream, 200, "OK", &text)
+                }
+                None => respond(stream, 404, "Not Found", &error_row("unknown job")),
+            }
+        }
+        ("GET", p) if p.starts_with("/jobs/") => {
+            let id = &p["/jobs/".len()..];
+            match service.status(id) {
+                Some(status) => respond(stream, 200, "OK", &status.to_row()),
+                None => respond(stream, 404, "Not Found", &error_row("unknown job")),
+            }
+        }
+        _ => respond(stream, 404, "Not Found", &error_row("no such route")),
+    }
+}
+
+fn error_row(msg: &str) -> String {
+    noc_experiments::jsonio::JsonObj::new()
+        .str_field("error", msg)
+        .finish()
+}
+
+fn respond(stream: TcpStream, code: u16, reason: &str, body: &str) -> std::io::Result<()> {
+    respond_with(stream, code, reason, &[], body)
+}
+
+fn respond_with(
+    mut stream: TcpStream,
+    code: u16,
+    reason: &str,
+    extra: &[(&str, &str)],
+    body: &str,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {code} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    );
+    for (k, v) in extra {
+        head.push_str(&format!("{k}: {v}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}

@@ -1,0 +1,144 @@
+//! A bounded MPMC work queue with explicit overload semantics.
+//!
+//! `try_push` never blocks: a full queue is a [`QueueFull`] error the HTTP
+//! layer turns into `429 Too Many Requests` + `Retry-After` — shedding
+//! load at the front door instead of letting latency collapse. `requeue`
+//! bypasses the bound: a job the service *already accepted* (a retry after
+//! a panicking attempt, a drain-interrupted resume) must never be shed, or
+//! acceptance would be a lie.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// The queue is at capacity; the caller should retry later.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueueFull {
+    /// How long the client is told to wait (`Retry-After`, seconds).
+    pub retry_after_s: u64,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// Bounded FIFO connecting the acceptor to the worker pool.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    cap: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    pub fn new(cap: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Enqueues a newly accepted item, or sheds it if the queue is full or
+    /// the service is draining (callers distinguish draining beforehand).
+    pub fn try_push(&self, item: T) -> Result<(), QueueFull> {
+        let mut q = self.lock();
+        if q.closed || q.items.len() >= self.cap {
+            return Err(QueueFull { retry_after_s: 1 });
+        }
+        q.items.push_back(item);
+        drop(q);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Re-enqueues an item the service already owns. Exempt from the bound
+    /// and from `closed` (a drain still parks the item for the journal).
+    pub fn requeue(&self, item: T) {
+        self.lock().items.push_back(item);
+        self.ready.notify_one();
+    }
+
+    /// Blocks up to `patience` for an item. `None` means "closed" or
+    /// "timed out with nothing available" — workers loop on this, checking
+    /// their own shutdown condition between calls.
+    pub fn pop(&self, patience: Duration) -> Option<T> {
+        let mut q = self.lock();
+        loop {
+            if q.closed {
+                return None;
+            }
+            if let Some(item) = q.items.pop_front() {
+                return Some(item);
+            }
+            let (guard, timeout) = self
+                .ready
+                .wait_timeout(q, patience)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            q = guard;
+            if timeout.timed_out() {
+                return q.items.pop_front();
+            }
+        }
+    }
+
+    /// Closes the queue: `try_push` sheds, `pop` returns `None` without
+    /// draining the backlog — undispatched items stay journaled as QUEUED
+    /// and are re-adopted on the next boot.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.ready.notify_all();
+    }
+
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_queue_sheds_but_requeue_is_exempt() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        let err = q.try_push(3).unwrap_err();
+        assert!(err.retry_after_s >= 1);
+        q.requeue(3);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(Duration::from_millis(1)), Some(1));
+    }
+
+    #[test]
+    fn close_wakes_blocked_workers_and_sheds_new_work() {
+        let q = std::sync::Arc::new(BoundedQueue::<u32>::new(4));
+        let q2 = std::sync::Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop(Duration::from_secs(30)));
+        // Give the worker a moment to block, then close.
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(h.join().unwrap(), None);
+        assert!(q.try_push(1).is_err(), "closed queue sheds");
+    }
+
+    #[test]
+    fn pop_times_out_empty_handed() {
+        let q = BoundedQueue::<u32>::new(1);
+        assert_eq!(q.pop(Duration::from_millis(5)), None);
+    }
+}

@@ -1,0 +1,620 @@
+//! The job service: a bounded queue feeding a supervised worker pool, with
+//! every lifecycle transition journaled for crash-safe restart.
+//!
+//! ## Failure matrix
+//!
+//! | event                    | outcome                                     |
+//! |--------------------------|---------------------------------------------|
+//! | job panics               | retried with capped exponential backoff; after `max_attempts` quarantined as FAILED with a `quarantine.json` black box |
+//! | deadline expires         | FAILED (`deadline exceeded`), no retry       |
+//! | client cancels           | CANCELLED at the next unit boundary, terminal forever (restarts included) |
+//! | queue full               | submission shed with `QueueFull` (HTTP 429 + `Retry-After`) |
+//! | drain (SIGTERM)          | running jobs parked as CHECKPOINTED, queue closed, workers joined |
+//! | `kill -9`                | next boot adopts the journals: non-terminal jobs requeue and resume from `rows.ckpt.jsonl`; a torn final row is repaired and re-executed |
+//!
+//! ## On-disk layout (under `data_dir`)
+//!
+//! ```text
+//! jobs/<id>/spec.json        the submitted spec (canonical rendering)
+//! jobs/<id>/state.jsonl      append-only stage transitions
+//! jobs/<id>/rows.ckpt.jsonl  per-unit results (the resume journal)
+//! jobs/<id>/dumps/           black-box dumps and repro files
+//! jobs/<id>/quarantine.json  written when retries are exhausted
+//! ```
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use noc_experiments::jsonio::{self, JsonObj};
+use noc_experiments::{JobError, JobProgress};
+
+use crate::lifecycle::Stage;
+use crate::queue::{BoundedQueue, QueueFull};
+use crate::spec::JobSpec;
+
+/// Service configuration.
+#[derive(Clone, Debug)]
+pub struct ServeOpts {
+    /// Root of the persistent state.
+    pub data_dir: PathBuf,
+    /// Worker threads. `0` means accept-only — jobs queue but never run
+    /// (the load-shedding tests use this to fill the queue reliably).
+    pub workers: usize,
+    /// Queue bound; submissions beyond it are shed.
+    pub queue_cap: usize,
+    /// Base backoff after a panicking attempt; attempt `n` waits
+    /// `retry_base_ms << (n-1)`, capped at 64× the base.
+    pub retry_base_ms: u64,
+    /// Attempts before a panicking job is quarantined.
+    pub max_attempts: u32,
+    /// Lockstep batch width for sweep jobs (resolve `NOC_BATCH_WIDTH`
+    /// before building this — the service never reads the environment).
+    pub batch_width: usize,
+}
+
+impl ServeOpts {
+    pub fn new(data_dir: impl Into<PathBuf>) -> ServeOpts {
+        ServeOpts {
+            data_dir: data_dir.into(),
+            workers: 2,
+            queue_cap: 16,
+            retry_base_ms: 50,
+            max_attempts: 3,
+            batch_width: 4,
+        }
+    }
+}
+
+/// Why a submission was not accepted.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Malformed spec; the message names the field.
+    Invalid(String),
+    /// Queue at capacity — shed, retry later.
+    Busy(QueueFull),
+    /// The service is draining and accepts nothing new.
+    Draining,
+}
+
+/// Point-in-time public view of one job.
+#[derive(Clone, Debug)]
+pub struct JobStatus {
+    pub id: String,
+    pub stage: Stage,
+    pub attempts: u32,
+    pub done: usize,
+    pub total: usize,
+    pub failed_units: usize,
+    /// Present when terminal-with-prejudice: the failure/cancel detail.
+    pub error: Option<String>,
+    /// Present when DONE: the job's one-line summary.
+    pub summary: Option<String>,
+    /// Present when quarantined: the black-box path.
+    pub quarantine: Option<PathBuf>,
+}
+
+impl JobStatus {
+    /// Flat JSON rendering for HTTP payloads.
+    pub fn to_row(&self) -> String {
+        let mut obj = JsonObj::new()
+            .str_field("id", &self.id)
+            .str_field("stage", self.stage.label())
+            .u64_field("attempts", u64::from(self.attempts))
+            .u64_field("done", self.done as u64)
+            .u64_field("total", self.total as u64)
+            .u64_field("failed_units", self.failed_units as u64);
+        if let Some(e) = &self.error {
+            obj = obj.str_field("error", e);
+        }
+        if let Some(s) = &self.summary {
+            obj = obj.str_field("summary", s);
+        }
+        if let Some(q) = &self.quarantine {
+            obj = obj.str_field("quarantine", &q.display().to_string());
+        }
+        obj.finish()
+    }
+}
+
+/// Shared per-job progress counters, updated by the running worker and
+/// read by status snapshots.
+#[derive(Default)]
+struct Progress {
+    done: AtomicUsize,
+    total: AtomicUsize,
+    failed: AtomicUsize,
+}
+
+struct Entry {
+    spec: JobSpec,
+    stage: Stage,
+    attempts: u32,
+    token: rayon::CancelToken,
+    progress: Arc<Progress>,
+    /// First worker claim — the deadline anchor.
+    started: Option<Instant>,
+    /// Set by [`Service::cancel`]; distinguishes a user cancel from a
+    /// drain interrupt when both arrive as `CancelReason::Cancelled`.
+    user_cancelled: bool,
+    error: Option<String>,
+    summary: Option<String>,
+    quarantine: Option<PathBuf>,
+}
+
+struct Shared {
+    opts: ServeOpts,
+    queue: BoundedQueue<String>,
+    jobs: Mutex<BTreeMap<String, Entry>>,
+    draining: AtomicBool,
+}
+
+/// The running service. Cheap to clone handles out of via [`Service::drain`]
+/// semantics: one instance owns the worker pool.
+pub struct Service {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Shared {
+    fn job_dir(&self, id: &str) -> PathBuf {
+        self.opts.data_dir.join("jobs").join(id)
+    }
+
+    /// Appends one transition to the job's `state.jsonl` after validating
+    /// it against the lifecycle relation; an illegal edge is a scheduler
+    /// bug and panics in tests (and is refused, loudly, in release).
+    fn transition(&self, entry: &mut Entry, id: &str, to: Stage, detail: &str) {
+        let from = entry.stage;
+        if !from.permits(to) {
+            debug_assert!(false, "illegal transition {from} -> {to} for {id}");
+            eprintln!("noc-serve: refusing illegal transition {from} -> {to} for {id}");
+            return;
+        }
+        entry.stage = to;
+        let line = JsonObj::new()
+            .str_field("stage", to.label())
+            .u64_field("attempts", u64::from(entry.attempts))
+            .str_field("detail", detail)
+            .finish();
+        let path = self.job_dir(id).join("state.jsonl");
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
+            let _ = writeln!(f, "{line}");
+            let _ = f.flush();
+        }
+    }
+
+    fn status_of(&self, id: &str, e: &Entry) -> JobStatus {
+        JobStatus {
+            id: id.to_string(),
+            stage: e.stage,
+            attempts: e.attempts,
+            done: e.progress.done.load(Ordering::Relaxed),
+            total: e.progress.total.load(Ordering::Relaxed),
+            failed_units: e.progress.failed.load(Ordering::Relaxed),
+            error: e.error.clone(),
+            summary: e.summary.clone(),
+            quarantine: e.quarantine.clone(),
+        }
+    }
+}
+
+impl Service {
+    /// Opens (or re-opens) the service over `data_dir`: creates the
+    /// layout, **adopts** every journaled job — terminal jobs stay as
+    /// their journals say (a cancelled job is never resurrected), every
+    /// non-terminal job is parked as CHECKPOINTED and requeued, resuming
+    /// from its `rows.ckpt.jsonl` — and starts the worker pool.
+    pub fn open(opts: ServeOpts) -> std::io::Result<Service> {
+        let jobs_root = opts.data_dir.join("jobs");
+        std::fs::create_dir_all(&jobs_root)?;
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(opts.queue_cap),
+            jobs: Mutex::new(BTreeMap::new()),
+            draining: AtomicBool::new(false),
+            opts,
+        });
+        let mut adopt: Vec<String> = Vec::new();
+        for dirent in std::fs::read_dir(&jobs_root)? {
+            let dir = dirent?.path();
+            let Some(id) = dir.file_name().and_then(|n| n.to_str()).map(String::from) else {
+                continue;
+            };
+            match adopt_one(&shared, &dir, &id) {
+                Ok(Some(id)) => adopt.push(id),
+                Ok(None) => {}
+                Err(e) => eprintln!("noc-serve: skipping {id}: {e}"),
+            }
+        }
+        // Requeue outside the jobs lock, bound-exempt: these jobs were
+        // accepted in a previous life.
+        {
+            let mut jobs = lock(&shared.jobs);
+            for id in adopt {
+                if let Some(e) = jobs.get_mut(&id) {
+                    // A job the last process died while RUNNING parks as
+                    // CHECKPOINTED; QUEUED/CHECKPOINTED jobs requeue as-is.
+                    if e.stage == Stage::Running {
+                        shared.transition(e, &id, Stage::Checkpointed, "adopted after crash");
+                    }
+                }
+                shared.queue.requeue(id);
+            }
+        }
+        let service = Service {
+            workers: Mutex::new(Vec::new()),
+            shared,
+        };
+        service.spawn_workers();
+        Ok(service)
+    }
+
+    fn spawn_workers(&self) {
+        let mut handles = lock(&self.workers);
+        for i in 0..self.shared.opts.workers {
+            let shared = Arc::clone(&self.shared);
+            let h = std::thread::Builder::new()
+                .name(format!("noc-serve-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn worker");
+            handles.push(h);
+        }
+    }
+
+    /// Submits a job. Returns the status and whether it was newly created
+    /// (`false` = content-address dedupe hit an existing job, in whatever
+    /// stage it is — including terminal).
+    pub fn submit(&self, row: &BTreeMap<String, String>) -> Result<(JobStatus, bool), SubmitError> {
+        if self.shared.draining.load(Ordering::Relaxed) {
+            return Err(SubmitError::Draining);
+        }
+        let spec = JobSpec::parse(row).map_err(SubmitError::Invalid)?;
+        let id = spec.digest().map_err(SubmitError::Invalid)?;
+        let mut jobs = lock(&self.shared.jobs);
+        if let Some(e) = jobs.get(&id) {
+            return Ok((self.shared.status_of(&id, e), false));
+        }
+        let dir = self.shared.job_dir(&id);
+        std::fs::create_dir_all(dir.join("dumps"))
+            .map_err(|e| SubmitError::Invalid(format!("cannot create job dir: {e}")))?;
+        let progress = Arc::new(Progress::default());
+        progress
+            .total
+            .store(spec.to_job(&dir, 1).total_units(), Ordering::Relaxed);
+        let entry = Entry {
+            spec,
+            stage: Stage::Queued,
+            attempts: 0,
+            token: rayon::CancelToken::new(),
+            progress,
+            started: None,
+            user_cancelled: false,
+            error: None,
+            summary: None,
+            quarantine: None,
+        };
+        // Reserve the queue slot before anything becomes visible.
+        if let Err(full) = self.shared.queue.try_push(id.clone()) {
+            let _ = std::fs::remove_dir_all(&dir);
+            return Err(SubmitError::Busy(full));
+        }
+        std::fs::write(dir.join("spec.json"), format!("{}\n", entry.spec.to_row()))
+            .map_err(|e| SubmitError::Invalid(format!("cannot persist spec: {e}")))?;
+        // First journal line: the QUEUED acceptance record. Not a
+        // transition (there is no prior stage), so written directly.
+        let line = JsonObj::new()
+            .str_field("stage", Stage::Queued.label())
+            .u64_field("attempts", 0)
+            .str_field("detail", "accepted")
+            .finish();
+        let _ = std::fs::write(dir.join("state.jsonl"), format!("{line}\n"));
+        let status = self.shared.status_of(&id, &entry);
+        jobs.insert(id, entry);
+        Ok((status, true))
+    }
+
+    /// Snapshot of one job.
+    pub fn status(&self, id: &str) -> Option<JobStatus> {
+        let jobs = lock(&self.shared.jobs);
+        jobs.get(id).map(|e| self.shared.status_of(id, e))
+    }
+
+    /// Snapshot of every job, id-ordered.
+    pub fn list(&self) -> Vec<JobStatus> {
+        let jobs = lock(&self.shared.jobs);
+        jobs.iter()
+            .map(|(id, e)| self.shared.status_of(id, e))
+            .collect()
+    }
+
+    /// The job's unit journal, for the rows endpoint.
+    pub fn rows_path(&self, id: &str) -> Option<PathBuf> {
+        let jobs = lock(&self.shared.jobs);
+        jobs.contains_key(id)
+            .then(|| self.shared.job_dir(id).join("rows.ckpt.jsonl"))
+    }
+
+    /// Cancels a job: immediate for parked jobs, observed at the next unit
+    /// boundary for running ones. `Err` carries the terminal stage when
+    /// there is nothing left to cancel.
+    pub fn cancel(&self, id: &str) -> Result<JobStatus, Option<Stage>> {
+        let mut jobs = lock(&self.shared.jobs);
+        let Some(e) = jobs.get_mut(id) else {
+            return Err(None);
+        };
+        if e.stage.is_terminal() {
+            return Err(Some(e.stage));
+        }
+        e.user_cancelled = true;
+        e.token.cancel();
+        if matches!(e.stage, Stage::Queued | Stage::Checkpointed) {
+            self.shared
+                .transition(e, id, Stage::Cancelled, "cancelled while parked");
+            e.error = Some("cancelled by client".into());
+        }
+        Ok(self.shared.status_of(id, e))
+    }
+
+    /// True once [`Service::drain`] began.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::Relaxed)
+    }
+
+    /// Queue depth (for health reporting).
+    pub fn queued(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Graceful shutdown: stop accepting, interrupt running jobs (they
+    /// park as CHECKPOINTED with their progress journaled), and join the
+    /// workers. Idempotent.
+    pub fn drain(&self) {
+        self.shared.draining.store(true, Ordering::Relaxed);
+        self.shared.queue.close();
+        {
+            let jobs = lock(&self.shared.jobs);
+            for e in jobs.values() {
+                if e.stage == Stage::Running {
+                    e.token.cancel();
+                }
+            }
+        }
+        let handles: Vec<_> = std::mem::take(&mut *lock(&self.workers));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Rebuilds one job's registry entry from its journals. Returns the id
+/// when the job must be requeued (non-terminal), `None` when it rests.
+fn adopt_one(shared: &Arc<Shared>, dir: &Path, id: &str) -> Result<Option<String>, String> {
+    let spec_line = std::fs::read_to_string(dir.join("spec.json"))
+        .map_err(|e| format!("unreadable spec.json: {e}"))?;
+    let row = jsonio::parse_flat(spec_line.trim()).ok_or("corrupt spec.json")?;
+    let spec = JobSpec::parse(&row)?;
+    // Replay the transition journal, validating each edge; garbage lines
+    // (a torn final write) and illegal edges end the believable history.
+    let mut stage = Stage::Queued;
+    let mut attempts = 0u32;
+    let mut error = None;
+    let mut summary = None;
+    if let Ok(text) = std::fs::read_to_string(dir.join("state.jsonl")) {
+        for line in text.lines().skip(1) {
+            let Some(row) = jsonio::parse_flat(line) else {
+                eprintln!("noc-serve: {id}: dropping torn journal line");
+                continue;
+            };
+            let Some(next) = row.get("stage").and_then(|s| Stage::parse(s)) else {
+                continue;
+            };
+            if !stage.permits(next) {
+                eprintln!("noc-serve: {id}: journal claims {stage} -> {next}; truncating history");
+                break;
+            }
+            stage = next;
+            if let Some(a) = row.get("attempts").and_then(|a| a.parse().ok()) {
+                attempts = a;
+            }
+            if let Some(d) = row.get("detail") {
+                match stage {
+                    Stage::Failed | Stage::Cancelled => error = Some(d.clone()),
+                    Stage::Done => summary = Some(d.clone()),
+                    _ => {}
+                }
+            }
+        }
+    }
+    let progress = Arc::new(Progress::default());
+    progress
+        .total
+        .store(spec.to_job(dir, 1).total_units(), Ordering::Relaxed);
+    // Terminal verdicts survive restarts untouched; everything else counts
+    // its journaled rows as done and goes back to work.
+    if !stage.is_terminal() {
+        if let Ok(ckpt) = noc_experiments::Checkpoint::open(&dir.join("rows.ckpt.jsonl")) {
+            progress.done.store(ckpt.done_count(), Ordering::Relaxed);
+        }
+    }
+    let quarantine = dir.join("quarantine.json");
+    let entry = Entry {
+        spec,
+        stage,
+        attempts,
+        token: rayon::CancelToken::new(),
+        progress,
+        started: None,
+        user_cancelled: false,
+        error,
+        summary,
+        quarantine: quarantine.exists().then_some(quarantine),
+    };
+    let requeue = !stage.is_terminal();
+    lock(&shared.jobs).insert(id.to_string(), entry);
+    Ok(requeue.then(|| id.to_string()))
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        if shared.draining.load(Ordering::Relaxed) {
+            return;
+        }
+        let Some(id) = shared.queue.pop(Duration::from_millis(50)) else {
+            continue;
+        };
+        run_one(shared, &id);
+    }
+}
+
+/// Claims, executes and settles one job attempt.
+fn run_one(shared: &Arc<Shared>, id: &str) {
+    let dir = shared.job_dir(id);
+    // Claim.
+    let (spec, token, progress, attempt) = {
+        let mut jobs = lock(&shared.jobs);
+        let Some(e) = jobs.get_mut(id) else { return };
+        if !matches!(e.stage, Stage::Queued | Stage::Checkpointed) {
+            return; // cancelled (or settled) while queued
+        }
+        e.attempts += 1;
+        let verb = if e.stage == Stage::Queued {
+            "start"
+        } else {
+            "resume"
+        };
+        shared.transition(
+            e,
+            id,
+            Stage::Running,
+            &format!("{verb} attempt {}", e.attempts),
+        );
+        let started = *e.started.get_or_insert_with(Instant::now);
+        if let Some(ms) = e.spec.deadline_ms {
+            e.token.set_deadline(started + Duration::from_millis(ms));
+        }
+        (
+            e.spec.clone(),
+            e.token.clone(),
+            Arc::clone(&e.progress),
+            e.attempts,
+        )
+    };
+    let dumps = dir.join("dumps");
+    let _ = std::fs::create_dir_all(&dumps);
+    let job = spec.to_job(&dir, shared.opts.batch_width);
+    let cb = {
+        let progress = Arc::clone(&progress);
+        move |p: JobProgress| {
+            progress.done.store(p.done, Ordering::Relaxed);
+            progress.total.store(p.total, Ordering::Relaxed);
+            progress.failed.store(p.failed, Ordering::Relaxed);
+        }
+    };
+    let result = rayon::catch_panic(|| {
+        if attempt <= spec.fail_attempts {
+            panic!(
+                "injected service test panic (attempt {attempt}/{})",
+                spec.fail_attempts
+            );
+        }
+        job.run(&noc_experiments::JobCtx {
+            cancel: &token,
+            progress: Some(&cb),
+            dump_dir: &dumps,
+        })
+    });
+    // Settle.
+    let mut jobs = lock(&shared.jobs);
+    let Some(e) = jobs.get_mut(id) else { return };
+    match result {
+        Ok(Ok(report)) => {
+            shared.transition(e, id, Stage::Done, &report.summary);
+            e.summary = Some(report.summary);
+        }
+        Ok(Err(JobError::Failed(err))) => {
+            // Deterministic job failure: retrying cannot help.
+            shared.transition(e, id, Stage::Failed, &err);
+            e.error = Some(err);
+        }
+        Ok(Err(JobError::Interrupted(reason))) => {
+            if reason == rayon::CancelReason::DeadlineExceeded {
+                let msg = format!("deadline exceeded ({} ms)", e.spec.deadline_ms.unwrap_or(0));
+                shared.transition(e, id, Stage::Failed, &msg);
+                e.error = Some(msg);
+            } else if e.user_cancelled {
+                shared.transition(e, id, Stage::Cancelled, "cancelled by client");
+                e.error = Some("cancelled by client".into());
+            } else {
+                // Drain: park with progress journaled; the next boot
+                // adopts and resumes.
+                shared.transition(e, id, Stage::Checkpointed, "parked by drain");
+            }
+        }
+        Err(panic_msg) => {
+            if e.attempts >= shared.opts.max_attempts {
+                let quarantine = dir.join("quarantine.json");
+                let body = JsonObj::new()
+                    .str_field("schema", "noc-serve-quarantine-v1")
+                    .str_field("id", id)
+                    .u64_field("attempts", u64::from(e.attempts))
+                    .str_field("panic", &panic_msg)
+                    .str_field("dumps", &dumps.display().to_string())
+                    .finish();
+                let _ = std::fs::write(&quarantine, format!("{body}\n"));
+                let msg = format!("quarantined after {} attempts: {panic_msg}", e.attempts);
+                shared.transition(e, id, Stage::Checkpointed, "panicked");
+                shared.transition(e, id, Stage::Failed, &msg);
+                e.error = Some(msg);
+                e.quarantine = Some(quarantine);
+            } else {
+                shared.transition(
+                    e,
+                    id,
+                    Stage::Checkpointed,
+                    &format!("panicked on attempt {}: {panic_msg}", e.attempts),
+                );
+                let attempts = e.attempts;
+                drop(jobs);
+                backoff_then_requeue(shared, id, attempts);
+            }
+        }
+    }
+}
+
+/// Sleeps the capped exponential backoff (cancellable at 10 ms
+/// granularity), then requeues — unless a drain or a user cancel arrived
+/// while waiting.
+fn backoff_then_requeue(shared: &Arc<Shared>, id: &str, attempt: u32) {
+    let base = shared.opts.retry_base_ms;
+    let factor = 1u64 << (attempt.saturating_sub(1)).min(6); // capped 64x
+    let mut remaining = base.saturating_mul(factor);
+    while remaining > 0 {
+        if shared.draining.load(Ordering::Relaxed) {
+            return; // stays CHECKPOINTED; adopted on restart
+        }
+        {
+            let jobs = lock(&shared.jobs);
+            if jobs.get(id).is_none_or(|e| e.stage != Stage::Checkpointed) {
+                return; // cancelled (or otherwise settled) while parked
+            }
+        }
+        let step = remaining.min(10);
+        std::thread::sleep(Duration::from_millis(step));
+        remaining -= step;
+    }
+    let jobs = lock(&shared.jobs);
+    if jobs.get(id).is_some_and(|e| e.stage == Stage::Checkpointed) {
+        shared.queue.requeue(id.to_string());
+    }
+}

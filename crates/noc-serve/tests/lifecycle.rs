@@ -1,0 +1,176 @@
+//! Property tests for the job lifecycle state machine: the runtime
+//! [`Stage`] relation is pinned to an explicit edge list, random walks
+//! prove every reachable sequence stays legal, and terminal states —
+//! CANCELLED and FAILED in particular — admit **no** resurrection, however
+//! the walk continues (the restart-adoption path depends on this).
+
+use noc_serve::lifecycle::{JobState, Stage};
+use proptest::prelude::*;
+
+/// The lifecycle's ground truth, spelled out edge by edge. `permits` must
+/// equal exactly this set — nothing extra, nothing missing.
+const EDGES: &[(Stage, Stage)] = &[
+    (Stage::Queued, Stage::Running),
+    (Stage::Queued, Stage::Cancelled),
+    (Stage::Running, Stage::Done),
+    (Stage::Running, Stage::Failed),
+    (Stage::Running, Stage::Cancelled),
+    (Stage::Running, Stage::Checkpointed),
+    (Stage::Checkpointed, Stage::Running),
+    (Stage::Checkpointed, Stage::Cancelled),
+    (Stage::Checkpointed, Stage::Failed),
+];
+
+fn stage(code: u8) -> Stage {
+    Stage::ALL[usize::from(code) % Stage::ALL.len()]
+}
+
+#[test]
+fn permits_is_exactly_the_documented_edge_set() {
+    for from in Stage::ALL {
+        for to in Stage::ALL {
+            let expected = EDGES.contains(&(from, to));
+            assert_eq!(from.permits(to), expected, "{from} -> {to}");
+        }
+    }
+}
+
+#[test]
+fn every_stage_is_reachable_and_nonterminals_have_exits() {
+    // Reachability from QUEUED over the edge relation.
+    let mut reached = vec![Stage::Queued];
+    let mut frontier = vec![Stage::Queued];
+    while let Some(s) = frontier.pop() {
+        for t in Stage::ALL {
+            if s.permits(t) && !reached.contains(&t) {
+                reached.push(t);
+                frontier.push(t);
+            }
+        }
+    }
+    for s in Stage::ALL {
+        assert!(reached.contains(&s), "{s} unreachable from QUEUED");
+        let exits = Stage::ALL.into_iter().filter(|t| s.permits(*t)).count();
+        if s.is_terminal() {
+            assert_eq!(exits, 0, "{s} is terminal but has exits");
+        } else {
+            assert!(exits >= 2, "{s} must be able to progress and cancel");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(500))]
+
+    /// Random walks: apply each proposed transition only when the relation
+    /// permits it, and check the invariants the scheduler relies on along
+    /// the way. Once a walk hits a terminal stage, **every** further
+    /// proposal must be rejected — cancelled and failed jobs stay dead.
+    #[test]
+    fn walks_stay_legal_and_terminals_never_resurrect(codes in prop::collection::vec(0u8..6, 1..40)) {
+        let mut cur = Stage::Queued;
+        let mut died_at: Option<(usize, Stage)> = None;
+        for (i, &c) in codes.iter().enumerate() {
+            let proposal = stage(c);
+            if let Some((when, grave)) = died_at {
+                prop_assert!(
+                    !cur.permits(proposal),
+                    "step {i}: {grave} (terminal since step {when}) permitted {proposal}"
+                );
+                continue;
+            }
+            if cur.permits(proposal) {
+                // Legal edge: take it and re-check basic sanity.
+                prop_assert!(!cur.is_terminal(), "left terminal stage {cur}");
+                prop_assert!(Stage::parse(proposal.label()) == Some(proposal));
+                cur = proposal;
+                if cur.is_terminal() {
+                    died_at = Some((i, cur));
+                }
+            }
+        }
+
+    }
+
+    /// The same walks driven through the **typestate** API, using the
+    /// runtime relation as the model: whenever the model says an edge
+    /// exists from the current stage, the corresponding typestate method
+    /// must exist (encoded here as the walk's driver), and the typestate's
+    /// resulting stage must match the model. A divergence in either
+    /// direction fails the test, pinning `JobState` and `Stage::permits`
+    /// together.
+    #[test]
+    fn typestate_and_runtime_relation_agree(codes in prop::collection::vec(0u8..6, 1..30)) {
+        // The typestate cannot be stored in one variable across stages, so
+        // the walk drives an enum mirror whose arms hold each typestate.
+        enum AnyState {
+            Queued(JobState<noc_serve::lifecycle::Queued>),
+            Running(JobState<noc_serve::lifecycle::Running>),
+            Checkpointed(JobState<noc_serve::lifecycle::Checkpointed>),
+            Done(JobState<noc_serve::lifecycle::Done>),
+            Failed(JobState<noc_serve::lifecycle::Failed>),
+            Cancelled(JobState<noc_serve::lifecycle::Cancelled>),
+        }
+        impl AnyState {
+            fn stage(&self) -> Stage {
+                match self {
+                    AnyState::Queued(s) => s.stage(),
+                    AnyState::Running(s) => s.stage(),
+                    AnyState::Checkpointed(s) => s.stage(),
+                    AnyState::Done(s) => s.stage(),
+                    AnyState::Failed(s) => s.stage(),
+                    AnyState::Cancelled(s) => s.stage(),
+                }
+            }
+            /// Applies the edge `to` when the typestate offers it.
+            fn step(self, to: Stage) -> Result<AnyState, AnyState> {
+                use AnyState as A;
+                match (self, to) {
+                    (A::Queued(s), Stage::Running) => Ok(A::Running(s.start())),
+                    (A::Queued(s), Stage::Cancelled) => Ok(A::Cancelled(s.cancel())),
+                    (A::Running(s), Stage::Done) => Ok(A::Done(s.complete())),
+                    (A::Running(s), Stage::Failed) => Ok(A::Failed(s.fail())),
+                    (A::Running(s), Stage::Cancelled) => Ok(A::Cancelled(s.cancel())),
+                    (A::Running(s), Stage::Checkpointed) => Ok(A::Checkpointed(s.checkpoint())),
+                    (A::Checkpointed(s), Stage::Running) => Ok(A::Running(s.resume())),
+                    (A::Checkpointed(s), Stage::Cancelled) => Ok(A::Cancelled(s.cancel())),
+                    (A::Checkpointed(s), Stage::Failed) => Ok(A::Failed(s.quarantine())),
+                    (other, _) => Err(other),
+                }
+            }
+        }
+
+        let mut state = AnyState::Queued(JobState::submit("prop".into()));
+        let mut attempts_model = 0u32;
+        for &c in &codes {
+            let to = stage(c);
+            let from = state.stage();
+            match state.step(to) {
+                Ok(next) => {
+                    prop_assert!(from.permits(to), "typestate offered illegal {from} -> {to}");
+                    prop_assert_eq!(next.stage(), to);
+                    if to == Stage::Running {
+                        attempts_model += 1;
+                    }
+                    state = next;
+                }
+                Err(same) => {
+                    prop_assert!(!from.permits(to), "runtime permits {from} -> {to} but typestate lacks it");
+                    prop_assert_eq!(same.stage(), from);
+                    state = same;
+                }
+            }
+        }
+        // Attempts count exactly the entries into RUNNING.
+        let attempts = match &state {
+            AnyState::Queued(s) => s.attempts(),
+            AnyState::Running(s) => s.attempts(),
+            AnyState::Checkpointed(s) => s.attempts(),
+            AnyState::Done(s) => s.attempts(),
+            AnyState::Failed(s) => s.attempts(),
+            AnyState::Cancelled(s) => s.attempts(),
+        };
+        prop_assert_eq!(attempts, attempts_model);
+
+    }
+}

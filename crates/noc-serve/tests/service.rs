@@ -1,0 +1,292 @@
+//! Integration tests for the in-process service: deadline expiry,
+//! retry-then-quarantine, queue-full load shedding, cancellation (with no
+//! resurrection across restarts), and content-address dedupe. All
+//! deterministic — panics are injected via the spec's `fail_attempts`
+//! hook, overload via `workers: 0`.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use noc_experiments::jsonio;
+use noc_serve::{ServeOpts, Service, Stage, SubmitError};
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("noc_serve_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn row(line: &str) -> BTreeMap<String, String> {
+    jsonio::parse_flat(line).expect("valid submission row")
+}
+
+fn opts(dir: &std::path::Path) -> ServeOpts {
+    let mut o = ServeOpts::new(dir);
+    o.workers = 2;
+    o.queue_cap = 8;
+    o.retry_base_ms = 5;
+    o.max_attempts = 3;
+    o.batch_width = 1;
+    o
+}
+
+/// Polls until the job reaches a terminal stage (or panics after 60 s —
+/// these jobs are seconds-scale at most).
+fn await_terminal(service: &Service, id: &str) -> noc_serve::JobStatus {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let s = service.status(id).expect("job exists");
+        if s.stage.is_terminal() {
+            return s;
+        }
+        assert!(Instant::now() < deadline, "job {id} stuck in {}", s.stage);
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+const QUICK_SWEEP: &str =
+    r#"{"kind": "sweep", "schemes": "SEEC,mSEEC", "transients": "0.0,0.01", "cycles": "2000"}"#;
+
+#[test]
+fn sweep_job_runs_to_done_and_dedupes() {
+    let dir = tmpdir("done");
+    let service = Service::open(opts(&dir)).unwrap();
+    let (status, created) = service.submit(&row(QUICK_SWEEP)).unwrap();
+    assert!(created);
+    assert_eq!(status.total, 4);
+    let done = await_terminal(&service, &status.id);
+    assert_eq!(done.stage, Stage::Done);
+    assert_eq!((done.done, done.failed_units), (4, 0));
+    assert!(done.summary.is_some());
+    // Resubmission (even with different non-work knobs) dedupes onto the
+    // finished job instead of re-running it.
+    let resub = format!(
+        r#"{}, "deadline_ms": "60000"}}"#,
+        QUICK_SWEEP.trim_end_matches('}')
+    );
+    let (again, created) = service.submit(&row(&resub)).unwrap();
+    assert!(!created, "content address must dedupe");
+    assert_eq!(again.id, done.id);
+    assert_eq!(again.stage, Stage::Done);
+    // The rows journal exists and holds one row per point.
+    let rows = std::fs::read_to_string(service.rows_path(&done.id).unwrap()).unwrap();
+    assert_eq!(rows.lines().count(), 4);
+    service.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn deadline_expiry_is_a_terminal_failure() {
+    let dir = tmpdir("deadline");
+    let service = Service::open(opts(&dir)).unwrap();
+    // A 1 ms budget against a multi-point sweep: expires mid-run, at a
+    // unit boundary, deterministically before the sweep can finish.
+    let spec = r#"{"kind": "sweep", "schemes": "SEEC,mSEEC", "transients": "0.0,0.01,0.05", "cycles": "6000", "deadline_ms": "1"}"#;
+    let (status, _) = service.submit(&row(spec)).unwrap();
+    let done = await_terminal(&service, &status.id);
+    assert_eq!(done.stage, Stage::Failed);
+    let err = done.error.expect("failure detail");
+    assert!(err.contains("deadline exceeded"), "{err}");
+    // Expiry is not retried: one attempt only.
+    assert_eq!(done.attempts, 1);
+    service.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn panicking_job_retries_then_succeeds() {
+    let dir = tmpdir("retry_ok");
+    let service = Service::open(opts(&dir)).unwrap();
+    // Panics on attempt 1, runs clean on attempt 2 (within max_attempts=3).
+    let spec = r#"{"kind": "sweep", "schemes": "SEEC", "transients": "0.0", "cycles": "2000", "fail_attempts": "1"}"#;
+    let (status, _) = service.submit(&row(spec)).unwrap();
+    let done = await_terminal(&service, &status.id);
+    assert_eq!(done.stage, Stage::Done, "{:?}", done.error);
+    assert_eq!(done.attempts, 2, "one panic, one clean run");
+    assert!(done.quarantine.is_none());
+    service.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn panicking_job_is_quarantined_after_max_attempts() {
+    let dir = tmpdir("quarantine");
+    let service = Service::open(opts(&dir)).unwrap();
+    // Panics forever: must exhaust max_attempts=3 and quarantine.
+    let spec = r#"{"kind": "sweep", "schemes": "SEEC", "transients": "0.0", "cycles": "2000", "fail_attempts": "99"}"#;
+    let (status, _) = service.submit(&row(spec)).unwrap();
+    let done = await_terminal(&service, &status.id);
+    assert_eq!(done.stage, Stage::Failed);
+    assert_eq!(done.attempts, 3);
+    let err = done.error.expect("quarantine detail");
+    assert!(err.contains("quarantined after 3 attempts"), "{err}");
+    assert!(err.contains("injected service test panic"), "{err}");
+    // The black box exists and names the panic.
+    let qpath = done.quarantine.expect("quarantine path");
+    let body = std::fs::read_to_string(&qpath).unwrap();
+    let qrow = jsonio::parse_flat(body.trim()).expect("quarantine row");
+    assert_eq!(qrow["schema"], "noc-serve-quarantine-v1");
+    assert!(qrow["panic"].contains("injected service test panic"));
+    service.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn full_queue_sheds_with_retry_after() {
+    let dir = tmpdir("shed");
+    let mut o = opts(&dir);
+    o.workers = 0; // accept-only: nothing drains the queue
+    o.queue_cap = 1;
+    let service = Service::open(o).unwrap();
+    let (first, created) = service.submit(&row(QUICK_SWEEP)).unwrap();
+    assert!(created);
+    assert_eq!(first.stage, Stage::Queued);
+    // The queue (cap 1) is full: a different job is shed with Retry-After.
+    let other = r#"{"kind": "chaos", "seed": "1", "cases": "1"}"#;
+    match service.submit(&row(other)) {
+        Err(SubmitError::Busy(full)) => assert!(full.retry_after_s >= 1),
+        other => panic!("expected Busy, got {other:?}"),
+    }
+    // Shedding is before persistence: the shed job left no directory, and
+    // resubmitting the *same* job dedupes instead of shedding.
+    assert_eq!(service.list().len(), 1);
+    let (again, created) = service.submit(&row(QUICK_SWEEP)).unwrap();
+    assert!(!created);
+    assert_eq!(again.id, first.id);
+    service.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn draining_service_refuses_submissions() {
+    let dir = tmpdir("drain");
+    let service = Service::open(opts(&dir)).unwrap();
+    service.drain();
+    assert!(service.is_draining());
+    match service.submit(&row(QUICK_SWEEP)) {
+        Err(SubmitError::Draining) => {}
+        other => panic!("expected Draining, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn invalid_specs_are_rejected_with_field_names() {
+    let dir = tmpdir("invalid");
+    let service = Service::open(opts(&dir)).unwrap();
+    for (line, needle) in [
+        (r#"{"kind": "warp"}"#, "unknown job kind"),
+        (
+            r#"{"kind": "sweep", "schemes": "SEEK"}"#,
+            "unknown scheme label",
+        ),
+        (
+            r#"{"kind": "replay", "repro": "/nonexistent/r.jsonl"}"#,
+            "cannot read repro",
+        ),
+    ] {
+        match service.submit(&row(line)) {
+            Err(SubmitError::Invalid(e)) => assert!(e.contains(needle), "{line}: {e}"),
+            other => panic!("{line}: expected Invalid, got {other:?}"),
+        }
+    }
+    service.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cancelled_job_stays_cancelled_across_restart() {
+    let dir = tmpdir("cancel");
+    let mut o = opts(&dir);
+    o.workers = 0; // keep the job parked so cancellation is immediate
+    let service = Service::open(o.clone()).unwrap();
+    let (status, _) = service.submit(&row(QUICK_SWEEP)).unwrap();
+    assert_eq!(status.stage, Stage::Queued);
+    let cancelled = service.cancel(&status.id).expect("cancellable");
+    assert_eq!(cancelled.stage, Stage::Cancelled);
+    // A second cancel reports the terminal stage.
+    match service.cancel(&status.id) {
+        Err(Some(Stage::Cancelled)) => {}
+        other => panic!("expected terminal-cancel conflict, got {other:?}"),
+    }
+    // Resubmission dedupes onto the cancelled job — no resurrection.
+    let (again, created) = service.submit(&row(QUICK_SWEEP)).unwrap();
+    assert!(!created);
+    assert_eq!(again.stage, Stage::Cancelled);
+    service.drain();
+    // Restart over the same data dir, now WITH workers: the journal's
+    // terminal verdict must hold — the job is adopted as CANCELLED, never
+    // requeued, never run.
+    o.workers = 2;
+    let reborn = Service::open(o).unwrap();
+    let s = reborn.status(&status.id).expect("adopted");
+    assert_eq!(s.stage, Stage::Cancelled);
+    std::thread::sleep(Duration::from_millis(100));
+    assert_eq!(reborn.status(&status.id).unwrap().stage, Stage::Cancelled);
+    assert_eq!(reborn.queued(), 0, "cancelled job must not requeue");
+    reborn.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn running_job_cancels_at_a_unit_boundary() {
+    let dir = tmpdir("cancel_running");
+    let service = Service::open(opts(&dir)).unwrap();
+    // Enough points that the job is still running when cancel arrives.
+    let spec = r#"{"kind": "sweep", "schemes": "SEEC,mSEEC,EscVC", "transients": "0.0,0.01,0.05", "cycles": "6000"}"#;
+    let (status, _) = service.submit(&row(spec)).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let s = service.status(&status.id).unwrap();
+        if s.stage == Stage::Running {
+            break;
+        }
+        assert!(
+            !s.stage.is_terminal(),
+            "finished before cancel; enlarge the sweep"
+        );
+        assert!(Instant::now() < deadline);
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    service.cancel(&status.id).expect("cancellable");
+    let done = await_terminal(&service, &status.id);
+    assert_eq!(done.stage, Stage::Cancelled);
+    service.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn drained_jobs_are_adopted_and_finish_after_restart() {
+    let dir = tmpdir("adopt");
+    let mut o = opts(&dir);
+    o.workers = 0; // park the job; drain leaves it QUEUED in the journal
+    let service = Service::open(o.clone()).unwrap();
+    let (status, _) = service.submit(&row(QUICK_SWEEP)).unwrap();
+    service.drain();
+    drop(service);
+    // Restart with workers: the job is adopted, requeued and completes.
+    o.workers = 2;
+    let reborn = Service::open(o).unwrap();
+    let done = await_terminal(&reborn, &status.id);
+    assert_eq!(done.stage, Stage::Done);
+    assert_eq!(done.done, 4);
+    reborn.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn chaos_job_completes_and_journals_cases() {
+    let dir = tmpdir("chaos");
+    let service = Service::open(opts(&dir)).unwrap();
+    let spec = r#"{"kind": "chaos", "seed": "11", "cases": "2", "pool": "smoke"}"#;
+    let (status, _) = service.submit(&row(spec)).unwrap();
+    let done = await_terminal(&service, &status.id);
+    assert_eq!(done.stage, Stage::Done, "{:?}", done.error);
+    assert_eq!(done.done, 2);
+    let rows = std::fs::read_to_string(service.rows_path(&done.id).unwrap()).unwrap();
+    assert_eq!(rows.lines().count(), 2);
+    service.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}
