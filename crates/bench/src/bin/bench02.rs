@@ -58,6 +58,13 @@ fn time_block<F: FnMut() -> String>(id: &str, samples: usize, mut f: F) -> (u128
 }
 
 fn main() {
+    // Storage-fault knobs are validated eagerly, like the experiment
+    // binaries: garbage is a configuration error at startup, not a panic
+    // after the benches have run for minutes.
+    if let Err(e) = noc_experiments::cli::validate_vfs_env() {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
     let out = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_02.json".to_string());
@@ -126,6 +133,9 @@ fn main() {
         json.push_str(if i + 1 == recs.len() { "}\n" } else { "},\n" });
     }
     json.push_str("  ]\n}\n");
-    std::fs::write(&out, json).expect("writing bench report");
+    // Atomic: a torn BENCH json would poison downstream comparisons.
+    noc_store::active()
+        .write_atomic(std::path::Path::new(&out), json.as_bytes())
+        .expect("writing bench report");
     println!("wrote {out}");
 }

@@ -104,9 +104,34 @@ pub fn render_json() -> String {
     out
 }
 
-/// Writes all accumulated records to `path` as JSON.
+/// Writes all accumulated records to `path` as JSON, atomically: the
+/// report is staged in a temp sibling, fsync'd, and renamed into place, so
+/// a crash (or a full disk) mid-write can never leave a torn half-report
+/// for a downstream comparison to choke on. (Inlined rather than depending
+/// on `noc-store`: this crate is a stand-in for an external dependency and
+/// stays free of workspace-internal imports.)
 pub fn write_json(path: &str) -> std::io::Result<()> {
-    std::fs::write(path, render_json())
+    use std::io::Write as _;
+    let target = std::path::Path::new(path);
+    let name = target
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("bench.json");
+    let tmp = target.with_file_name(format!(".{name}.tmp.{}", std::process::id()));
+    let staged = (|| -> std::io::Result<()> {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(render_json().as_bytes())?;
+        f.sync_all()
+    })();
+    if let Err(e) = staged {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    if let Err(e) = std::fs::rename(&tmp, target) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    Ok(())
 }
 
 /// Called by `criterion_main!` after all groups ran: honours

@@ -31,11 +31,18 @@ pub enum CancelReason {
     Cancelled,
     /// The deadline set by [`CancelToken::set_deadline`] passed.
     DeadlineExceeded,
+    /// The storage layer reported persistent write failure; work parked
+    /// with its rows intact rather than continuing unpersisted. Produced
+    /// by job code that observes the failure directly — there is no token
+    /// trigger for it, so a shared service token is never latched by a
+    /// storage interrupt.
+    StorageDegraded,
 }
 
 const REASON_NONE: u8 = 0;
 const REASON_CANCELLED: u8 = 1;
 const REASON_DEADLINE: u8 = 2;
+const REASON_STORAGE: u8 = 3;
 
 #[derive(Default)]
 struct Inner {
@@ -66,6 +73,13 @@ impl CancelToken {
     /// overwrite the reason.
     pub fn cancel(&self) {
         self.latch(REASON_CANCELLED);
+    }
+
+    /// Requests cancellation because storage went read-only mid-run. Only
+    /// for tokens owned by a single run attempt — latching a token shared
+    /// across retries would poison the eventual resume.
+    pub fn cancel_storage_degraded(&self) {
+        self.latch(REASON_STORAGE);
     }
 
     /// Arms (or re-arms) the deadline. The token fires on the first
@@ -107,6 +121,7 @@ impl CancelToken {
         match self.inner.reason.load(Ordering::Acquire) {
             REASON_CANCELLED => Some(CancelReason::Cancelled),
             REASON_DEADLINE => Some(CancelReason::DeadlineExceeded),
+            REASON_STORAGE => Some(CancelReason::StorageDegraded),
             _ => None,
         }
     }
@@ -168,6 +183,17 @@ mod tests {
         let b = a.clone();
         b.cancel();
         assert!(a.is_cancelled());
+    }
+
+    #[test]
+    fn storage_degraded_latches_with_reason() {
+        let t = CancelToken::new();
+        t.cancel_storage_degraded();
+        assert!(t.is_cancelled());
+        assert_eq!(t.reason(), Some(CancelReason::StorageDegraded));
+        // First trigger still wins.
+        t.cancel();
+        assert_eq!(t.reason(), Some(CancelReason::StorageDegraded));
     }
 
     #[test]

@@ -40,7 +40,6 @@ use rand::rngs::SmallRng;
 use rand::{Rng, RngCore, SeedableRng};
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::rc::Rc;
 use std::time::{Duration, Instant};
@@ -1026,6 +1025,19 @@ pub fn replay(path: &Path, dump_dir: &Path) -> Result<String, String> {
         .lines()
         .next()
         .ok_or_else(|| format!("{} is empty", path.display()))?;
+    // Accept both sealed (CRC-trailered) and plain repro lines; a sealed
+    // line whose CRC fails is corruption, reported as such rather than as
+    // a parse error.
+    let line = match noc_store::open_line(line) {
+        noc_store::LineCheck::Sealed(payload) => payload,
+        noc_store::LineCheck::Legacy(l) => l,
+        noc_store::LineCheck::Corrupt => {
+            return Err(format!(
+                "{} failed its CRC check (torn or corrupt record)",
+                path.display()
+            ))
+        }
+    };
     let row = jsonio::parse_flat(line)
         .ok_or_else(|| format!("{} is not a flat repro row", path.display()))?;
     let case = ChaosCase::from_row(&row)?;
@@ -1128,12 +1140,10 @@ pub struct SoakSummary {
 /// minimize and write a replayable repro next to its black-box dump. Every
 /// case appends one flat row to `out_dir/chaos.jsonl`.
 pub fn run_soak(opts: &SoakOpts) -> std::io::Result<SoakSummary> {
-    std::fs::create_dir_all(&opts.out_dir)?;
+    let vfs = noc_store::active();
+    vfs.create_dir_all(&opts.out_dir)?;
     let log_path = opts.out_dir.join("chaos.jsonl");
-    let mut log = std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(&log_path)?;
+    let mut log = vfs.open_append(&log_path)?;
     let mut gen = CaseGen::new(opts.seed, opts.pool);
     let mut summary = SoakSummary::default();
     let start = Instant::now();
@@ -1181,7 +1191,7 @@ pub fn run_soak(opts: &SoakOpts) -> std::io::Result<SoakSummary> {
                         CaseOutcome::Pass(_) | CaseOutcome::Saturated(_) => first.clone(),
                     };
                     let repro = opts.out_dir.join(format!("repro_{}.json", small.key()));
-                    std::fs::write(&repro, repro_line(&small, &final_fail) + "\n")?;
+                    vfs.write_atomic(&repro, (repro_line(&small, &final_fail) + "\n").as_bytes())?;
                     summary.repros.push(repro.clone());
                     let mut r = base
                         .str_field("status", final_fail.kind.label())
@@ -1195,8 +1205,17 @@ pub fn run_soak(opts: &SoakOpts) -> std::io::Result<SoakSummary> {
                 }
             }
         };
-        writeln!(log, "{row}")?;
-        log.flush()?;
+        // Sealed row + bounded retry with newline resync, same protocol as
+        // the checkpoint journal (see `sweep::Checkpoint::record`).
+        let sealed = noc_store::seal_line(&row);
+        noc_store::RetryPolicy::default().run(|attempt| {
+            let data = if attempt == 1 {
+                format!("{sealed}\n")
+            } else {
+                format!("\n{sealed}\n")
+            };
+            log.append(data.as_bytes())
+        })?;
     }
     Ok(summary)
 }
@@ -1382,7 +1401,12 @@ mod tests {
         let rows: Vec<_> = std::fs::read_to_string(dir.join("chaos.jsonl"))
             .unwrap()
             .lines()
-            .filter_map(jsonio::parse_flat)
+            .filter_map(|l| match noc_store::open_line(l) {
+                noc_store::LineCheck::Sealed(p) => jsonio::parse_flat(p),
+                noc_store::LineCheck::Legacy(_) | noc_store::LineCheck::Corrupt => {
+                    panic!("soak rows must be sealed: {l:?}")
+                }
+            })
             .collect();
         assert_eq!(rows.len(), 3);
         for r in &rows {

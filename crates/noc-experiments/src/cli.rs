@@ -28,6 +28,13 @@
 /// `NOC_BATCH_WIDTH=0` or a non-numeric value aborts with exit status 2
 /// instead of silently falling back to the default mid-run. Results are
 /// identical for any width — batching only changes wall-clock time.
+///
+/// The storage-fault knobs are validated the same way (see
+/// [`validate_vfs_env`]): `NOC_VFS_FAULT_SCHEDULE` must be a well-formed
+/// `op:kind[,op:kind...]` list and `NOC_VFS_FAULT_SEED` an unsigned
+/// integer; garbage aborts with exit status 2 before any I/O happens.
+/// When both are set, explicit schedule events win at their op index and
+/// the seed fills the rest. Unset means no fault injection (`StdVfs`).
 pub fn args() -> Vec<String> {
     let env = match rayon::env_threads() {
         Ok(v) => v,
@@ -37,6 +44,10 @@ pub fn args() -> Vec<String> {
         }
     };
     if let Err(e) = crate::sweep::env_batch_width() {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+    if let Err(e) = validate_vfs_env() {
         eprintln!("error: {e}");
         std::process::exit(2);
     }
@@ -67,4 +78,17 @@ pub fn args() -> Vec<String> {
         }
     }
     rest
+}
+
+/// Eagerly validates the `NOC_VFS_FAULT_SCHEDULE` / `NOC_VFS_FAULT_SEED`
+/// environment knobs, same contract as `NOC_THREADS`: unset means "no
+/// fault injection", garbage is an error for the caller to turn into exit
+/// status 2 — never a silent fallback to fault-free I/O (a soak that
+/// silently stopped injecting would report vacuous green).
+pub fn validate_vfs_env() -> Result<(), String> {
+    noc_store::FaultPlan::from_env(
+        std::env::var("NOC_VFS_FAULT_SCHEDULE").ok().as_deref(),
+        std::env::var("NOC_VFS_FAULT_SEED").ok().as_deref(),
+    )
+    .map(|_| ())
 }

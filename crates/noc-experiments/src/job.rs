@@ -45,6 +45,16 @@ pub struct JobCtx<'a> {
     pub progress: Option<&'a (dyn Fn(JobProgress) + Sync)>,
     /// Where black-box dumps and repro files for failing units land.
     pub dump_dir: &'a Path,
+    /// Storage layer for the job's journals and repro artifacts. `None`
+    /// uses the process-wide [`noc_store::active`]; the service passes its
+    /// own handle so a fault-injected run covers job I/O too.
+    pub vfs: Option<std::sync::Arc<dyn noc_store::Vfs>>,
+}
+
+impl JobCtx<'_> {
+    fn vfs(&self) -> std::sync::Arc<dyn noc_store::Vfs> {
+        self.vfs.clone().unwrap_or_else(noc_store::active)
+    }
 }
 
 /// Terminal summary of a completed (not interrupted) job.
@@ -58,6 +68,13 @@ pub struct JobReport {
     pub failed: usize,
     /// Units adopted from a previous attempt's journal instead of re-run.
     pub resumed: usize,
+    /// Torn journal lines repaired away (quarantined + compacted) when the
+    /// journal was opened — a crashed previous writer, now accounted for
+    /// instead of silently discarded.
+    pub repaired_lines: usize,
+    /// CRC-failed journal lines repaired away at open — bit rot or a torn
+    /// sector inside a record, detected by the per-record trailer.
+    pub corrupt_lines: usize,
     /// The journal holding one row per unit, when the job keeps one.
     pub rows: Option<PathBuf>,
     /// One-line human summary.
@@ -151,7 +168,7 @@ fn run_sweep_job(
     width: usize,
     ctx: &JobCtx<'_>,
 ) -> Result<JobReport, JobError> {
-    let ckpt = Checkpoint::open(ckpt_path)
+    let ckpt = Checkpoint::open_with_vfs(ckpt_path, ctx.vfs())
         .map_err(|e| JobError::Failed(format!("cannot open {}: {e}", ckpt_path.display())))?;
     let forward = |p: SweepProgress| {
         if let Some(cb) = ctx.progress {
@@ -167,6 +184,13 @@ fn run_sweep_job(
         progress: Some(&forward),
     };
     let o = run_sweep_ctx(points, &ckpt, None, ctx.dump_dir, width, Some(&sctx));
+    // A journal that stopped persisting parks the job as interrupted —
+    // completed rows are safe, missing points re-execute on resume — and
+    // the reason is storage, NOT the shared cancel token: latching that
+    // token would poison the eventual retry.
+    if ckpt.write_failed() {
+        return Err(JobError::Interrupted(rayon::CancelReason::StorageDegraded));
+    }
     if o.interrupted > 0 || ctx.cancel.is_cancelled() {
         return Err(interrupted(ctx.cancel));
     }
@@ -175,6 +199,8 @@ fn run_sweep_job(
         total: points.len(),
         failed: o.failed,
         resumed: o.resumed,
+        repaired_lines: ckpt.torn_dropped(),
+        corrupt_lines: ckpt.corrupt_dropped(),
         rows: Some(ckpt_path.to_path_buf()),
         summary: format!(
             "sweep: {} executed, {} resumed, {} failed",
@@ -194,7 +220,7 @@ fn run_chaos_job(
     // keyed rows, torn-final-line repair, atomic compaction. Case keys are
     // content addresses, and the generator is a pure function of the seed,
     // so "skip rows already present" is exactly "resume".
-    let ckpt = Checkpoint::open(log_path)
+    let ckpt = Checkpoint::open_with_vfs(log_path, ctx.vfs())
         .map_err(|e| JobError::Failed(format!("cannot open {}: {e}", log_path.display())))?;
     let mut gen = CaseGen::new(seed, pool);
     let mut done = 0usize;
@@ -212,6 +238,11 @@ fn run_chaos_job(
             return Err(interrupted(ctx.cancel));
         }
         let (status, was_failure) = run_chaos_case(&case, &ckpt, ctx.dump_dir);
+        if ckpt.write_failed() {
+            // The case's row never landed: park as storage-interrupted so
+            // the case re-executes once the journal persists again.
+            return Err(JobError::Interrupted(rayon::CancelReason::StorageDegraded));
+        }
         done += 1;
         if was_failure {
             failed += 1;
@@ -230,6 +261,8 @@ fn run_chaos_job(
         total: cases,
         failed,
         resumed,
+        repaired_lines: ckpt.torn_dropped(),
+        corrupt_lines: ckpt.corrupt_dropped(),
         rows: Some(log_path.to_path_buf()),
         summary: format!("chaos: {done} cases, {resumed} resumed, {failed} failed"),
     })
@@ -246,13 +279,15 @@ fn run_chaos_case(case: &ChaosCase, ckpt: &Checkpoint, dump_dir: &Path) -> (Stri
             .u64_field("seed", case.seed)
             .str_field("status", status)
     };
+    // Persistence failures latch `ckpt.write_failed()`, which the caller
+    // checks after every case — an unpersisted row parks the job.
     if let Err(e) = chaos::precheck(case) {
-        ckpt.record(&base("skipped").str_field("reason", &e).finish());
+        let _ = ckpt.record(&base("skipped").str_field("reason", &e).finish());
         return ("skipped".into(), false);
     }
     match chaos::run_case(case, dump_dir) {
         CaseOutcome::Pass(report) => {
-            ckpt.record(
+            let _ = ckpt.record(
                 &base("pass")
                     .str_field("digest", &format!("{:016x}", report.digest))
                     .u64_field("delivered", report.delivered)
@@ -261,15 +296,19 @@ fn run_chaos_case(case: &ChaosCase, ckpt: &Checkpoint, dump_dir: &Path) -> (Stri
             ("pass".into(), false)
         }
         CaseOutcome::Saturated(why) => {
-            ckpt.record(&base("saturated").str_field("reason", &why).finish());
+            let _ = ckpt.record(&base("saturated").str_field("reason", &why).finish());
             ("saturated".into(), false)
         }
         CaseOutcome::Fail(f) => {
             // Persist a replayable repro next to the black-box dumps.
+            // Atomic: a half-written repro that replays differently would
+            // be worse than none.
             let repro = dump_dir.join(format!("repro_{}.jsonl", case.key()));
             let line = chaos::repro_line(case, &f);
-            let _ = std::fs::write(&repro, format!("{line}\n"));
-            ckpt.record(
+            let _ = ckpt
+                .vfs()
+                .write_atomic(&repro, format!("{line}\n").as_bytes());
+            let _ = ckpt.record(
                 &base("failed")
                     .str_field("reason", &format!("{}: {}", f.kind.label(), f.detail))
                     .str_field("repro", &repro.display().to_string())
@@ -297,6 +336,8 @@ fn run_replay_job(repro: &Path, ctx: &JobCtx<'_>) -> Result<JobReport, JobError>
         total: 1,
         failed: 0,
         resumed: 0,
+        repaired_lines: 0,
+        corrupt_lines: 0,
         rows: None,
         summary: verdict,
     })
@@ -324,6 +365,7 @@ mod tests {
             cancel: token,
             progress: None,
             dump_dir: dump,
+            vfs: None,
         }
     }
 
@@ -347,6 +389,7 @@ mod tests {
             cancel: &token,
             progress: Some(&cb),
             dump_dir: &dir,
+            vfs: None,
         };
         let r = job.run(&ctx).expect("job completes");
         assert_eq!((r.done, r.total, r.resumed), (2, 2, 0));

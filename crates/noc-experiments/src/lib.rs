@@ -18,6 +18,7 @@ pub mod job;
 pub mod jsonio;
 pub mod runner;
 pub mod saturation;
+pub mod storage_chaos;
 pub mod sweep;
 pub mod table;
 
@@ -46,5 +47,6 @@ pub use chaos::{
 pub use job::{JobCtx, JobError, JobProgress, JobReport, SimJob};
 pub use runner::{run_app, run_synth, AppSpec, Scheme, SynthSpec};
 pub use saturation::find_saturation;
+pub use storage_chaos::{run_storage_chaos, StorageChaosReport};
 pub use sweep::{run_sweep, Checkpoint, FaultPoint, SweepOutcome};
 pub use table::FigTable;

@@ -26,10 +26,9 @@ use noc_traffic::{SyntheticWorkload, TrafficPattern};
 use noc_types::fault::fnv1a;
 use noc_types::{FaultConfig, NetConfig, RecoveryConfig, SchemeKind};
 use std::collections::{BTreeMap, HashSet};
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Cycles between watchdog samples while a point runs. Small enough to
 /// catch a wedge promptly, large enough to be free next to the simulation.
@@ -151,81 +150,184 @@ impl FaultPoint {
     }
 }
 
+/// The quarantine side file for a journal: `<journal>.quarantine`, holding
+/// the raw bytes of every bad line the loader dropped, for post-mortems.
+fn quarantine_path(path: &Path) -> PathBuf {
+    let name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("journal");
+    path.with_file_name(format!("{name}.quarantine"))
+}
+
+/// Verdict of the journal loader on one line.
+enum LoadedLine {
+    /// Skipped silently: a blank line left behind by the append-recovery
+    /// protocol (see [`Checkpoint::record`]).
+    Blank,
+    /// A good row (sealed-and-verified, or legacy pre-CRC).
+    Row(BTreeMap<String, String>),
+    /// CRC/trailer damage: a sealed record that fails verification, or a
+    /// verified payload that is not flat JSON.
+    Corrupt,
+    /// No trailer and not parseable: the torn tail of a killed writer.
+    Torn,
+}
+
+/// Classifies one journal line. Shared by [`Checkpoint::open`] (repair +
+/// accounting) and [`Checkpoint::rows`] (read-back), so a bad record is
+/// *never* parsed as data on any path.
+fn load_line(line: &str) -> LoadedLine {
+    if line.is_empty() {
+        return LoadedLine::Blank;
+    }
+    match noc_store::open_line(line) {
+        noc_store::LineCheck::Sealed(payload) => match jsonio::parse_flat(payload) {
+            Some(row) => LoadedLine::Row(row),
+            None => LoadedLine::Corrupt,
+        },
+        noc_store::LineCheck::Corrupt => LoadedLine::Corrupt,
+        noc_store::LineCheck::Legacy(l) => match jsonio::parse_flat(l) {
+            Some(row) => LoadedLine::Row(row),
+            None => LoadedLine::Torn,
+        },
+    }
+}
+
 /// Append-only record of completed datapoints (`*.ckpt.jsonl`): one flat
-/// JSON object per line, each carrying a `"key"` field. Torn or garbage
-/// lines (a killed writer — e.g. `kill -9` mid-`writeln`) are **dropped
-/// and logged** on load, never fatal: the affected point simply re-executes
-/// on resume, and the journal is compacted in place (atomic
-/// write-temp-then-rename) so a resumed checkpoint ends up byte-identical
-/// to an uninterrupted run's, garbage included-out.
+/// JSON object per line, sealed with a CRC32 trailer
+/// ([`noc_store::seal_line`]), each carrying a `"key"` field. Bad lines —
+/// the torn tail of a killed writer, or a CRC-failed record from a lying
+/// disk — are **detected, counted, quarantined** (raw bytes appended to
+/// `<journal>.quarantine`) **and dropped** on load, never parsed as data
+/// and never fatal: the affected point simply re-executes on resume, and
+/// the journal is compacted in place (atomic write-temp-then-rename via
+/// the [`noc_store::Vfs`]) so a resumed checkpoint ends up byte-identical
+/// to an uninterrupted run's, garbage included-out. Rows from pre-CRC
+/// journals (no trailer) still load.
 pub struct Checkpoint {
     path: PathBuf,
+    vfs: Arc<dyn noc_store::Vfs>,
     done: HashSet<String>,
-    file: Mutex<std::fs::File>,
+    log: Mutex<Box<dyn noc_store::AppendLog>>,
     torn_dropped: usize,
+    corrupt_dropped: usize,
+    write_failed: AtomicBool,
 }
 
 impl Checkpoint {
-    /// Opens (creating parents as needed) and loads the set of completed
-    /// keys from any existing rows. Unparseable lines — a torn final write
-    /// from a killed process — are dropped from the journal (logged to
-    /// stderr, counted in [`Checkpoint::torn_dropped`]); their points are
-    /// treated as missing and re-execute.
+    /// Opens through the process-wide [`noc_store::active`] Vfs.
     pub fn open(path: &Path) -> std::io::Result<Checkpoint> {
+        Checkpoint::open_with_vfs(path, noc_store::active())
+    }
+
+    /// Opens (creating parents as needed) and loads the set of completed
+    /// keys from any existing rows, repairing the journal: torn and
+    /// corrupt lines are quarantined + compacted away (counted in
+    /// [`Checkpoint::torn_dropped`] / [`Checkpoint::corrupt_dropped`]) and
+    /// their points re-execute.
+    pub fn open_with_vfs(path: &Path, vfs: Arc<dyn noc_store::Vfs>) -> std::io::Result<Checkpoint> {
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent)?;
+                vfs.create_dir_all(parent)?;
             }
         }
         let mut done = HashSet::new();
         let mut kept = String::new();
+        let mut bad = String::new();
+        let mut blank = 0usize;
         let mut torn_dropped = 0usize;
-        if let Ok(text) = std::fs::read_to_string(path) {
+        let mut corrupt_dropped = 0usize;
+        if let Ok(text) = vfs.read_to_string(path) {
             for line in text.lines() {
-                match jsonio::parse_flat(line) {
-                    Some(row) => {
+                match load_line(line) {
+                    LoadedLine::Blank => blank += 1,
+                    LoadedLine::Row(row) => {
                         if let Some(k) = row.get("key") {
                             done.insert(k.clone());
                         }
                         kept.push_str(line);
                         kept.push('\n');
                     }
-                    None => torn_dropped += 1,
+                    LoadedLine::Corrupt => {
+                        corrupt_dropped += 1;
+                        bad.push_str(line);
+                        bad.push('\n');
+                    }
+                    LoadedLine::Torn => {
+                        torn_dropped += 1;
+                        bad.push_str(line);
+                        bad.push('\n');
+                    }
                 }
             }
         }
-        if torn_dropped > 0 {
-            // Compact the journal: keep every parseable row byte-for-byte,
-            // drop the garbage. Write-then-rename so a crash *here* leaves
-            // either the old or the new journal, never a half-written one.
-            let tmp = path.with_extension("ckpt.jsonl.repair");
-            std::fs::write(&tmp, &kept)?;
-            std::fs::rename(&tmp, path)?;
-            eprintln!(
-                "checkpoint {}: dropped {torn_dropped} torn line(s) from a \
-                 previous crashed writer; the affected point(s) will re-execute",
-                path.display()
-            );
+        if !bad.is_empty() {
+            // Quarantine first (append — earlier incidents stay), so the
+            // dropped bytes survive the compaction for post-mortems. Best
+            // effort: a failing quarantine write must not block recovery.
+            if let Ok(mut q) = vfs.open_append(&quarantine_path(path)) {
+                let _ = q.append(bad.as_bytes());
+            }
         }
-        let file = std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(path)?;
+        if torn_dropped + corrupt_dropped + blank > 0 {
+            // Compact the journal: keep every good row byte-for-byte, drop
+            // the garbage and the recovery blanks. Atomic replace, so a
+            // crash *here* leaves either the old or the new journal, never
+            // a half-written one.
+            vfs.write_atomic(path, kept.as_bytes())?;
+            if torn_dropped + corrupt_dropped > 0 {
+                eprintln!(
+                    "checkpoint {}: dropped {torn_dropped} torn and \
+                     {corrupt_dropped} corrupt line(s) (quarantined to \
+                     {}); the affected point(s) will re-execute",
+                    path.display(),
+                    quarantine_path(path).display(),
+                );
+            }
+        }
+        let log = vfs.open_append(path)?;
         Ok(Checkpoint {
             path: path.to_path_buf(),
+            vfs,
             done,
-            file: Mutex::new(file),
+            log: Mutex::new(log),
             torn_dropped,
+            corrupt_dropped,
+            write_failed: AtomicBool::new(false),
         })
     }
 
-    /// Number of torn/garbage lines dropped (and logged) at open time.
+    /// Torn (unterminated, trailerless) lines dropped at open time.
     pub fn torn_dropped(&self) -> usize {
         self.torn_dropped
     }
 
+    /// CRC-failed lines dropped at open time.
+    pub fn corrupt_dropped(&self) -> usize {
+        self.corrupt_dropped
+    }
+
+    /// Total bad lines repaired away at open time (torn + corrupt).
+    pub fn repaired_lines(&self) -> usize {
+        self.torn_dropped + self.corrupt_dropped
+    }
+
+    /// True once a [`Checkpoint::record`] exhausted its write retries: the
+    /// journal can no longer persist rows and the run should park rather
+    /// than continue unpersisted.
+    pub fn write_failed(&self) -> bool {
+        self.write_failed.load(Ordering::SeqCst)
+    }
+
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// The storage layer this journal writes through, for callers that
+    /// persist sibling artifacts (repro files) next to the rows.
+    pub fn vfs(&self) -> Arc<dyn noc_store::Vfs> {
+        Arc::clone(&self.vfs)
     }
 
     /// True when a row for `key` was already recorded (including failed and
@@ -240,24 +342,58 @@ impl Checkpoint {
         self.done.len()
     }
 
-    /// Appends one row and flushes, so a killed process loses at most the
-    /// in-flight line (which the tolerant loader then skips).
-    pub fn record(&self, line: &str) {
-        let mut f = self
-            .file
+    /// Appends one sealed row and flushes; returns whether the row is
+    /// durably in the journal. On an append error the bytes that landed
+    /// are unknown, so the bounded retries each prepend a newline: a stray
+    /// partial fragment becomes its own line — detected, quarantined, and
+    /// compacted away at the next open — and the blank lines the resyncs
+    /// leave behind are skipped silently. When every retry fails the
+    /// checkpoint latches [`Checkpoint::write_failed`] and the row is
+    /// dropped (its point stays missing and re-executes once storage
+    /// recovers).
+    #[must_use = "a false return means the row was NOT persisted"]
+    pub fn record(&self, line: &str) -> bool {
+        let sealed = noc_store::seal_line(line);
+        let mut log = self
+            .log
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        let _ = writeln!(f, "{line}");
-        let _ = f.flush();
+        let wrote = noc_store::RetryPolicy::default().run(|attempt| {
+            let data = if attempt == 1 {
+                format!("{sealed}\n")
+            } else {
+                format!("\n{sealed}\n")
+            };
+            log.append(data.as_bytes())
+        });
+        match wrote {
+            Ok(()) => true,
+            Err(e) => {
+                self.write_failed.store(true, Ordering::SeqCst);
+                eprintln!(
+                    "checkpoint {}: write failed after retries ({e}); \
+                     parking — the row will re-execute once storage recovers",
+                    self.path.display()
+                );
+                false
+            }
+        }
     }
 
-    /// Re-reads every parseable row from disk (used to build the final
-    /// tables, so a resumed run reports previously-completed points too).
+    /// Re-reads every good row from disk (used to build the final tables,
+    /// so a resumed run reports previously-completed points too). Bad
+    /// lines are skipped — same classifier as the loader, so corruption
+    /// that appears *after* open never reaches a parser either.
     pub fn rows(&self) -> Vec<BTreeMap<String, String>> {
-        let Ok(text) = std::fs::read_to_string(&self.path) else {
+        let Ok(text) = self.vfs.read_to_string(&self.path) else {
             return Vec::new();
         };
-        text.lines().filter_map(jsonio::parse_flat).collect()
+        text.lines()
+            .filter_map(|line| match load_line(line) {
+                LoadedLine::Row(row) => Some(row),
+                LoadedLine::Blank | LoadedLine::Corrupt | LoadedLine::Torn => None,
+            })
+            .collect()
     }
 }
 
@@ -722,11 +858,22 @@ pub fn run_sweep_ctx(
     let quiet = rayon::CancelToken::new();
     let token = ctx.map_or(&quiet, |c| c.cancel);
     rayon::for_each_cancellable(chunks, token, |chunk: Vec<&FaultPoint>| {
+        // A journal that can no longer persist rows parks the sweep:
+        // chunks not yet started are abandoned (their points stay missing
+        // and re-execute once storage recovers) rather than simulated into
+        // rows that would be lost.
+        if ckpt.write_failed() {
+            return;
+        }
         for row in run_chunk(&chunk, dump_dir, ctx) {
             let Some((row, was_failure)) = row else {
                 continue;
             };
-            ckpt.record(&row);
+            if !ckpt.record(&row) {
+                // Not persisted: the point stays missing. Stop recording
+                // this chunk; the guard above stops the rest of the sweep.
+                return;
+            }
             let done_now = recorded.fetch_add(1, Ordering::Relaxed) + 1;
             if was_failure {
                 failed.fetch_add(1, Ordering::Relaxed);
@@ -861,7 +1008,9 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         std::fs::write(&path, &text[..text.len() - 7]).unwrap();
         let ckpt = Checkpoint::open(&path).unwrap();
-        assert_eq!(ckpt.torn_dropped(), 1);
+        // A tear inside the CRC trailer classifies as corrupt, one before
+        // the trailer as torn; either way exactly one line was repaired.
+        assert_eq!(ckpt.repaired_lines(), 1);
         let o = run_sweep(&points, &ckpt, None, &dir);
         assert_eq!((o.executed, o.resumed), (1, 1), "torn point re-executes");
         // Same sorted line set as an uninterrupted run.
@@ -871,6 +1020,156 @@ mod tests {
             let mut ls: Vec<String> = std::fs::read_to_string(p)
                 .unwrap()
                 .lines()
+                .map(str::to_string)
+                .collect();
+            ls.sort();
+            ls
+        };
+        assert_eq!(sorted(&path), sorted(uckpt.path()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn any_single_byte_flip_in_any_record_is_detected_and_quarantined() {
+        // The CRC satellite, end-to-end: flip every byte of every sealed
+        // record in a real journal (one at a time) and require the loader
+        // to drop exactly that record — detected, counted, quarantined —
+        // and never load a row with altered bytes.
+        let dir = tmpdir("flip");
+        let path = dir.join("f.ckpt.jsonl");
+        let ckpt = Checkpoint::open(&path).unwrap();
+        assert!(ckpt.record(
+            &JsonObj::new()
+                .str_field("key", "aaaa")
+                .str_field("status", "ok")
+                .finish()
+        ));
+        assert!(ckpt.record(
+            &JsonObj::new()
+                .str_field("key", "bbbb")
+                .u64_field("cycles", 42)
+                .finish()
+        ));
+        drop(ckpt);
+        let pristine = std::fs::read_to_string(&path).unwrap();
+        let newline_at: Vec<usize> = pristine
+            .bytes()
+            .enumerate()
+            .filter_map(|(i, b)| (b == b'\n').then_some(i))
+            .collect();
+        for i in 0..pristine.len() {
+            if newline_at.contains(&i) {
+                continue; // flipping the separator merges lines: below
+            }
+            for flip in [0x01u8, 0x20, 0x80] {
+                let mut bytes = pristine.clone().into_bytes();
+                bytes[i] ^= flip;
+                let Ok(mutated) = String::from_utf8(bytes) else {
+                    continue;
+                };
+                std::fs::write(&path, &mutated).unwrap();
+                let _ = std::fs::remove_file(path.with_file_name("f.ckpt.jsonl.quarantine"));
+                let ckpt = Checkpoint::open(&path).unwrap();
+                assert_eq!(
+                    ckpt.repaired_lines(),
+                    1,
+                    "flip at {i} (^{flip:#x}) not detected: {mutated:?}"
+                );
+                assert_eq!(ckpt.done_count(), 1, "flip at {i}");
+                // The loaded row is the untouched one, byte-for-byte.
+                let rows = ckpt.rows();
+                assert_eq!(rows.len(), 1, "flip at {i}");
+                // The dropped bytes are quarantined for post-mortems.
+                let q = std::fs::read_to_string(path.with_file_name("f.ckpt.jsonl.quarantine"))
+                    .unwrap();
+                assert_eq!(q.lines().count(), 1, "flip at {i}");
+                // Repair is sticky: a reopen is clean and both-rows short.
+                drop(ckpt);
+                let again = Checkpoint::open(&path).unwrap();
+                assert_eq!(again.repaired_lines(), 0, "flip at {i}: repair not sticky");
+            }
+        }
+        // A flipped newline merges two sealed records; the merged line has
+        // a valid trailer only for the second half's CRC over the whole —
+        // which cannot match — so the line drops and BOTH rows re-execute.
+        let mut bytes = pristine.clone().into_bytes();
+        bytes[newline_at[0]] ^= 0x01;
+        std::fs::write(&path, String::from_utf8(bytes).unwrap()).unwrap();
+        let ckpt = Checkpoint::open(&path).unwrap();
+        assert_eq!(ckpt.repaired_lines(), 1);
+        assert_eq!(ckpt.done_count(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_record_reexecutes_and_matches_uninterrupted() {
+        // Resume-after-corruption: flip one payload byte of a finished
+        // sweep journal, reopen (repairs + quarantines), re-run — the
+        // journal must match an uninterrupted run's, line for line.
+        let dir = tmpdir("corrupt_resume");
+        let path = dir.join("c.ckpt.jsonl");
+        let points = vec![point(Scheme::seec(), 0.0), point(Scheme::mseec(), 0.0)];
+        let ckpt = Checkpoint::open(&path).unwrap();
+        run_sweep(&points, &ckpt, None, &dir);
+        drop(ckpt);
+        // Flip a byte in the middle of the first record's payload.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[10] ^= 0x20;
+        std::fs::write(&path, &bytes).unwrap();
+        let ckpt = Checkpoint::open(&path).unwrap();
+        assert_eq!(ckpt.corrupt_dropped(), 1, "payload flip must fail the CRC");
+        let o = run_sweep(&points, &ckpt, None, &dir);
+        assert_eq!((o.executed, o.resumed), (1, 1), "corrupt point re-executes");
+        let uckpt = Checkpoint::open(&dir.join("u.ckpt.jsonl")).unwrap();
+        run_sweep(&points, &uckpt, None, &dir);
+        let sorted = |p: &Path| {
+            let mut ls: Vec<String> = std::fs::read_to_string(p)
+                .unwrap()
+                .lines()
+                .map(str::to_string)
+                .collect();
+            ls.sort();
+            ls
+        };
+        assert_eq!(sorted(&path), sorted(uckpt.path()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persistent_write_failure_parks_the_sweep_with_rows_intact() {
+        // A disk that dies mid-sweep: the first record lands, the second
+        // hits a stuck disk. The sweep must park (points stay missing),
+        // never spin, and a later run on healthy storage must complete to
+        // the uninterrupted row set.
+        let dir = tmpdir("stuck_sweep");
+        let path = dir.join("s.ckpt.jsonl");
+        let points = vec![point(Scheme::seec(), 0.0), point(Scheme::mseec(), 0.0)];
+        let vfs: std::sync::Arc<dyn noc_store::Vfs> =
+            std::sync::Arc::new(noc_store::FaultVfs::new(
+                noc_store::FaultPlan::default().with_event(1, noc_store::FaultKind::Stuck),
+            ));
+        let ckpt = Checkpoint::open_with_vfs(&path, vfs).unwrap();
+        let o = run_sweep_with_width(&points, &ckpt, None, &dir, 1);
+        assert!(ckpt.write_failed(), "stuck disk must latch write_failed");
+        assert_eq!(o.executed + o.interrupted, 2);
+        assert!(
+            o.interrupted >= 1,
+            "unpersisted points must count interrupted"
+        );
+        drop(ckpt);
+        // Storage recovers: the parked points re-execute and the journal
+        // matches an uninterrupted run's.
+        let ckpt = Checkpoint::open(&path).unwrap();
+        let o = run_sweep(&points, &ckpt, None, &dir);
+        assert_eq!(o.executed + o.resumed, 2);
+        assert!(!ckpt.write_failed());
+        let uckpt = Checkpoint::open(&dir.join("u.ckpt.jsonl")).unwrap();
+        run_sweep(&points, &uckpt, None, &dir);
+        let sorted = |p: &Path| {
+            let mut ls: Vec<String> = std::fs::read_to_string(p)
+                .unwrap()
+                .lines()
+                .filter(|l| !l.is_empty())
                 .map(str::to_string)
                 .collect();
             ls.sort();

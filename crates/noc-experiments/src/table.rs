@@ -56,7 +56,8 @@ impl FigTable {
             .collect::<Vec<_>>()
             .join("_");
         let path = format!("{dir}/{slug}.csv");
-        std::fs::write(&path, self.to_csv())?;
+        // Atomic: figure CSVs are published whole or not at all.
+        noc_store::active().write_atomic(std::path::Path::new(&path), self.to_csv().as_bytes())?;
         Ok(path)
     }
 

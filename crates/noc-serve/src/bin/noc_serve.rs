@@ -8,12 +8,16 @@
 //!
 //! Environment knobs are validated **eagerly** (exit status 2 on garbage,
 //! matching the experiment binaries): `NOC_THREADS` (worker parallelism
-//! inside a sweep) and `NOC_BATCH_WIDTH` (lockstep lanes; precedence:
-//! explicit service width > `NOC_BATCH_WIDTH` > default 4).
+//! inside a sweep), `NOC_BATCH_WIDTH` (lockstep lanes; precedence:
+//! explicit service width > `NOC_BATCH_WIDTH` > default 4), and the
+//! storage-fault knobs `NOC_VFS_FAULT_SCHEDULE` / `NOC_VFS_FAULT_SEED`
+//! (precedence: explicit schedule events win at their op index, the seed
+//! fills the rest; unset means no fault injection).
 //!
-//! The bound address is printed to stdout **and** written to
-//! `DIR/addr.txt` so supervisors (and the kill -9 restart tests) can find
-//! a port-0 listener.
+//! The bound address is printed to stdout **and** written (atomically:
+//! temp + fsync + rename) to `DIR/addr.txt` so supervisors (and the
+//! kill -9 restart tests) can find a port-0 listener without ever reading
+//! a torn address.
 
 use std::net::TcpListener;
 use std::process::exit;
@@ -45,6 +49,10 @@ fn main() {
             exit(2);
         }
     };
+    if let Err(e) = noc_experiments::cli::validate_vfs_env() {
+        eprintln!("error: {e}");
+        exit(2);
+    }
 
     let mut addr = "127.0.0.1:0".to_string();
     let mut data_dir = None;
@@ -103,9 +111,9 @@ fn main() {
         }
     };
     let bound = listener.local_addr().expect("bound addr");
-    if let Err(e) = std::fs::write(
-        std::path::Path::new(&data_dir).join("addr.txt"),
-        format!("{bound}\n"),
+    if let Err(e) = noc_store::active().write_atomic(
+        &std::path::Path::new(&data_dir).join("addr.txt"),
+        format!("{bound}\n").as_bytes(),
     ) {
         eprintln!("error: cannot record address: {e}");
         exit(1);

@@ -6,11 +6,12 @@
 //! POST /jobs            submit (flat JSON body)  202 created / 200 dedupe
 //!                       400 bad spec · 413 body too large
 //!                       429 + Retry-After queue full · 503 draining
+//!                       503 + Retry-After storage degraded (read-only)
 //! GET  /jobs            every job, one JSON row per line
 //! GET  /jobs/<id>       one job's status row            (404 unknown)
 //! GET  /jobs/<id>/rows  the unit journal, as JSONL      (404 unknown)
 //! POST /jobs/<id>/cancel                                 (409 terminal)
-//! GET  /healthz         liveness + queue depth
+//! GET  /healthz         liveness + queue depth + storage health
 //! POST /drain           begin graceful shutdown, 202
 //! ```
 
@@ -153,6 +154,13 @@ fn route(
                 Err(SubmitError::Draining) => {
                     respond(stream, 503, "Service Unavailable", &error_row("draining"))
                 }
+                Err(SubmitError::StorageDegraded(why)) => respond_with(
+                    stream,
+                    503,
+                    "Service Unavailable",
+                    &[("Retry-After", "5")],
+                    &error_row(&format!("storage degraded (read-only): {why}")),
+                ),
             }
         }
         ("GET", "/jobs") => {
@@ -164,12 +172,16 @@ fn route(
             respond(stream, 200, "OK", &rows.join("\n"))
         }
         ("GET", "/healthz") => {
-            let row = format!(
-                r#"{{"status": "ok", "draining": "{}", "queued": "{}"}}"#,
-                service.is_draining(),
-                service.queued()
-            );
-            respond(stream, 200, "OK", &row)
+            let degraded = service.storage_degraded();
+            let mut obj = jsonio::JsonObj::new()
+                .str_field("status", if degraded { "degraded" } else { "ok" })
+                .str_field("storage", if degraded { "read-only" } else { "ok" })
+                .str_field("draining", &service.is_draining().to_string())
+                .str_field("queued", &service.queued().to_string());
+            if let Some(why) = service.storage_detail() {
+                obj = obj.str_field("storage_detail", &why);
+            }
+            respond(stream, 200, "OK", &obj.finish())
         }
         ("POST", "/drain") => {
             shutdown.store(true, Ordering::Relaxed);

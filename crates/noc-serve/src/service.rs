@@ -11,6 +11,8 @@
 //! | queue full               | submission shed with `QueueFull` (HTTP 429 + `Retry-After`) |
 //! | drain (SIGTERM)          | running jobs parked as CHECKPOINTED, queue closed, workers joined |
 //! | `kill -9`                | next boot adopts the journals: non-terminal jobs requeue and resume from `rows.ckpt.jsonl`; a torn final row is repaired and re-executed |
+//! | storage write fails      | running jobs park as CHECKPOINTED with their rows intact and the service flips to read-only DEGRADED: submissions get `StorageDegraded` (HTTP 503 + `Retry-After`), `healthz` reports it, and a periodic probe write heals the service and requeues the parked jobs once storage recovers |
+//! | corrupt journal line     | detected by its CRC trailer at the next boot, dropped with exact accounting (`repaired_lines` / `corrupt_lines` in every status row), and compacted out of the journal |
 //!
 //! ## On-disk layout (under `data_dir`)
 //!
@@ -23,7 +25,6 @@
 //! ```
 
 use std::collections::BTreeMap;
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -31,6 +32,7 @@ use std::time::{Duration, Instant};
 
 use noc_experiments::jsonio::{self, JsonObj};
 use noc_experiments::{JobError, JobProgress};
+use noc_store::{LineCheck, Vfs};
 
 use crate::lifecycle::Stage;
 use crate::queue::{BoundedQueue, QueueFull};
@@ -78,6 +80,9 @@ pub enum SubmitError {
     Busy(QueueFull),
     /// The service is draining and accepts nothing new.
     Draining,
+    /// Storage is degraded: the service is read-only until a probe write
+    /// succeeds. The message names the failure that tripped it.
+    StorageDegraded(String),
 }
 
 /// Point-in-time public view of one job.
@@ -89,6 +94,12 @@ pub struct JobStatus {
     pub done: usize,
     pub total: usize,
     pub failed_units: usize,
+    /// Torn journal lines detected (by shape or CRC), quarantined, and
+    /// re-executed across this job's journals.
+    pub repaired_lines: usize,
+    /// Lines whose CRC trailer failed outright — silent corruption that
+    /// would have been parsed as data before checksummed framing.
+    pub corrupt_lines: usize,
     /// Present when terminal-with-prejudice: the failure/cancel detail.
     pub error: Option<String>,
     /// Present when DONE: the job's one-line summary.
@@ -106,7 +117,9 @@ impl JobStatus {
             .u64_field("attempts", u64::from(self.attempts))
             .u64_field("done", self.done as u64)
             .u64_field("total", self.total as u64)
-            .u64_field("failed_units", self.failed_units as u64);
+            .u64_field("failed_units", self.failed_units as u64)
+            .u64_field("repaired_lines", self.repaired_lines as u64)
+            .u64_field("corrupt_lines", self.corrupt_lines as u64);
         if let Some(e) = &self.error {
             obj = obj.str_field("error", e);
         }
@@ -127,6 +140,8 @@ struct Progress {
     done: AtomicUsize,
     total: AtomicUsize,
     failed: AtomicUsize,
+    repaired: AtomicUsize,
+    corrupt: AtomicUsize,
 }
 
 struct Entry {
@@ -140,6 +155,9 @@ struct Entry {
     /// Set by [`Service::cancel`]; distinguishes a user cancel from a
     /// drain interrupt when both arrive as `CancelReason::Cancelled`.
     user_cancelled: bool,
+    /// Parked because the storage layer stopped accepting writes; requeued
+    /// automatically when the probe write heals the service.
+    parked_by_storage: bool,
     error: Option<String>,
     summary: Option<String>,
     quarantine: Option<PathBuf>,
@@ -150,6 +168,14 @@ struct Shared {
     queue: BoundedQueue<String>,
     jobs: Mutex<BTreeMap<String, Entry>>,
     draining: AtomicBool,
+    /// Every persistence path goes through this handle; tests swap in a
+    /// `noc_store::FaultVfs` via [`Service::open_with_vfs`].
+    vfs: Arc<dyn Vfs>,
+    /// Read-only DEGRADED mode: set when a persistent write failure is
+    /// observed, cleared when a probe write lands.
+    storage_down: AtomicBool,
+    /// The failure that tripped DEGRADED, for `healthz` and submit errors.
+    storage_detail: Mutex<String>,
 }
 
 /// The running service. Cheap to clone handles out of via [`Service::drain`]
@@ -167,6 +193,12 @@ impl Shared {
     /// Appends one transition to the job's `state.jsonl` after validating
     /// it against the lifecycle relation; an illegal edge is a scheduler
     /// bug and panics in tests (and is refused, loudly, in release).
+    ///
+    /// The line carries a CRC trailer so a torn or bit-rotted record is
+    /// detected (never parsed) at the next boot. A failed append retries
+    /// with the newline-resync protocol, then trips DEGRADED — the
+    /// in-memory stage already advanced, so status stays truthful even
+    /// when the journal lags.
     fn transition(&self, entry: &mut Entry, id: &str, to: Stage, detail: &str) {
         let from = entry.stage;
         if !from.permits(to) {
@@ -180,15 +212,36 @@ impl Shared {
             .u64_field("attempts", u64::from(entry.attempts))
             .str_field("detail", detail)
             .finish();
+        let sealed = noc_store::seal_line(&line);
         let path = self.job_dir(id).join("state.jsonl");
-        if let Ok(mut f) = std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&path)
-        {
-            let _ = writeln!(f, "{line}");
-            let _ = f.flush();
+        let appended = self.vfs.open_append(&path).and_then(|mut log| {
+            noc_store::RetryPolicy::default().run(|attempt| {
+                // After a failed append the bytes on disk are unknown, so
+                // retries lead with a newline: a torn fragment becomes its
+                // own (CRC-detectable) line instead of a hybrid.
+                let framed = if attempt > 1 {
+                    format!("\n{sealed}\n")
+                } else {
+                    format!("{sealed}\n")
+                };
+                log.append(framed.as_bytes())
+            })
+        });
+        if let Err(e) = appended {
+            self.mark_degraded(&format!("cannot journal {id} -> {to}: {e}"));
         }
+    }
+
+    /// Flips the service into read-only DEGRADED mode (idempotent).
+    fn mark_degraded(&self, why: &str) {
+        *lock(&self.storage_detail) = why.to_string();
+        if !self.storage_down.swap(true, Ordering::SeqCst) {
+            eprintln!("noc-serve: storage DEGRADED (read-only): {why}");
+        }
+    }
+
+    fn is_degraded(&self) -> bool {
+        self.storage_down.load(Ordering::SeqCst)
     }
 
     fn status_of(&self, id: &str, e: &Entry) -> JobStatus {
@@ -199,6 +252,8 @@ impl Shared {
             done: e.progress.done.load(Ordering::Relaxed),
             total: e.progress.total.load(Ordering::Relaxed),
             failed_units: e.progress.failed.load(Ordering::Relaxed),
+            repaired_lines: e.progress.repaired.load(Ordering::Relaxed),
+            corrupt_lines: e.progress.corrupt.load(Ordering::Relaxed),
             error: e.error.clone(),
             summary: e.summary.clone(),
             quarantine: e.quarantine.clone(),
@@ -213,12 +268,21 @@ impl Service {
     /// non-terminal job is parked as CHECKPOINTED and requeued, resuming
     /// from its `rows.ckpt.jsonl` — and starts the worker pool.
     pub fn open(opts: ServeOpts) -> std::io::Result<Service> {
+        Service::open_with_vfs(opts, noc_store::active())
+    }
+
+    /// [`Service::open`] over an explicit storage layer — the storage-fault
+    /// tests pass a seeded `noc_store::FaultVfs` here.
+    pub fn open_with_vfs(opts: ServeOpts, vfs: Arc<dyn Vfs>) -> std::io::Result<Service> {
         let jobs_root = opts.data_dir.join("jobs");
-        std::fs::create_dir_all(&jobs_root)?;
+        vfs.create_dir_all(&jobs_root)?;
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(opts.queue_cap),
             jobs: Mutex::new(BTreeMap::new()),
             draining: AtomicBool::new(false),
+            vfs,
+            storage_down: AtomicBool::new(false),
+            storage_detail: Mutex::new(String::new()),
             opts,
         });
         let mut adopt: Vec<String> = Vec::new();
@@ -275,6 +339,11 @@ impl Service {
         if self.shared.draining.load(Ordering::Relaxed) {
             return Err(SubmitError::Draining);
         }
+        if self.shared.is_degraded() {
+            return Err(SubmitError::StorageDegraded(
+                lock(&self.shared.storage_detail).clone(),
+            ));
+        }
         let spec = JobSpec::parse(row).map_err(SubmitError::Invalid)?;
         let id = spec.digest().map_err(SubmitError::Invalid)?;
         let mut jobs = lock(&self.shared.jobs);
@@ -282,7 +351,9 @@ impl Service {
             return Ok((self.shared.status_of(&id, e), false));
         }
         let dir = self.shared.job_dir(&id);
-        std::fs::create_dir_all(dir.join("dumps"))
+        self.shared
+            .vfs
+            .create_dir_all(&dir.join("dumps"))
             .map_err(|e| SubmitError::Invalid(format!("cannot create job dir: {e}")))?;
         let progress = Arc::new(Progress::default());
         progress
@@ -296,6 +367,7 @@ impl Service {
             progress,
             started: None,
             user_cancelled: false,
+            parked_by_storage: false,
             error: None,
             summary: None,
             quarantine: None,
@@ -305,16 +377,37 @@ impl Service {
             let _ = std::fs::remove_dir_all(&dir);
             return Err(SubmitError::Busy(full));
         }
-        std::fs::write(dir.join("spec.json"), format!("{}\n", entry.spec.to_row()))
-            .map_err(|e| SubmitError::Invalid(format!("cannot persist spec: {e}")))?;
-        // First journal line: the QUEUED acceptance record. Not a
-        // transition (there is no prior stage), so written directly.
-        let line = JsonObj::new()
-            .str_field("stage", Stage::Queued.label())
-            .u64_field("attempts", 0)
-            .str_field("detail", "accepted")
-            .finish();
-        let _ = std::fs::write(dir.join("state.jsonl"), format!("{line}\n"));
+        // Both acceptance artifacts land atomically (temp + fsync +
+        // rename): a crash mid-submit leaves no half-written spec for the
+        // next boot to choke on. A write failure here IS a storage fault —
+        // undo, trip DEGRADED, and shed the submission. (The reserved
+        // queue slot drains harmlessly: the id has no registry entry.)
+        let spec_write = self
+            .shared
+            .vfs
+            .write_atomic(
+                &dir.join("spec.json"),
+                format!("{}\n", entry.spec.to_row()).as_bytes(),
+            )
+            .and_then(|()| {
+                // First journal line: the QUEUED acceptance record. Not a
+                // transition (there is no prior stage), so written whole.
+                let line = JsonObj::new()
+                    .str_field("stage", Stage::Queued.label())
+                    .u64_field("attempts", 0)
+                    .str_field("detail", "accepted")
+                    .finish();
+                self.shared.vfs.write_atomic(
+                    &dir.join("state.jsonl"),
+                    format!("{}\n", noc_store::seal_line(&line)).as_bytes(),
+                )
+            });
+        if let Err(e) = spec_write {
+            let _ = std::fs::remove_dir_all(&dir);
+            let why = format!("cannot persist submission {id}: {e}");
+            self.shared.mark_degraded(&why);
+            return Err(SubmitError::StorageDegraded(why));
+        }
         let status = self.shared.status_of(&id, &entry);
         jobs.insert(id, entry);
         Ok((status, true))
@@ -367,6 +460,20 @@ impl Service {
         self.shared.draining.load(Ordering::Relaxed)
     }
 
+    /// True while the service is in read-only DEGRADED mode (a persistent
+    /// storage write failure was observed and the probe write has not yet
+    /// succeeded).
+    pub fn storage_degraded(&self) -> bool {
+        self.shared.is_degraded()
+    }
+
+    /// The failure that tripped DEGRADED mode, when degraded.
+    pub fn storage_detail(&self) -> Option<String> {
+        self.shared
+            .is_degraded()
+            .then(|| lock(&self.shared.storage_detail).clone())
+    }
+
     /// Queue depth (for health reporting).
     pub fn queued(&self) -> usize {
         self.shared.queue.len()
@@ -399,21 +506,64 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 
 /// Rebuilds one job's registry entry from its journals. Returns the id
 /// when the job must be requeued (non-terminal), `None` when it rests.
+///
+/// Every `state.jsonl` line is verified against its CRC trailer first: a
+/// torn or bit-rotted record is dropped with exact accounting (surfaced as
+/// `repaired_lines` in the status row) and compacted out of the journal,
+/// so repeated restarts do not re-count the same damage. Pre-CRC lines
+/// (journals written before checksummed framing) are accepted as legacy
+/// when they still parse.
 fn adopt_one(shared: &Arc<Shared>, dir: &Path, id: &str) -> Result<Option<String>, String> {
-    let spec_line = std::fs::read_to_string(dir.join("spec.json"))
+    let spec_line = shared
+        .vfs
+        .read_to_string(&dir.join("spec.json"))
         .map_err(|e| format!("unreadable spec.json: {e}"))?;
     let row = jsonio::parse_flat(spec_line.trim()).ok_or("corrupt spec.json")?;
     let spec = JobSpec::parse(&row)?;
-    // Replay the transition journal, validating each edge; garbage lines
-    // (a torn final write) and illegal edges end the believable history.
+    // Verify, then replay the transition journal, validating each edge;
+    // CRC-failed lines are repaired away and illegal edges end the
+    // believable history.
     let mut stage = Stage::Queued;
     let mut attempts = 0u32;
     let mut error = None;
     let mut summary = None;
-    if let Ok(text) = std::fs::read_to_string(dir.join("state.jsonl")) {
-        for line in text.lines().skip(1) {
-            let Some(row) = jsonio::parse_flat(line) else {
-                eprintln!("noc-serve: {id}: dropping torn journal line");
+    let mut state_repaired = 0usize;
+    if let Ok(text) = shared.vfs.read_to_string(&dir.join("state.jsonl")) {
+        let mut kept: Vec<&str> = Vec::new();
+        let mut payloads: Vec<String> = Vec::new();
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue; // newline-resync padding from an append retry
+            }
+            match noc_store::open_line(line) {
+                LineCheck::Sealed(payload) => {
+                    kept.push(line);
+                    payloads.push(payload.to_string());
+                }
+                LineCheck::Legacy(payload) if jsonio::parse_flat(payload).is_some() => {
+                    kept.push(line);
+                    payloads.push(payload.to_string());
+                }
+                LineCheck::Legacy(_) | LineCheck::Corrupt => state_repaired += 1,
+            }
+        }
+        if state_repaired > 0 {
+            eprintln!(
+                "noc-serve: {id}: repairing state journal \
+                 ({state_repaired} torn/corrupt line(s) dropped)"
+            );
+            let mut fixed = kept.join("\n");
+            if !fixed.is_empty() {
+                fixed.push('\n');
+            }
+            let _ = shared
+                .vfs
+                .write_atomic(&dir.join("state.jsonl"), fixed.as_bytes());
+        }
+        // The first believable line is the QUEUED acceptance record, not a
+        // transition.
+        for payload in payloads.iter().skip(1) {
+            let Some(row) = jsonio::parse_flat(payload) else {
                 continue;
             };
             let Some(next) = row.get("stage").and_then(|s| Stage::parse(s)) else {
@@ -440,11 +590,21 @@ fn adopt_one(shared: &Arc<Shared>, dir: &Path, id: &str) -> Result<Option<String
     progress
         .total
         .store(spec.to_job(dir, 1).total_units(), Ordering::Relaxed);
+    progress.repaired.store(state_repaired, Ordering::Relaxed);
     // Terminal verdicts survive restarts untouched; everything else counts
     // its journaled rows as done and goes back to work.
     if !stage.is_terminal() {
-        if let Ok(ckpt) = noc_experiments::Checkpoint::open(&dir.join("rows.ckpt.jsonl")) {
+        if let Ok(ckpt) = noc_experiments::Checkpoint::open_with_vfs(
+            &dir.join("rows.ckpt.jsonl"),
+            Arc::clone(&shared.vfs),
+        ) {
             progress.done.store(ckpt.done_count(), Ordering::Relaxed);
+            progress
+                .repaired
+                .fetch_add(ckpt.torn_dropped(), Ordering::Relaxed);
+            progress
+                .corrupt
+                .fetch_add(ckpt.corrupt_dropped(), Ordering::Relaxed);
         }
     }
     let quarantine = dir.join("quarantine.json");
@@ -456,6 +616,7 @@ fn adopt_one(shared: &Arc<Shared>, dir: &Path, id: &str) -> Result<Option<String
         progress,
         started: None,
         user_cancelled: false,
+        parked_by_storage: false,
         error,
         summary,
         quarantine: quarantine.exists().then_some(quarantine),
@@ -470,10 +631,47 @@ fn worker_loop(shared: &Arc<Shared>) {
         if shared.draining.load(Ordering::Relaxed) {
             return;
         }
+        if shared.is_degraded() {
+            // Read-only mode: nothing runs until the probe write lands.
+            probe_storage(shared);
+            if shared.is_degraded() {
+                std::thread::sleep(Duration::from_millis(50));
+                continue;
+            }
+        }
         let Some(id) = shared.queue.pop(Duration::from_millis(50)) else {
             continue;
         };
         run_one(shared, &id);
+    }
+}
+
+/// Attempts the self-heal probe: one atomic write under `data_dir`. On
+/// success the service leaves DEGRADED mode and every job that was parked
+/// by a storage fault is requeued (bound-exempt — they were accepted
+/// before the fault). Safe to race from every worker: the probe is
+/// idempotent and `run_one` claims under the jobs lock, so a double
+/// requeue is harmless.
+fn probe_storage(shared: &Arc<Shared>) {
+    let probe = shared.opts.data_dir.join(".storage_probe");
+    if shared.vfs.write_atomic(&probe, b"ok\n").is_err() {
+        return; // still down; stay degraded
+    }
+    if shared.storage_down.swap(false, Ordering::SeqCst) {
+        eprintln!("noc-serve: storage healed; leaving read-only mode");
+        let resume: Vec<String> = {
+            let mut jobs = lock(&shared.jobs);
+            jobs.iter_mut()
+                .filter(|(_, e)| e.parked_by_storage && e.stage == Stage::Checkpointed)
+                .map(|(id, e)| {
+                    e.parked_by_storage = false;
+                    id.clone()
+                })
+                .collect()
+        };
+        for id in resume {
+            shared.queue.requeue(id);
+        }
     }
 }
 
@@ -511,7 +709,7 @@ fn run_one(shared: &Arc<Shared>, id: &str) {
         )
     };
     let dumps = dir.join("dumps");
-    let _ = std::fs::create_dir_all(&dumps);
+    let _ = shared.vfs.create_dir_all(&dumps);
     let job = spec.to_job(&dir, shared.opts.batch_width);
     let cb = {
         let progress = Arc::clone(&progress);
@@ -521,6 +719,7 @@ fn run_one(shared: &Arc<Shared>, id: &str) {
             progress.failed.store(p.failed, Ordering::Relaxed);
         }
     };
+    let job_vfs = Arc::clone(&shared.vfs);
     let result = rayon::catch_panic(|| {
         if attempt <= spec.fail_attempts {
             panic!(
@@ -532,6 +731,7 @@ fn run_one(shared: &Arc<Shared>, id: &str) {
             cancel: &token,
             progress: Some(&cb),
             dump_dir: &dumps,
+            vfs: Some(job_vfs),
         })
     });
     // Settle.
@@ -539,6 +739,12 @@ fn run_one(shared: &Arc<Shared>, id: &str) {
     let Some(e) = jobs.get_mut(id) else { return };
     match result {
         Ok(Ok(report)) => {
+            e.progress
+                .repaired
+                .fetch_add(report.repaired_lines, Ordering::Relaxed);
+            e.progress
+                .corrupt
+                .fetch_add(report.corrupt_lines, Ordering::Relaxed);
             shared.transition(e, id, Stage::Done, &report.summary);
             e.summary = Some(report.summary);
         }
@@ -548,7 +754,15 @@ fn run_one(shared: &Arc<Shared>, id: &str) {
             e.error = Some(err);
         }
         Ok(Err(JobError::Interrupted(reason))) => {
-            if reason == rayon::CancelReason::DeadlineExceeded {
+            if reason == rayon::CancelReason::StorageDegraded {
+                // The job's journal stopped accepting writes: park with
+                // every completed row intact (nothing is lost — the units
+                // that could not journal re-execute after the heal) and
+                // flip the service read-only. The probe write requeues it.
+                shared.transition(e, id, Stage::Checkpointed, "parked by storage fault");
+                e.parked_by_storage = true;
+                shared.mark_degraded(&format!("job {id}: persistent journal write failure"));
+            } else if reason == rayon::CancelReason::DeadlineExceeded {
                 let msg = format!("deadline exceeded ({} ms)", e.spec.deadline_ms.unwrap_or(0));
                 shared.transition(e, id, Stage::Failed, &msg);
                 e.error = Some(msg);
@@ -571,7 +785,10 @@ fn run_one(shared: &Arc<Shared>, id: &str) {
                     .str_field("panic", &panic_msg)
                     .str_field("dumps", &dumps.display().to_string())
                     .finish();
-                let _ = std::fs::write(&quarantine, format!("{body}\n"));
+                // Atomic: a half-written black box is worse than none.
+                let _ = shared
+                    .vfs
+                    .write_atomic(&quarantine, format!("{body}\n").as_bytes());
                 let msg = format!("quarantined after {} attempts: {panic_msg}", e.attempts);
                 shared.transition(e, id, Stage::Checkpointed, "panicked");
                 shared.transition(e, id, Stage::Failed, &msg);

@@ -1,15 +1,19 @@
 //! Integration tests for the in-process service: deadline expiry,
 //! retry-then-quarantine, queue-full load shedding, cancellation (with no
-//! resurrection across restarts), and content-address dedupe. All
-//! deterministic — panics are injected via the spec's `fail_attempts`
-//! hook, overload via `workers: 0`.
+//! resurrection across restarts), content-address dedupe, and storage
+//! faults (read-only DEGRADED mode, probe-write self-heal, journal repair
+//! on adoption). All deterministic — panics are injected via the spec's
+//! `fail_attempts` hook, overload via `workers: 0`, storage faults via a
+//! scheduled `noc_store::FaultVfs` passed to `Service::open_with_vfs`.
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use noc_experiments::jsonio;
 use noc_serve::{ServeOpts, Service, Stage, SubmitError};
+use noc_store::{FaultKind, FaultPlan, FaultVfs};
 
 fn tmpdir(tag: &str) -> PathBuf {
     let d = std::env::temp_dir().join(format!("noc_serve_{tag}_{}", std::process::id()));
@@ -273,6 +277,127 @@ fn drained_jobs_are_adopted_and_finish_after_restart() {
     assert_eq!(done.stage, Stage::Done);
     assert_eq!(done.done, 4);
     reborn.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// One point, one worker: every storage op lands at a deterministic index.
+///
+/// Op map (`FaultVfs` counts appends + atomic writes, never reads):
+///   0 spec.json · 1 state.jsonl acceptance · 2 RUNNING transition ·
+///   3-5 the row append and its two resync retries (stuck) ·
+///   6-8 the parked-by-storage transition retries (still stuck) ·
+///   9+ the self-heal probe writes, one per worker tick.
+const ONE_POINT: &str =
+    r#"{"kind": "sweep", "schemes": "SEEC", "transients": "0.0", "cycles": "2000"}"#;
+
+#[test]
+fn storage_fault_parks_job_degrades_service_and_self_heals() {
+    let dir = tmpdir("degraded");
+    let mut o = opts(&dir);
+    o.workers = 1;
+    let plan = FaultPlan::default()
+        .with_event(3, FaultKind::Stuck)
+        .with_event(40, FaultKind::Heal);
+    let vfs = FaultVfs::new(plan);
+    let service = Service::open_with_vfs(o, Arc::new(vfs)).unwrap();
+    let (status, created) = service.submit(&row(ONE_POINT)).unwrap();
+    assert!(created);
+
+    // The row append hits the stuck fault: the job parks (CHECKPOINTED,
+    // rows intact, token NOT latched) and the service flips read-only.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !service.storage_degraded() {
+        assert!(Instant::now() < deadline, "service never degraded");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let parked = service.status(&status.id).unwrap();
+    assert!(
+        !parked.stage.is_terminal(),
+        "storage fault must park, not fail: {}",
+        parked.stage
+    );
+    assert!(service.storage_detail().is_some());
+
+    // Read-only mode: new submissions are shed with the failure detail.
+    let other = r#"{"kind": "chaos", "seed": "1", "cases": "1", "pool": "smoke"}"#;
+    match service.submit(&row(other)) {
+        Err(SubmitError::StorageDegraded(why)) => {
+            assert!(!why.is_empty(), "degraded error names the failure");
+        }
+        other => panic!("expected StorageDegraded, got {other:?}"),
+    }
+
+    // The probe writes burn through the schedule to the heal event; the
+    // service then leaves read-only mode, requeues the parked job, and the
+    // sweep finishes with its journal intact.
+    let done = await_terminal(&service, &status.id);
+    assert_eq!(done.stage, Stage::Done, "{:?}", done.error);
+    assert_eq!(done.done, 1);
+    assert!(!service.storage_degraded(), "heal must clear DEGRADED");
+    assert!(service.storage_detail().is_none());
+    let rows = std::fs::read_to_string(service.rows_path(&done.id).unwrap()).unwrap();
+    assert_eq!(
+        rows.lines().filter(|l| !l.trim().is_empty()).count(),
+        1,
+        "{rows}"
+    );
+    // Post-heal the service accepts work again.
+    let (second, created) = service.submit(&row(other)).unwrap();
+    assert!(created);
+    let second = await_terminal(&service, &second.id);
+    assert_eq!(second.stage, Stage::Done, "{:?}", second.error);
+    service.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_state_journal_line_is_repaired_and_counted_on_adoption() {
+    let dir = tmpdir("state_repair");
+    let o = opts(&dir);
+    let service = Service::open(o.clone()).unwrap();
+    let (status, _) = service.submit(&row(ONE_POINT)).unwrap();
+    let done = await_terminal(&service, &status.id);
+    assert_eq!(done.stage, Stage::Done);
+    assert_eq!(done.repaired_lines, 0);
+    assert_eq!(done.corrupt_lines, 0);
+    service.drain();
+    drop(service);
+
+    // Flip one byte inside the final (DONE) transition record. The CRC
+    // trailer catches it: the next boot drops exactly that line, compacts
+    // the journal, and the job — whose believable history now ends at
+    // RUNNING — is adopted and re-run to completion from its row journal.
+    let state = dir.join("jobs").join(&status.id).join("state.jsonl");
+    let mut bytes = std::fs::read(&state).unwrap();
+    let line_starts: Vec<usize> = std::iter::once(0)
+        .chain(
+            bytes
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| **b == b'\n')
+                .map(|(i, _)| i + 1),
+        )
+        .collect();
+    let last_line = *line_starts
+        .iter()
+        .rev()
+        .find(|&&s| s < bytes.len())
+        .unwrap();
+    bytes[last_line + 10] ^= 0x20;
+    std::fs::write(&state, &bytes).unwrap();
+
+    let reborn = Service::open(o).unwrap();
+    let s = reborn.status(&status.id).expect("adopted");
+    assert_eq!(s.repaired_lines, 1, "exact accounting of the dropped line");
+    let redone = await_terminal(&reborn, &status.id);
+    assert_eq!(redone.stage, Stage::Done, "{:?}", redone.error);
+    // The journal was compacted: every surviving line verifies, so a third
+    // boot counts zero repairs.
+    reborn.drain();
+    drop(reborn);
+    let third = Service::open(opts(&dir)).unwrap();
+    assert_eq!(third.status(&status.id).unwrap().repaired_lines, 0);
+    third.drain();
     let _ = std::fs::remove_dir_all(&dir);
 }
 

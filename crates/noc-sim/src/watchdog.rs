@@ -295,14 +295,12 @@ impl BlackBox {
         &self.json
     }
 
-    /// Writes the dump to `path`, creating parent directories as needed.
+    /// Writes the dump to `path` atomically (temp + fsync + rename),
+    /// creating parent directories as needed. A dump that exists is whole:
+    /// a crash mid-write can never leave a half-rendered black box for the
+    /// schema tests (or a human mid-incident) to misread.
     pub fn write(&self, path: &std::path::Path) -> std::io::Result<()> {
-        if let Some(dir) = path.parent() {
-            if !dir.as_os_str().is_empty() {
-                std::fs::create_dir_all(dir)?;
-            }
-        }
-        std::fs::write(path, &self.json)
+        noc_store::active().write_atomic(path, self.json.as_bytes())
     }
 }
 

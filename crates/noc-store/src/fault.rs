@@ -1,0 +1,526 @@
+//! Scheduled storage-fault injection.
+//!
+//! [`FaultVfs`] wraps the production write paths with a deterministic,
+//! replayable fault plan, the same discipline as the simulator's
+//! `FaultSchedule`: every *write operation* (one `append` call or one
+//! `write_atomic` call) consumes one op index from a process-wide counter,
+//! and the plan decides what happens at that index. Reads are never
+//! faulted — corruption detection on the read side is exercised by the
+//! artifacts the faulted writes leave behind.
+//!
+//! Two sources feed a plan, validated eagerly by binaries (exit 2):
+//!
+//! * `NOC_VFS_FAULT_SCHEDULE="3:enospc,7:torn@12,9:rename,2:stuck,8:heal"`
+//!   — explicit op-indexed events;
+//! * `NOC_VFS_FAULT_SEED=42` — seeded pseudo-random faults for soaks.
+//!
+//! When both are set, explicit events win at their op index and the seed
+//! fills the rest. [`FaultPlan::canonical`] renders the plan to the exact
+//! string that reproduces it and [`FaultPlan::digest`] fingerprints it for
+//! repro records.
+
+use std::collections::BTreeMap;
+use std::io::{self, Write as _};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::vfs::{atomic_write_steps, AppendLog, StdVfs, Vfs};
+
+/// What happens to one write operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Fail with "no space left on device" before writing anything.
+    Enospc,
+    /// Fail with an I/O error before writing anything.
+    Eio,
+    /// Write only the first `n` bytes, then fail: a torn write.
+    Torn(u32),
+    /// Sleep this many milliseconds, then write normally.
+    Slow(u64),
+    /// Stage the artifact fully but fail the publishing rename
+    /// (whole-file writes; behaves like [`FaultKind::Eio`] on appends).
+    RenameFail,
+    /// From this op onward every write fails — a persistently broken disk
+    /// — until a [`FaultKind::Heal`] event.
+    Stuck,
+    /// Clear a [`FaultKind::Stuck`] condition; this op then succeeds.
+    Heal,
+}
+
+impl FaultKind {
+    fn parse(code: &str) -> Result<FaultKind, String> {
+        let (name, arg) = match code.split_once('@') {
+            Some((n, a)) => (n, Some(a)),
+            None => (code, None),
+        };
+        let need_no_arg = |kind: FaultKind| match arg {
+            None => Ok(kind),
+            Some(a) => Err(format!("fault kind '{name}' takes no '@{a}' argument")),
+        };
+        match name {
+            "enospc" => need_no_arg(FaultKind::Enospc),
+            "eio" => need_no_arg(FaultKind::Eio),
+            "rename" => need_no_arg(FaultKind::RenameFail),
+            "stuck" => need_no_arg(FaultKind::Stuck),
+            "heal" => need_no_arg(FaultKind::Heal),
+            "torn" => {
+                let a = arg.ok_or("fault kind 'torn' needs '@<bytes>'")?;
+                let n: u32 = a
+                    .parse()
+                    .map_err(|_| format!("bad torn byte offset '{a}'"))?;
+                Ok(FaultKind::Torn(n))
+            }
+            "slow" => {
+                let a = arg.ok_or("fault kind 'slow' needs '@<millis>'")?;
+                let ms: u64 = a.parse().map_err(|_| format!("bad slow millis '{a}'"))?;
+                Ok(FaultKind::Slow(ms))
+            }
+            other => Err(format!(
+                "unknown fault kind '{other}' (expected enospc|eio|torn@N|slow@MS|rename|stuck|heal)"
+            )),
+        }
+    }
+
+    fn canonical(self) -> String {
+        match self {
+            FaultKind::Enospc => "enospc".to_string(),
+            FaultKind::Eio => "eio".to_string(),
+            FaultKind::Torn(n) => format!("torn@{n}"),
+            FaultKind::Slow(ms) => format!("slow@{ms}"),
+            FaultKind::RenameFail => "rename".to_string(),
+            FaultKind::Stuck => "stuck".to_string(),
+            FaultKind::Heal => "heal".to_string(),
+        }
+    }
+}
+
+/// One scheduled event: at write op `op` (0-based), do `kind`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// 0-based index into the process's write-operation sequence.
+    pub op: u64,
+    /// What to inject there.
+    pub kind: FaultKind,
+}
+
+/// A validated, canonicalizable fault plan.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    events: BTreeMap<u64, FaultKind>,
+    seed: Option<u64>,
+}
+
+impl FaultPlan {
+    /// Parses an explicit `op:kind[,op:kind...]` schedule string.
+    pub fn parse_schedule(s: &str) -> Result<FaultPlan, String> {
+        if s.trim().is_empty() {
+            return Err("empty fault schedule".to_string());
+        }
+        let mut events = BTreeMap::new();
+        for part in s.split(',') {
+            let part = part.trim();
+            let (op_s, code) = part
+                .split_once(':')
+                .ok_or_else(|| format!("bad fault event '{part}' (expected op:kind)"))?;
+            let op: u64 = op_s
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad op index '{op_s}' in '{part}'"))?;
+            let kind = FaultKind::parse(code.trim())?;
+            if events.insert(op, kind).is_some() {
+                return Err(format!("duplicate fault event for op {op}"));
+            }
+        }
+        Ok(FaultPlan { events, seed: None })
+    }
+
+    /// Builds a plan from the two environment knobs (either may be unset).
+    /// `Ok(None)` means no fault injection is configured. Errors are the
+    /// messages binaries print before exiting with status 2.
+    pub fn from_env(
+        schedule: Option<&str>,
+        seed: Option<&str>,
+    ) -> Result<Option<FaultPlan>, String> {
+        let mut plan = match schedule {
+            Some(s) => Some(
+                FaultPlan::parse_schedule(s).map_err(|e| format!("NOC_VFS_FAULT_SCHEDULE: {e}"))?,
+            ),
+            None => None,
+        };
+        if let Some(s) = seed {
+            let n: u64 = s
+                .trim()
+                .parse()
+                .map_err(|_| format!("NOC_VFS_FAULT_SEED: '{s}' is not an unsigned integer"))?;
+            plan.get_or_insert_with(FaultPlan::default).seed = Some(n);
+        }
+        Ok(plan)
+    }
+
+    /// Adds one explicit event (test/soak construction path).
+    #[must_use]
+    pub fn with_event(mut self, op: u64, kind: FaultKind) -> FaultPlan {
+        self.events.insert(op, kind);
+        self
+    }
+
+    /// Seeded-random plan with no explicit events.
+    #[must_use]
+    pub fn seeded(seed: u64) -> FaultPlan {
+        FaultPlan {
+            events: BTreeMap::new(),
+            seed: Some(seed),
+        }
+    }
+
+    /// The exact string that reproduces this plan: the explicit events in
+    /// op order (the `NOC_VFS_FAULT_SCHEDULE` syntax), then `seed=N` if a
+    /// seed participates.
+    pub fn canonical(&self) -> String {
+        let mut parts: Vec<String> = self
+            .events
+            .iter()
+            .map(|(op, kind)| format!("{op}:{}", kind.canonical()))
+            .collect();
+        if let Some(seed) = self.seed {
+            parts.push(format!("seed={seed}"));
+        }
+        parts.join(",")
+    }
+
+    /// FNV-1a fingerprint of [`FaultPlan::canonical`], for repro records.
+    pub fn digest(&self) -> u64 {
+        crate::fnv1a(self.canonical().as_bytes())
+    }
+
+    /// What this plan injects at write op `op`, if anything. Explicit
+    /// events win; otherwise the seed draws deterministically per op
+    /// (≈1-in-8 fault rate over {enospc, eio, torn, slow@1}).
+    pub fn kind_at(&self, op: u64) -> Option<FaultKind> {
+        if let Some(&k) = self.events.get(&op) {
+            return Some(k);
+        }
+        let seed = self.seed?;
+        let r = splitmix64(seed ^ op.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        if !r.is_multiple_of(8) {
+            return None;
+        }
+        Some(match (r >> 3) % 4 {
+            0 => FaultKind::Enospc,
+            1 => FaultKind::Eio,
+            2 => FaultKind::Torn(u32::try_from((r >> 5) % 64).unwrap_or(0)),
+            _ => FaultKind::Slow(1),
+        })
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn enospc(op: u64) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::StorageFull,
+        format!("injected ENOSPC at write op {op}"),
+    )
+}
+
+fn eio(op: u64) -> io::Error {
+    io::Error::other(format!("injected EIO at write op {op}"))
+}
+
+fn stuck_err(op: u64) -> io::Error {
+    io::Error::other(format!("injected persistent write failure at op {op}"))
+}
+
+/// Shared mutable state of one [`FaultVfs`]: the write-op counter and the
+/// sticky broken-disk flag.
+#[derive(Debug)]
+struct FaultState {
+    plan: FaultPlan,
+    ops: AtomicU64,
+    stuck: AtomicBool,
+}
+
+impl FaultState {
+    /// Claims the next op index and resolves what to inject there,
+    /// applying the sticky stuck/heal transitions.
+    fn next_op(&self) -> (u64, Option<FaultKind>) {
+        let op = self.ops.fetch_add(1, Ordering::SeqCst);
+        let kind = self.plan.kind_at(op);
+        match kind {
+            Some(FaultKind::Stuck) => {
+                self.stuck.store(true, Ordering::SeqCst);
+                return (op, Some(FaultKind::Stuck));
+            }
+            Some(FaultKind::Heal) => {
+                self.stuck.store(false, Ordering::SeqCst);
+                return (op, None); // the healing op itself succeeds
+            }
+            _ => {}
+        }
+        if self.stuck.load(Ordering::SeqCst) {
+            return (op, Some(FaultKind::Stuck));
+        }
+        (op, kind)
+    }
+}
+
+/// A [`Vfs`] that injects the plan's faults into every write operation.
+#[derive(Clone, Debug)]
+pub struct FaultVfs {
+    state: Arc<FaultState>,
+}
+
+impl FaultVfs {
+    /// Wraps the production write paths with `plan`.
+    #[must_use]
+    pub fn new(plan: FaultPlan) -> FaultVfs {
+        FaultVfs {
+            state: Arc::new(FaultState {
+                plan,
+                ops: AtomicU64::new(0),
+                stuck: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// Write operations performed so far (the next op index). A probe run
+    /// reads this to enumerate the write sites a workload touches.
+    pub fn ops(&self) -> u64 {
+        self.state.ops.load(Ordering::SeqCst)
+    }
+
+    /// The plan this instance replays.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.state.plan
+    }
+}
+
+struct FaultAppend {
+    inner: Box<dyn AppendLog>,
+    state: Arc<FaultState>,
+}
+
+impl AppendLog for FaultAppend {
+    fn append(&mut self, data: &[u8]) -> io::Result<()> {
+        let (op, kind) = self.state.next_op();
+        match kind {
+            // next_op maps Heal to None, so the Heal arm is unreachable;
+            // folding it in here keeps the match exhaustive regardless.
+            None | Some(FaultKind::Heal) => self.inner.append(data),
+            Some(FaultKind::Slow(ms)) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                self.inner.append(data)
+            }
+            Some(FaultKind::Torn(n)) => {
+                let cut = (n as usize).min(data.len());
+                // The torn prefix really lands in the journal; the caller
+                // sees an error with bytes-written unknown.
+                let _ = self.inner.append(&data[..cut]);
+                Err(eio(op))
+            }
+            Some(FaultKind::Enospc) => Err(enospc(op)),
+            Some(FaultKind::Stuck) => Err(stuck_err(op)),
+            Some(FaultKind::Eio | FaultKind::RenameFail) => Err(eio(op)),
+        }
+    }
+}
+
+impl Vfs for FaultVfs {
+    fn read_to_string(&self, path: &Path) -> io::Result<String> {
+        StdVfs.read_to_string(path)
+    }
+
+    fn write_atomic(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        let (op, kind) = self.state.next_op();
+        match kind {
+            // Heal is unreachable here (next_op maps it to None).
+            None | Some(FaultKind::Heal) => StdVfs.write_atomic(path, data),
+            Some(FaultKind::Slow(ms)) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                StdVfs.write_atomic(path, data)
+            }
+            Some(FaultKind::Enospc) => Err(enospc(op)),
+            Some(FaultKind::Eio) => Err(eio(op)),
+            Some(FaultKind::Stuck) => Err(stuck_err(op)),
+            Some(FaultKind::Torn(n)) => {
+                // The tear hits the *temp* file; the target must never see
+                // a partial artifact. atomic_write_steps removes the temp
+                // and surfaces the error.
+                let cut = (n as usize).min(data.len());
+                atomic_write_steps(
+                    path,
+                    data,
+                    &|f, d| {
+                        f.write_all(&d[..cut])?;
+                        Err(eio(op))
+                    },
+                    true,
+                )
+            }
+            Some(FaultKind::RenameFail) => {
+                atomic_write_steps(path, data, &|f, d| f.write_all(d), false)
+            }
+        }
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn AppendLog>> {
+        let inner = StdVfs.open_append(path)?;
+        Ok(Box::new(FaultAppend {
+            inner,
+            state: Arc::clone(&self.state),
+        }))
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        StdVfs.create_dir_all(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("noc_fault_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn schedule_parses_and_round_trips_canonically() {
+        let plan =
+            FaultPlan::parse_schedule("7:torn@12, 3:enospc ,9:rename,2:stuck,8:heal").unwrap();
+        assert_eq!(
+            plan.canonical(),
+            "2:stuck,3:enospc,7:torn@12,8:heal,9:rename"
+        );
+        let again = FaultPlan::parse_schedule(&plan.canonical()).unwrap();
+        assert_eq!(again, plan);
+        assert_eq!(again.digest(), plan.digest());
+    }
+
+    #[test]
+    fn schedule_rejects_garbage() {
+        for bad in [
+            "",
+            "x:enospc",
+            "3:whatever",
+            "3:torn",
+            "3:torn@many",
+            "3:slow",
+            "3:enospc@5",
+            "3enospc",
+            "3:enospc,3:eio",
+        ] {
+            assert!(FaultPlan::parse_schedule(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn from_env_combines_schedule_and_seed() {
+        assert_eq!(FaultPlan::from_env(None, None).unwrap(), None);
+        let p = FaultPlan::from_env(Some("0:eio"), Some("9"))
+            .unwrap()
+            .unwrap();
+        assert_eq!(p.canonical(), "0:eio,seed=9");
+        assert!(FaultPlan::from_env(Some("nope"), None).is_err());
+        assert!(FaultPlan::from_env(None, Some("-1")).is_err());
+        assert!(FaultPlan::from_env(None, Some("12x")).is_err());
+    }
+
+    #[test]
+    fn seeded_draws_are_deterministic() {
+        let a = FaultPlan::seeded(42);
+        let b = FaultPlan::seeded(42);
+        let c = FaultPlan::seeded(43);
+        let draws_a: Vec<_> = (0..256).map(|op| a.kind_at(op)).collect();
+        let draws_b: Vec<_> = (0..256).map(|op| b.kind_at(op)).collect();
+        let draws_c: Vec<_> = (0..256).map(|op| c.kind_at(op)).collect();
+        assert_eq!(draws_a, draws_b);
+        assert_ne!(draws_a, draws_c);
+        assert!(
+            draws_a.iter().any(Option::is_some),
+            "seed 42 injects nothing in 256 ops"
+        );
+        assert!(
+            draws_a.iter().any(Option::is_none),
+            "seed 42 faults every op"
+        );
+    }
+
+    #[test]
+    fn torn_append_leaves_a_real_prefix() {
+        let dir = tmpdir("torn");
+        let path = dir.join("j.jsonl");
+        let vfs = FaultVfs::new(FaultPlan::default().with_event(1, FaultKind::Torn(4)));
+        let mut log = vfs.open_append(&path).unwrap();
+        log.append(b"first line\n").unwrap();
+        let err = log.append(b"second line\n").unwrap_err();
+        assert!(err.to_string().contains("injected"), "{err}");
+        log.append(b"third line\n").unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            "first line\nsecothird line\n"
+        );
+        assert_eq!(vfs.ops(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn faulted_atomic_write_never_publishes_partial_content() {
+        let dir = tmpdir("atomic");
+        let path = dir.join("artifact.json");
+        let vfs = FaultVfs::new(
+            FaultPlan::default()
+                .with_event(1, FaultKind::Torn(3))
+                .with_event(2, FaultKind::RenameFail)
+                .with_event(3, FaultKind::Enospc),
+        );
+        vfs.write_atomic(&path, b"good").unwrap();
+        for _ in 0..3 {
+            let _ = vfs.write_atomic(&path, b"evil").unwrap_err();
+            assert_eq!(std::fs::read_to_string(&path).unwrap(), "good");
+        }
+        // No temp-file litter either.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(std::result::Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        // ENOSPC is distinguishable for operators.
+        let err = FaultVfs::new(FaultPlan::default().with_event(0, FaultKind::Enospc))
+            .write_atomic(&path, b"x")
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stuck_persists_until_heal() {
+        let dir = tmpdir("stuck");
+        let path = dir.join("a.txt");
+        let vfs = FaultVfs::new(
+            FaultPlan::default()
+                .with_event(1, FaultKind::Stuck)
+                .with_event(4, FaultKind::Heal),
+        );
+        vfs.write_atomic(&path, b"0").unwrap(); // op 0
+        let _ = vfs.write_atomic(&path, b"1").unwrap_err(); // op 1: goes stuck
+        let _ = vfs.write_atomic(&path, b"2").unwrap_err(); // op 2: still stuck
+        let _ = vfs.write_atomic(&path, b"3").unwrap_err(); // op 3: still stuck
+        vfs.write_atomic(&path, b"4").unwrap(); // op 4: heal succeeds
+        vfs.write_atomic(&path, b"5").unwrap(); // op 5: healthy again
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "5");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,169 @@
+//! CRC32 record framing for JSONL journals.
+//!
+//! A sealed record is the payload line followed by a `#c=xxxxxxxx` trailer
+//! (CRC32/IEEE of the payload bytes, 8 lowercase hex digits). The trailer
+//! lives *outside* the JSON, which is what makes single-byte corruption
+//! detectable everywhere: a flat JSON line must end with `}`, a sealed line
+//! must end with a well-formed trailer, and any flip lands in one of three
+//! detected buckets — CRC mismatch, malformed trailer, or a line that is
+//! neither `}`-terminated JSON nor a sealed record.
+
+/// CRC32 (IEEE 802.3, reflected), table-driven.
+pub fn crc32(data: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = build_table();
+    let mut crc = !0u32;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xff) as usize];
+    }
+    !crc
+}
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xedb8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// The trailer marker. Chosen so it can never terminate a flat JSON line
+/// (those end with `}`), which keeps legacy journals unambiguous.
+const MARKER: &str = "#c=";
+
+/// Seals one record: `payload#c=<crc32 of payload, 8 hex digits>`.
+/// `payload` must not contain a newline (it is one journal line).
+pub fn seal_line(payload: &str) -> String {
+    debug_assert!(!payload.contains('\n'), "journal records are single lines");
+    format!("{payload}{MARKER}{:08x}", crc32(payload.as_bytes()))
+}
+
+/// Verdict of [`open_line`] on one journal line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LineCheck<'a> {
+    /// A sealed record whose CRC verifies; the payload with the trailer
+    /// stripped.
+    Sealed(&'a str),
+    /// No trailer at all: a record from a pre-CRC journal. The caller
+    /// decides whether its parser accepts it (and counts it separately).
+    Legacy(&'a str),
+    /// A trailer is present but malformed, or the CRC does not match: the
+    /// record is corrupt and must never be parsed as data.
+    Corrupt,
+}
+
+/// Checks one journal line against its trailer. The *last* occurrence of
+/// the marker is the trailer (the payload may contain the marker bytes
+/// inside a JSON string).
+pub fn open_line(line: &str) -> LineCheck<'_> {
+    let Some(at) = line.rfind(MARKER) else {
+        return LineCheck::Legacy(line);
+    };
+    let (payload, trailer) = line.split_at(at);
+    let hex = &trailer[MARKER.len()..];
+    if hex.len() != 8
+        || !hex
+            .bytes()
+            .all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase())
+    {
+        return LineCheck::Corrupt;
+    }
+    let Ok(expect) = u32::from_str_radix(hex, 16) else {
+        return LineCheck::Corrupt;
+    };
+    if crc32(payload.as_bytes()) == expect {
+        LineCheck::Sealed(payload)
+    } else {
+        LineCheck::Corrupt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn seal_then_open_round_trips() {
+        for payload in ["", "{\"a\": 1}", "text with #c= inside", "{\"k\": \"v\"}"] {
+            let sealed = seal_line(payload);
+            assert_eq!(open_line(&sealed), LineCheck::Sealed(payload), "{payload}");
+        }
+    }
+
+    #[test]
+    fn unsealed_json_is_legacy_not_corrupt() {
+        assert_eq!(open_line("{\"a\": 1}"), LineCheck::Legacy("{\"a\": 1}"));
+        assert_eq!(open_line(""), LineCheck::Legacy(""));
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        // The core durability property: flip any single byte of a sealed
+        // record (any position, any new value) and the line must come back
+        // either Corrupt, or Legacy-with-unparseable-payload — never a
+        // clean Sealed with different bytes.
+        let payload = r#"{"key": "abc", "status": "ok", "n": 42}"#;
+        let sealed = seal_line(payload);
+        let bytes = sealed.as_bytes();
+        for i in 0..bytes.len() {
+            for flip in [0x01u8, 0x20, 0x80] {
+                let mut mutated = bytes.to_vec();
+                mutated[i] ^= flip;
+                let Ok(line) = std::str::from_utf8(&mutated) else {
+                    continue; // invalid UTF-8 never reaches the parser
+                };
+                match open_line(line) {
+                    LineCheck::Sealed(p) => {
+                        panic!("flip at {i} (^{flip:#x}) accepted as sealed: {p:?}")
+                    }
+                    LineCheck::Corrupt => {}
+                    LineCheck::Legacy(l) => {
+                        // Only reachable when the flip destroyed the
+                        // marker; the payload then still carries the
+                        // trailer bytes and cannot end with '}'.
+                        assert!(
+                            !l.ends_with('}'),
+                            "flip at {i} looks like clean JSON: {l:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_seals_are_corrupt_or_non_json() {
+        let sealed = seal_line(r#"{"key": "abc"}"#);
+        for cut in 1..sealed.len() {
+            let torn = &sealed[..cut];
+            match open_line(torn) {
+                LineCheck::Sealed(_) => panic!("torn at {cut} accepted"),
+                LineCheck::Corrupt => {}
+                LineCheck::Legacy(l) => {
+                    assert!(
+                        !l.ends_with('}') || l.len() == sealed.rfind(MARKER).unwrap(),
+                        "torn at {cut} could parse as a full record: {l:?}"
+                    );
+                }
+            }
+        }
+    }
+}

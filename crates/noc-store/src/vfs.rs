@@ -1,0 +1,301 @@
+//! The virtual filesystem the persistence paths write through.
+//!
+//! [`StdVfs`] is the production implementation: whole-file artifacts are
+//! written to a temp file, fsync'd, atomically renamed into place, and the
+//! containing directory is fsync'd (Linux) so the rename itself is durable.
+//! Appends (`*.jsonl` journals) are `write_all` + flush per record.
+//!
+//! [`crate::FaultVfs`] wraps the same operations with scheduled fault
+//! injection; [`active`] picks between them from the `NOC_VFS_FAULT_*`
+//! environment knobs once per process.
+
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// An open append-only journal handle.
+pub trait AppendLog: Send {
+    /// Appends `data` (`write_all` + flush). On error the number of bytes
+    /// that actually landed is unknown — callers recover with the
+    /// newline-resync protocol (see `noc_experiments::sweep::Checkpoint`),
+    /// never by blindly re-appending.
+    fn append(&mut self, data: &[u8]) -> io::Result<()>;
+}
+
+/// The filesystem operations every persistence path goes through.
+pub trait Vfs: Send + Sync {
+    /// Reads a whole file to a string.
+    fn read_to_string(&self, path: &Path) -> io::Result<String>;
+
+    /// Writes a whole-file artifact atomically: temp file in the same
+    /// directory, `write_all`, fsync, rename over `path`, directory fsync.
+    /// A crash at any point leaves either the old file or the new one —
+    /// never a torn hybrid.
+    fn write_atomic(&self, path: &Path, data: &[u8]) -> io::Result<()>;
+
+    /// Opens (creating as needed) an append-only journal.
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn AppendLog>>;
+
+    /// `std::fs::create_dir_all`.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+
+    /// Whether `path` exists.
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+/// The production [`Vfs`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StdVfs;
+
+/// Unique-per-call temp-file suffix so concurrent atomic writers of the
+/// same artifact never collide on the temp name.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// The temp-file path `write_atomic` stages into, visible so fault tests
+/// can assert a failed rename left the target untouched.
+pub(crate) fn tmp_path(path: &Path) -> PathBuf {
+    let name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("artifact");
+    let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    path.with_file_name(format!(".{name}.tmp.{}.{seq}", std::process::id()))
+}
+
+/// Fsync the directory containing `path` so a just-performed rename is
+/// durable (Linux semantics). Errors are reported: an undurable rename is
+/// a storage fault, not a detail.
+fn fsync_parent(path: &Path) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::File::open(dir)?.sync_all()?;
+        }
+    }
+    Ok(())
+}
+
+/// The shared atomic-write sequence, also used by [`crate::FaultVfs`] with
+/// fault hooks at the write and rename steps.
+pub(crate) fn atomic_write_steps(
+    path: &Path,
+    data: &[u8],
+    write_hook: &dyn Fn(&mut std::fs::File, &[u8]) -> io::Result<()>,
+    rename_ok: bool,
+) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let tmp = tmp_path(path);
+    let staged = (|| -> io::Result<()> {
+        let mut f = std::fs::File::create(&tmp)?;
+        write_hook(&mut f, data)?;
+        f.sync_all()
+    })();
+    if let Err(e) = staged {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    if !rename_ok {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(io::Error::other(format!(
+            "injected rename failure publishing {}",
+            path.display()
+        )));
+    }
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    fsync_parent(path)
+}
+
+struct StdAppend {
+    file: std::fs::File,
+}
+
+impl AppendLog for StdAppend {
+    fn append(&mut self, data: &[u8]) -> io::Result<()> {
+        self.file.write_all(data)?;
+        self.file.flush()
+    }
+}
+
+impl Vfs for StdVfs {
+    fn read_to_string(&self, path: &Path) -> io::Result<String> {
+        std::fs::read_to_string(path)
+    }
+
+    fn write_atomic(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        atomic_write_steps(path, data, &|f, d| f.write_all(d), true)
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn AppendLog>> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(Box::new(StdAppend { file }))
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(path)
+    }
+}
+
+/// Bounded retry with capped exponential backoff: attempt `n` (1-based)
+/// sleeps `base_ms << (n-1)` before retrying, capped at 64× the base.
+/// The write paths use this before escalating a storage failure.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts (including the first).
+    pub attempts: u32,
+    /// Backoff base in milliseconds.
+    pub base_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 3,
+            base_ms: 5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Runs `op` (receiving the 1-based attempt number) up to
+    /// [`RetryPolicy::attempts`] times, sleeping the capped backoff between
+    /// attempts. Returns the first success or the last error.
+    pub fn run<T>(&self, mut op: impl FnMut(u32) -> io::Result<T>) -> io::Result<T> {
+        let attempts = self.attempts.max(1);
+        let mut last = None;
+        for n in 1..=attempts {
+            match op(n) {
+                Ok(v) => return Ok(v),
+                Err(e) => last = Some(e),
+            }
+            if n < attempts {
+                let factor = 1u64 << (u64::from(n - 1)).min(6); // capped 64x
+                std::thread::sleep(std::time::Duration::from_millis(
+                    self.base_ms.saturating_mul(factor),
+                ));
+            }
+        }
+        Err(last.unwrap_or_else(|| io::Error::other("retry with zero attempts")))
+    }
+}
+
+/// [`RetryPolicy::run`] with the default policy.
+pub fn with_retry<T>(op: impl FnMut(u32) -> io::Result<T>) -> io::Result<T> {
+    RetryPolicy::default().run(op)
+}
+
+static ACTIVE: OnceLock<Arc<dyn Vfs>> = OnceLock::new();
+
+/// The process-wide [`Vfs`], chosen once from the environment:
+/// [`crate::FaultVfs`] when `NOC_VFS_FAULT_SCHEDULE` or
+/// `NOC_VFS_FAULT_SEED` is set (binaries validate both eagerly and exit 2
+/// on garbage), [`StdVfs`] otherwise. Tests that need a specific fault
+/// plan construct their own `FaultVfs` and pass it explicitly instead.
+pub fn active() -> Arc<dyn Vfs> {
+    Arc::clone(ACTIVE.get_or_init(|| {
+        match crate::FaultPlan::from_env(
+            std::env::var("NOC_VFS_FAULT_SCHEDULE").ok().as_deref(),
+            std::env::var("NOC_VFS_FAULT_SEED").ok().as_deref(),
+        ) {
+            Ok(Some(plan)) => Arc::new(crate::FaultVfs::new(plan)),
+            Ok(None) => Arc::new(StdVfs),
+            // Binaries validate eagerly at startup; reaching this panic
+            // means a library consumer skipped that gate.
+            Err(e) => panic!("invalid storage-fault configuration: {e}"),
+        }
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("noc_store_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_temp() {
+        let dir = tmpdir("atomic");
+        let path = dir.join("artifact.json");
+        let vfs = StdVfs;
+        vfs.write_atomic(&path, b"first\n").unwrap();
+        assert_eq!(vfs.read_to_string(&path).unwrap(), "first\n");
+        vfs.write_atomic(&path, b"second\n").unwrap();
+        assert_eq!(vfs.read_to_string(&path).unwrap(), "second\n");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(std::result::Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn atomic_write_creates_parent_directories() {
+        let dir = tmpdir("parents");
+        let path = dir.join("a/b/c.json");
+        StdVfs.write_atomic(&path, b"x").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "x");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn append_log_accumulates_records() {
+        let dir = tmpdir("append");
+        let path = dir.join("j.jsonl");
+        let vfs = StdVfs;
+        let mut log = vfs.open_append(&path).unwrap();
+        log.append(b"one\n").unwrap();
+        log.append(b"two\n").unwrap();
+        drop(log);
+        // Re-opening appends, never truncates.
+        let mut log = vfs.open_append(&path).unwrap();
+        log.append(b"three\n").unwrap();
+        assert_eq!(vfs.read_to_string(&path).unwrap(), "one\ntwo\nthree\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retry_backs_off_and_surfaces_the_last_error() {
+        let policy = RetryPolicy {
+            attempts: 3,
+            base_ms: 0,
+        };
+        let mut seen = Vec::new();
+        let out = policy.run(|n| {
+            seen.push(n);
+            if n < 3 {
+                Err(io::Error::other(format!("boom {n}")))
+            } else {
+                Ok(n * 10)
+            }
+        });
+        assert_eq!(out.unwrap(), 30);
+        assert_eq!(seen, vec![1, 2, 3]);
+        let err = policy
+            .run::<()>(|n| Err(io::Error::other(format!("always {n}"))))
+            .unwrap_err();
+        assert!(err.to_string().contains("always 3"), "{err}");
+    }
+}

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Storage-fault smoke for the injectable I/O layer (CI `storage-chaos-smoke`).
+#
+#   1. garbage NOC_VFS_FAULT_SCHEDULE / NOC_VFS_FAULT_SEED must be refused
+#      at boot with exit 2 (eager validation, never a silent fault-free run);
+#   2. the storage_chaos soak enumerates every write op of its reference
+#      workload and, for each (write op x fault kind) combination — ENOSPC,
+#      EIO, torn write, failed rename, crash-after-partial-write — injects
+#      exactly that fault, restarts on healthy storage, and requires the
+#      recovered row set to be byte-identical to an uninterrupted run's;
+#   3. any divergence leaves a repro file (the exact NOC_VFS_FAULT_SCHEDULE
+#      to replay it) in the output directory for CI to upload.
+#
+# Time-boxed via --max-sites (first N write ops x 5 kinds) plus a hard
+# timeout; override the binary with NOC_STORAGE_CHAOS_BIN, the output
+# directory with OUT, the site cap with MAX_SITES.
+set -euo pipefail
+
+BIN=${NOC_STORAGE_CHAOS_BIN:-target/release/storage_chaos}
+OUT=${OUT:-storage_chaos_out}
+MAX_SITES=${MAX_SITES:-4}
+TIMEOUT_S=${TIMEOUT_S:-240}
+
+[ -x "$BIN" ] || {
+  echo "FAIL: $BIN not built (cargo build --release -p noc-experiments --bin storage_chaos)"
+  exit 1
+}
+
+fail() { echo "FAIL: $*"; exit 1; }
+
+# 1. Eager validation: garbage knobs are a boot-time configuration error.
+set +e
+NOC_VFS_FAULT_SCHEDULE="nonsense" "$BIN" --out "$OUT.reject" >/dev/null 2>&1
+[ $? -eq 2 ] || fail "garbage NOC_VFS_FAULT_SCHEDULE must exit 2"
+NOC_VFS_FAULT_SEED="-3" "$BIN" --out "$OUT.reject" >/dev/null 2>&1
+[ $? -eq 2 ] || fail "garbage NOC_VFS_FAULT_SEED must exit 2"
+set -e
+[ ! -d "$OUT.reject" ] || fail "rejected run must not perform I/O"
+
+# 2. The soak proper: every fault at the first $MAX_SITES write ops.
+rm -rf "$OUT"
+timeout "$TIMEOUT_S" "$BIN" --out "$OUT" --max-sites "$MAX_SITES" \
+  || fail "storage_chaos reported a divergence (repros in $OUT)"
+
+# 3. The report must exist, be whole, and say pass.
+[ -s "$OUT/storage_chaos.json" ] || fail "missing $OUT/storage_chaos.json"
+grep -q '"verdict": "pass"' "$OUT/storage_chaos.json" \
+  || fail "report verdict is not pass: $(cat "$OUT/storage_chaos.json")"
+ls "$OUT"/repro_* >/dev/null 2>&1 && fail "pass verdict but repro files present"
+
+echo "PASS: storage-chaos smoke ($(grep -o '"combos": [0-9]*' "$OUT/storage_chaos.json" \
+  | grep -o '[0-9]*') fault combinations recovered byte-identically)"
