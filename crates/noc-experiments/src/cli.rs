@@ -35,6 +35,12 @@
 /// integer; garbage aborts with exit status 2 before any I/O happens.
 /// When both are set, explicit schedule events win at their op index and
 /// the seed fills the rest. Unset means no fault injection (`StdVfs`).
+///
+/// The network-fault knobs follow suit (see [`validate_net_env`]):
+/// `NOC_NET_FAULT_SCHEDULE` / `NOC_NET_FAULT_SEED` are checked here so a
+/// garbage value aborts with exit status 2 before any socket opens, even
+/// in binaries that never touch the network (a typo'd knob should fail
+/// loudly, not be ignored by the one binary that happens not to read it).
 pub fn args() -> Vec<String> {
     let env = match rayon::env_threads() {
         Ok(v) => v,
@@ -48,6 +54,10 @@ pub fn args() -> Vec<String> {
         std::process::exit(2);
     }
     if let Err(e) = validate_vfs_env() {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+    if let Err(e) = validate_net_env() {
         eprintln!("error: {e}");
         std::process::exit(2);
     }
@@ -91,4 +101,13 @@ pub fn validate_vfs_env() -> Result<(), String> {
         std::env::var("NOC_VFS_FAULT_SEED").ok().as_deref(),
     )
     .map(|_| ())
+}
+
+/// Eagerly validates the `NOC_NET_FAULT_SCHEDULE` / `NOC_NET_FAULT_SEED`
+/// environment knobs — the network twin of [`validate_vfs_env`], same
+/// contract: unset means "no fault injection", garbage is an error for
+/// the caller to turn into exit status 2, never a silent fallback to a
+/// fault-free transport.
+pub fn validate_net_env() -> Result<(), String> {
+    noc_net::validate_env()
 }

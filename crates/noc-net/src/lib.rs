@@ -1,0 +1,22 @@
+//! Deterministic, replayable network-fault injection over `std::net`.
+//!
+//! The network twin of `noc-store`'s `FaultVfs`: a [`Transport`] wraps
+//! every connection operation (connect, accept, read, write) and replays a
+//! [`NetFaultPlan`] against the endpoint's op counter. With no plan
+//! configured the transport is a zero-overhead passthrough, so production
+//! paths pay one `Option` branch per op and nothing else.
+//!
+//! Fault kinds: connection resets, torn reads/writes at byte offset *n*,
+//! slow trickle, admission failures, and a sticky partition with heal.
+//! Plans come from `NOC_NET_FAULT_SCHEDULE` (explicit `op:kind` events)
+//! and/or `NOC_NET_FAULT_SEED` (splitmix64 draws), explicit-event-wins,
+//! both validated eagerly by binaries (exit 2 on garbage) via
+//! [`validate_env`].
+
+#![forbid(unsafe_code)]
+
+mod fault;
+mod plan;
+
+pub use fault::{active, validate_env, FaultListener, FaultNet, FaultStream, Transport};
+pub use plan::{NetFaultEvent, NetFaultKind, NetFaultPlan};

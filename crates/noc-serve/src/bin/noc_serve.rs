@@ -4,15 +4,18 @@
 //! ```text
 //! noc_serve --data-dir DIR [--addr 127.0.0.1:0] [--workers N]
 //!           [--queue-cap N] [--retry-base-ms MS] [--max-attempts N]
+//!           [--max-conns N] [--request-deadline-ms MS]
 //! ```
 //!
 //! Environment knobs are validated **eagerly** (exit status 2 on garbage,
 //! matching the experiment binaries): `NOC_THREADS` (worker parallelism
 //! inside a sweep), `NOC_BATCH_WIDTH` (lockstep lanes; precedence:
-//! explicit service width > `NOC_BATCH_WIDTH` > default 4), and the
-//! storage-fault knobs `NOC_VFS_FAULT_SCHEDULE` / `NOC_VFS_FAULT_SEED`
-//! (precedence: explicit schedule events win at their op index, the seed
-//! fills the rest; unset means no fault injection).
+//! explicit service width > `NOC_BATCH_WIDTH` > default 4), the
+//! storage-fault knobs `NOC_VFS_FAULT_SCHEDULE` / `NOC_VFS_FAULT_SEED`,
+//! and the network-fault knobs `NOC_NET_FAULT_SCHEDULE` /
+//! `NOC_NET_FAULT_SEED` (precedence for both pairs: explicit schedule
+//! events win at their op index, the seed fills the rest; unset means no
+//! fault injection).
 //!
 //! The bound address is printed to stdout **and** written (atomically:
 //! temp + fsync + rename) to `DIR/addr.txt` so supervisors (and the
@@ -24,12 +27,13 @@ use std::process::exit;
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 
-use noc_serve::{http, ServeOpts, Service};
+use noc_serve::{http, HttpOpts, ServeOpts, Service};
 
 fn usage() -> ! {
     eprintln!(
         "usage: noc_serve --data-dir DIR [--addr HOST:PORT] [--workers N] \
-         [--queue-cap N] [--retry-base-ms MS] [--max-attempts N]"
+         [--queue-cap N] [--retry-base-ms MS] [--max-attempts N] \
+         [--max-conns N] [--request-deadline-ms MS]"
     );
     exit(2);
 }
@@ -53,6 +57,10 @@ fn main() {
         eprintln!("error: {e}");
         exit(2);
     }
+    if let Err(e) = noc_net::validate_env() {
+        eprintln!("error: {e}");
+        exit(2);
+    }
 
     let mut addr = "127.0.0.1:0".to_string();
     let mut data_dir = None;
@@ -60,6 +68,7 @@ fn main() {
     let mut queue_cap = 16usize;
     let mut retry_base_ms = 50u64;
     let mut max_attempts = 3u32;
+    let mut http_opts = HttpOpts::default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let mut val = |name: &str| -> String {
@@ -82,6 +91,14 @@ fn main() {
             }
             "--max-attempts" => {
                 max_attempts = val("--max-attempts").parse().unwrap_or_else(|_| usage());
+            }
+            "--max-conns" => {
+                http_opts.max_connections = val("--max-conns").parse().unwrap_or_else(|_| usage());
+            }
+            "--request-deadline-ms" => {
+                http_opts.request_deadline_ms = val("--request-deadline-ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
             }
             _ => usage(),
         }
@@ -130,7 +147,13 @@ fn main() {
         }
     }
 
-    http::serve(&listener, &service, &shutdown);
+    http::serve_with(
+        listener,
+        &service,
+        &shutdown,
+        &http_opts,
+        &noc_net::Transport::from_env(),
+    );
     println!("noc-serve draining ({} queued)", service.queued());
     service.drain();
     println!("noc-serve drained");

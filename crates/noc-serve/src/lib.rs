@@ -31,7 +31,8 @@ pub mod queue;
 pub mod service;
 pub mod spec;
 
+pub use http::HttpOpts;
 pub use lifecycle::{JobState, Stage};
 pub use queue::{BoundedQueue, QueueFull};
-pub use service::{JobStatus, ServeOpts, Service, SubmitError};
+pub use service::{Counter, JobStatus, NetStats, ServeOpts, Service, SubmitError};
 pub use spec::{JobSpec, SpecKind, SweepSource};

@@ -26,7 +26,7 @@
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -133,6 +133,43 @@ impl JobStatus {
     }
 }
 
+/// One monotonic event counter. Relaxed ordering: counters are telemetry,
+/// never synchronization.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one observed event.
+    pub fn incr(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Monotonic network/admission counters, surfaced in `/healthz` so chaos
+/// soaks can assert that shedding, deadline kills, and idempotent
+/// resubmission actually happened — not just that the end state converged.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    /// Connections the accept loop took off the listener.
+    pub accepted: Counter,
+    /// Connections refused inline (concurrency cap or spawn failure).
+    pub shed: Counter,
+    /// Connections that died mid-request (reset, torn request, I/O error).
+    pub reset: Counter,
+    /// Connections refused with `408` for exceeding the request deadline.
+    pub deadline_kills: Counter,
+    /// Requests refused with `431` (header line/count caps).
+    pub header_rejects: Counter,
+    /// Submissions answered from the content-address dedupe — each one is
+    /// a client retry observed after the original attempt was admitted.
+    pub dedupe_hits: Counter,
+}
+
 /// Shared per-job progress counters, updated by the running worker and
 /// read by status snapshots.
 #[derive(Default)]
@@ -176,6 +213,8 @@ struct Shared {
     storage_down: AtomicBool,
     /// The failure that tripped DEGRADED, for `healthz` and submit errors.
     storage_detail: Mutex<String>,
+    /// Network/admission counters (the HTTP layer increments these).
+    net: NetStats,
 }
 
 /// The running service. Cheap to clone handles out of via [`Service::drain`]
@@ -283,6 +322,7 @@ impl Service {
             vfs,
             storage_down: AtomicBool::new(false),
             storage_detail: Mutex::new(String::new()),
+            net: NetStats::default(),
             opts,
         });
         let mut adopt: Vec<String> = Vec::new();
@@ -348,6 +388,9 @@ impl Service {
         let id = spec.digest().map_err(SubmitError::Invalid)?;
         let mut jobs = lock(&self.shared.jobs);
         if let Some(e) = jobs.get(&id) {
+            // A dedupe hit is the idempotency escape channel at work: a
+            // retrying client resubmitted something already admitted.
+            self.shared.net.dedupe_hits.incr();
             return Ok((self.shared.status_of(&id, e), false));
         }
         let dir = self.shared.job_dir(&id);
@@ -477,6 +520,11 @@ impl Service {
     /// Queue depth (for health reporting).
     pub fn queued(&self) -> usize {
         self.shared.queue.len()
+    }
+
+    /// The network/admission counters (HTTP layer writes, `healthz` reads).
+    pub fn net(&self) -> &NetStats {
+        &self.shared.net
     }
 
     /// Graceful shutdown: stop accepting, interrupt running jobs (they

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Network-fault smoke for the injectable transport (CI `network-chaos-smoke`).
+#
+#   1. garbage NOC_NET_FAULT_SCHEDULE / NOC_NET_FAULT_SEED must be refused
+#      at boot with exit 2 (eager validation, never a silent fault-free
+#      run) — before any listener binds or socket connects;
+#   2. the network_chaos soak enumerates every connection op of a
+#      reference client->server run and, for each (side x op x fault
+#      kind) combination — connection reset, torn read/write at byte n,
+#      slow trickle, accept failure, sticky partition with a paired heal —
+#      injects exactly that fault on exactly that side and requires the
+#      retrying client to converge to DONE with a row set byte-identical
+#      to the fault-free run's;
+#   3. any divergence leaves a repro file (the exact NOC_NET_FAULT_SCHEDULE
+#      to replay it) in the output directory for CI to upload.
+#
+# Time-boxed via --max-sites (first N ops per side x 6 kinds x 2 sides)
+# plus a hard timeout; override the binary with NOC_NETWORK_CHAOS_BIN,
+# the output directory with OUT, the site cap with MAX_SITES.
+set -euo pipefail
+
+BIN=${NOC_NETWORK_CHAOS_BIN:-target/release/network_chaos}
+OUT=${OUT:-network_chaos_out}
+MAX_SITES=${MAX_SITES:-3}
+TIMEOUT_S=${TIMEOUT_S:-240}
+
+[ -x "$BIN" ] || {
+  echo "FAIL: $BIN not built (cargo build --release -p noc-client --bin network_chaos)"
+  exit 1
+}
+
+fail() { echo "FAIL: $*"; exit 1; }
+
+# 1. Eager validation: garbage knobs are a boot-time configuration error.
+set +e
+NOC_NET_FAULT_SCHEDULE="nonsense" "$BIN" --out "$OUT.reject" >/dev/null 2>&1
+[ $? -eq 2 ] || fail "garbage NOC_NET_FAULT_SCHEDULE must exit 2"
+NOC_NET_FAULT_SEED="-3" "$BIN" --out "$OUT.reject" >/dev/null 2>&1
+[ $? -eq 2 ] || fail "garbage NOC_NET_FAULT_SEED must exit 2"
+set -e
+[ ! -d "$OUT.reject" ] || fail "rejected run must not open sockets or write output"
+
+# 2. The soak proper: every fault kind, both sides, first $MAX_SITES ops.
+rm -rf "$OUT"
+timeout "$TIMEOUT_S" "$BIN" --out "$OUT" --max-sites "$MAX_SITES" \
+  || fail "network_chaos reported a divergence (repros in $OUT)"
+
+# 3. The report must exist, be whole, and say pass.
+[ -s "$OUT/network_chaos.json" ] || fail "missing $OUT/network_chaos.json"
+grep -q '"verdict": "pass"' "$OUT/network_chaos.json" \
+  || fail "report verdict is not pass: $(cat "$OUT/network_chaos.json")"
+ls "$OUT"/repro_* >/dev/null 2>&1 && fail "pass verdict but repro files present"
+
+echo "PASS: network-chaos smoke ($(grep -o '"combos": [0-9]*' "$OUT/network_chaos.json" \
+  | grep -o '[0-9]*') fault combinations converged byte-identically)"
